@@ -1,0 +1,229 @@
+// Benchmarks, one per experiment id of DESIGN.md §4 / EXPERIMENTS.md.
+// cmd/qjbench runs the full parameter sweeps and prints the recorded tables;
+// these testing.B benches pin one representative configuration per
+// experiment so `go test -bench=. -benchmem` tracks regressions.
+package qjoin_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/quantilejoins/qjoin"
+	"github.com/quantilejoins/qjoin/internal/core"
+	"github.com/quantilejoins/qjoin/internal/jointree"
+	"github.com/quantilejoins/qjoin/internal/pivot"
+	"github.com/quantilejoins/qjoin/internal/ranking"
+	"github.com/quantilejoins/qjoin/internal/trim"
+	"github.com/quantilejoins/qjoin/internal/workload"
+	"github.com/quantilejoins/qjoin/internal/yannakakis"
+)
+
+// BenchmarkE01Count — linear-time answer counting (Section 2.4, Figure 1).
+func BenchmarkE01Count(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	q, db := workload.Hierarchy(rng, 1<<15, 1<<13)
+	tree, _ := jointree.Build(q)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, _ := jointree.NewExec(q, db, tree)
+		yannakakis.CountAnswers(e)
+	}
+}
+
+// BenchmarkE02Pivot — linear-time c-pivot selection (Lemma 4.1, Algorithm 2).
+func BenchmarkE02Pivot(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	q, db := workload.Path(rng, 3, 1<<15, 1<<12)
+	f := ranking.NewSum(q.Vars()...)
+	tree, _ := jointree.Build(q)
+	mu, _ := f.AssignVars(q)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, _ := jointree.NewExec(q, db, tree)
+		if _, err := pivot.Select(e, f, mu); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE03MinMax — exact MAX quantile on the 3-star (Theorem 5.3),
+// against the materialization baseline.
+func BenchmarkE03MinMax(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	q, idb := workload.Star(rng, 3, 1<<13, 1<<9, 1_000_000)
+	db := qjoin.WrapDB(idb)
+	f := qjoin.Max(q.Vars()...)
+	b.Run("pivoting", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := qjoin.Quantile(q, db, f, 0.5); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("baseline", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := qjoin.BaselineQuantile(q, db, f, 0.5); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE04Lex — exact LEX quantile on the binary join (Section 5.2).
+func BenchmarkE04Lex(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	q, idb := workload.Path(rng, 2, 1<<14, 1<<10)
+	db := qjoin.WrapDB(idb)
+	f := qjoin.Lex("x1", "x3")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := qjoin.Quantile(q, db, f, 0.9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE05PartialSum — the dichotomy's flagship tractable case:
+// SUM(x1,x2,x3) on the 3-path (Theorem 5.6).
+func BenchmarkE05PartialSum(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	q, idb := workload.Path(rng, 3, 1<<13, 1<<9)
+	db := qjoin.WrapDB(idb)
+	f := qjoin.Sum("x1", "x2", "x3")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := qjoin.Quantile(q, db, f, 0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE06BinarySum — full SUM on the 2-atom join (Example 3.4).
+func BenchmarkE06BinarySum(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	q, idb := workload.Path(rng, 2, 1<<14, 1<<10)
+	db := qjoin.WrapDB(idb)
+	f := qjoin.Sum(q.Vars()...)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := qjoin.Quantile(q, db, f, 0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE07BaselineHard — the hard side of the dichotomy: the baseline's
+// cost on full-SUM over the 3-path grows with |Q(D)|, not |D|.
+func BenchmarkE07BaselineHard(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	q, idb := workload.Path(rng, 3, 1<<10, 1<<6)
+	db := qjoin.WrapDB(idb)
+	f := qjoin.Sum(q.Vars()...)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := qjoin.BaselineQuantile(q, db, f, 0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE08ApproxSum — deterministic ε-approximation (Theorem 6.2).
+func BenchmarkE08ApproxSum(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	q, idb := workload.Path(rng, 3, 256, 32)
+	db := qjoin.WrapDB(idb)
+	f := qjoin.Sum(q.Vars()...)
+	for _, eps := range []float64{0.4, 0.2, 0.1} {
+		b.Run(epsName(eps), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := qjoin.ApproxQuantile(q, db, f, 0.5, eps); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func epsName(eps float64) string {
+	switch eps {
+	case 0.4:
+		return "eps=0.40"
+	case 0.2:
+		return "eps=0.20"
+	case 0.1:
+		return "eps=0.10"
+	}
+	return "eps"
+}
+
+// BenchmarkE09Sample — randomized sampling approximation (Section 3.1).
+func BenchmarkE09Sample(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	q, idb := workload.Path(rng, 3, 1<<12, 1<<8)
+	db := qjoin.WrapDB(idb)
+	f := qjoin.Sum(q.Vars()...)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := qjoin.SampleQuantile(q, db, f, 0.5, 0.1, 0.05, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE10LossyTrim — one ε-lossy trimming pass (Lemma 6.1).
+func BenchmarkE10LossyTrim(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	q, db := workload.Path(rng, 3, 1<<10, 1<<6)
+	f := ranking.NewSum(q.Vars()...)
+	inst := trim.Instance{Q: q, DB: db}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := trim.SumLossy(inst, f, 96, trim.Less, 0.2, trim.LossyOpts{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE11Crossover — fixed |D|, exploding |Q(D)|: pivoting stays flat
+// while the baseline pays for the output.
+func BenchmarkE11Crossover(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	q, idb := workload.Star(rng, 2, 1<<13, 1<<4, 1_000_000) // |Q(D)| >> |D|
+	db := qjoin.WrapDB(idb)
+	f := qjoin.Max(q.Vars()...)
+	b.Run("pivoting", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := qjoin.Quantile(q, db, f, 0.5); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("baseline", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := qjoin.BaselineQuantile(q, db, f, 0.5); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE12AblationBudget — ε-budget strategies of the approximate driver.
+func BenchmarkE12AblationBudget(b *testing.B) {
+	rng := rand.New(rand.NewSource(12))
+	q, idb := workload.Path(rng, 3, 200, 25)
+	db := qjoin.WrapDB(idb)
+	f := qjoin.Sum(q.Vars()...)
+	for _, mode := range []struct {
+		name string
+		bud  qjoin.EpsilonBudget
+	}{{"geometric", qjoin.BudgetGeometric}, {"paper", qjoin.BudgetPaper}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, _, err := core.Quantile(q, db.Unwrap(), f, 0.5, core.Options{Epsilon: 0.25, Budget: mode.bud})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,225 @@
+// Command qjq answers quantile join queries over CSV relations.
+//
+// Usage:
+//
+//	qjq -query 'Orders(o,price),Shipments(o,cost)' \
+//	    -rel Orders=orders.csv -rel Shipments=shipments.csv \
+//	    -rank 'sum(price,cost)' -phi 0.5
+//
+// Flags select the ranking function (sum/min/max/lex over variables), the
+// quantile φ, an optional approximation ε, and diagnostics (-count,
+// -classify, -baseline). CSV files hold integer columns matching the atom's
+// arity.
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/quantilejoins/qjoin"
+)
+
+type relFlags map[string]string
+
+func (r relFlags) String() string { return fmt.Sprint(map[string]string(r)) }
+func (r relFlags) Set(v string) error {
+	parts := strings.SplitN(v, "=", 2)
+	if len(parts) != 2 {
+		return fmt.Errorf("expected NAME=FILE, got %q", v)
+	}
+	r[parts[0]] = parts[1]
+	return nil
+}
+
+func main() {
+	rels := relFlags{}
+	queryStr := flag.String("query", "", "join query, e.g. 'R(x,y),S(y,z)'")
+	rankStr := flag.String("rank", "", "ranking, e.g. 'sum(x,z)', 'min(y)', 'max(x,y)', 'lex(x,y)'")
+	phi := flag.Float64("phi", 0.5, "quantile fraction in [0,1]")
+	eps := flag.Float64("eps", 0, "approximation error (0 = exact)")
+	doCount := flag.Bool("count", false, "print |Q(D)| and exit")
+	doClassify := flag.Bool("classify", false, "print the tractability classification and exit")
+	doBaseline := flag.Bool("baseline", false, "also run the materialization baseline and compare")
+	doSample := flag.Bool("sample", false, "use randomized sampling (requires -eps)")
+	delta := flag.Float64("delta", 0.05, "failure probability for -sample")
+	seed := flag.Int64("seed", time.Now().UnixNano(), "random seed for -sample")
+	flag.Var(rels, "rel", "NAME=FILE CSV source for a relation (repeatable)")
+	flag.Parse()
+
+	q, err := parseQuery(*queryStr)
+	if err != nil {
+		fatal(err)
+	}
+	db := qjoin.NewDB()
+	for _, atom := range q.Atoms {
+		file, ok := rels[atom.Rel]
+		if !ok {
+			fatal(fmt.Errorf("no -rel source for relation %s", atom.Rel))
+		}
+		rows, err := loadCSV(file, len(atom.Vars))
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", file, err))
+		}
+		if err := db.Add(atom.Rel, len(atom.Vars), rows); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *doCount {
+		n, err := qjoin.Count(q, db)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(n)
+		return
+	}
+
+	f, err := parseRanking(*rankStr)
+	if err != nil {
+		fatal(err)
+	}
+	if *doClassify {
+		ok, why := qjoin.ClassifyRanking(q, f)
+		fmt.Printf("tractable=%v: %s\n", ok, why)
+		return
+	}
+
+	start := time.Now()
+	var ans *qjoin.Answer
+	switch {
+	case *doSample:
+		if *eps <= 0 {
+			fatal(fmt.Errorf("-sample requires -eps > 0"))
+		}
+		ans, err = qjoin.SampleQuantile(q, db, f, *phi, *eps, *delta, rand.New(rand.NewSource(*seed)))
+	case *eps > 0:
+		ans, err = qjoin.ApproxQuantile(q, db, f, *phi, *eps)
+	default:
+		ans, err = qjoin.Quantile(q, db, f, *phi)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("answer: %s\nweight: %s\ntime:   %v\n", ans, weightString(f, ans.Weight), time.Since(start).Round(time.Microsecond))
+
+	if *doBaseline {
+		start = time.Now()
+		base, err := qjoin.BaselineQuantile(q, db, f, *phi)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("baseline weight: %s (%v)\n", weightString(f, base.Weight), time.Since(start).Round(time.Microsecond))
+	}
+}
+
+func weightString(f *qjoin.Ranking, w qjoin.Weight) string {
+	if len(w.Vec) > 0 {
+		return fmt.Sprint(w.Vec)
+	}
+	return strconv.FormatInt(w.K, 10)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qjq:", err)
+	os.Exit(1)
+}
+
+// parseQuery parses 'R(x,y),S(y,z)' into a Query.
+func parseQuery(s string) (*qjoin.Query, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, fmt.Errorf("missing -query")
+	}
+	var atoms []qjoin.Atom
+	rest := s
+	for rest != "" {
+		open := strings.IndexByte(rest, '(')
+		if open <= 0 {
+			return nil, fmt.Errorf("bad query syntax near %q", rest)
+		}
+		closeIdx := strings.IndexByte(rest, ')')
+		if closeIdx < open {
+			return nil, fmt.Errorf("unbalanced parentheses near %q", rest)
+		}
+		name := strings.TrimSpace(rest[:open])
+		var vars []qjoin.Var
+		for _, v := range strings.Split(rest[open+1:closeIdx], ",") {
+			v = strings.TrimSpace(v)
+			if v == "" {
+				return nil, fmt.Errorf("empty variable in atom %s", name)
+			}
+			vars = append(vars, qjoin.Var(v))
+		}
+		atoms = append(atoms, qjoin.NewAtom(name, vars...))
+		rest = strings.TrimSpace(rest[closeIdx+1:])
+		rest = strings.TrimPrefix(rest, ",")
+		rest = strings.TrimSpace(rest)
+	}
+	return qjoin.NewQuery(atoms...), nil
+}
+
+// parseRanking parses 'sum(x,y)' / 'min(x)' / 'max(x,y)' / 'lex(x,y)'.
+func parseRanking(s string) (*qjoin.Ranking, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, fmt.Errorf("missing -rank")
+	}
+	open := strings.IndexByte(s, '(')
+	closeIdx := strings.LastIndexByte(s, ')')
+	if open <= 0 || closeIdx != len(s)-1 {
+		return nil, fmt.Errorf("bad ranking syntax %q", s)
+	}
+	var vars []qjoin.Var
+	for _, v := range strings.Split(s[open+1:closeIdx], ",") {
+		v = strings.TrimSpace(v)
+		if v == "" {
+			return nil, fmt.Errorf("empty variable in ranking %q", s)
+		}
+		vars = append(vars, qjoin.Var(v))
+	}
+	switch strings.ToLower(strings.TrimSpace(s[:open])) {
+	case "sum":
+		return qjoin.Sum(vars...), nil
+	case "min":
+		return qjoin.Min(vars...), nil
+	case "max":
+		return qjoin.Max(vars...), nil
+	case "lex":
+		return qjoin.Lex(vars...), nil
+	}
+	return nil, fmt.Errorf("unknown aggregate in %q (want sum/min/max/lex)", s)
+}
+
+// loadCSV reads an integer CSV with the given arity.
+func loadCSV(path string, arity int) ([][]int64, error) {
+	file, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer file.Close()
+	r := csv.NewReader(file)
+	r.FieldsPerRecord = arity
+	records, err := r.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	rows := make([][]int64, 0, len(records))
+	for ln, rec := range records {
+		row := make([]int64, arity)
+		for i, field := range rec {
+			v, err := strconv.ParseInt(strings.TrimSpace(field), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %d column %d: %w", ln+1, i+1, err)
+			}
+			row[i] = v
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseQuery(t *testing.T) {
+	q, err := parseQuery("R(x,y), S(y,z)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Atoms) != 2 || q.Atoms[0].Rel != "R" || q.Atoms[1].Rel != "S" {
+		t.Fatalf("parsed %v", q)
+	}
+	if len(q.Atoms[0].Vars) != 2 || q.Atoms[0].Vars[1] != "y" {
+		t.Fatalf("vars = %v", q.Atoms[0].Vars)
+	}
+	// Whitespace tolerance.
+	q, err = parseQuery("  R( x , y )  ,S(y,z)")
+	if err != nil || len(q.Atoms) != 2 {
+		t.Fatalf("whitespace parse: %v, %v", q, err)
+	}
+}
+
+func TestParseQueryErrors(t *testing.T) {
+	for _, bad := range []string{"", "R", "R(x", "R(x,)", "(x,y)"} {
+		if _, err := parseQuery(bad); err == nil {
+			t.Fatalf("accepted %q", bad)
+		}
+	}
+}
+
+func TestParseRanking(t *testing.T) {
+	cases := map[string]string{
+		"sum(x,y)": "SUM",
+		"min(x)":   "MIN",
+		"MAX(a,b)": "MAX",
+		"lex(x,y)": "LEX",
+	}
+	for in, want := range cases {
+		f, err := parseRanking(in)
+		if err != nil {
+			t.Fatalf("%q: %v", in, err)
+		}
+		if f.Agg.String() != want {
+			t.Fatalf("%q -> %s, want %s", in, f.Agg, want)
+		}
+	}
+	for _, bad := range []string{"", "avg(x)", "sum", "sum()", "sum(x"} {
+		if _, err := parseRanking(bad); err == nil {
+			t.Fatalf("accepted %q", bad)
+		}
+	}
+}
+
+func TestLoadCSV(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "r.csv")
+	if err := os.WriteFile(path, []byte("1,2\n3, 4\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := loadCSV(path, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0][0] != 1 || rows[1][1] != 4 {
+		t.Fatalf("rows = %v", rows)
+	}
+	// Wrong arity must fail.
+	if _, err := loadCSV(path, 3); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+	// Non-integer must fail.
+	bad := filepath.Join(dir, "bad.csv")
+	os.WriteFile(bad, []byte("a,b\n"), 0o644)
+	if _, err := loadCSV(bad, 2); err == nil {
+		t.Fatal("non-integer accepted")
+	}
+	// Missing file must fail.
+	if _, err := loadCSV(filepath.Join(dir, "nope.csv"), 2); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestRelFlags(t *testing.T) {
+	r := relFlags{}
+	if err := r.Set("R=/tmp/x.csv"); err != nil {
+		t.Fatal(err)
+	}
+	if r["R"] != "/tmp/x.csv" {
+		t.Fatalf("relFlags = %v", r)
+	}
+	if err := r.Set("nonsense"); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+	if r.String() == "" {
+		t.Fatal("empty String()")
+	}
+}

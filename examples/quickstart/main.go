@@ -1,0 +1,49 @@
+// Quickstart: compute the median of a join's answers by SUM without
+// materializing the join.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/quantilejoins/qjoin"
+)
+
+func main() {
+	// Orders join Shipments on the order id; rank order-shipment pairs by
+	// price + shipping cost.
+	db := qjoin.NewDB()
+	db.MustAdd("Orders", 2, [][]int64{ // (order, price)
+		{1, 30}, {2, 75}, {3, 12}, {4, 50},
+	})
+	db.MustAdd("Shipments", 2, [][]int64{ // (order, cost)
+		{1, 5}, {1, 9}, {2, 4}, {3, 7}, {4, 3}, {4, 11},
+	})
+	q := qjoin.NewQuery(
+		qjoin.NewAtom("Orders", "o", "price"),
+		qjoin.NewAtom("Shipments", "o", "cost"),
+	)
+	f := qjoin.Sum("price", "cost")
+
+	n, err := qjoin.Count(q, db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("join answers: %s (database has %d tuples)\n", n, db.Size())
+
+	median, err := qjoin.Median(q, db, f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("median by price+cost: %s  (total %d)\n", median, median.Weight.K)
+
+	for _, phi := range []float64{0.25, 0.75} {
+		a, err := qjoin.Quantile(q, db, f, phi)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%.2f-quantile: %s  (total %d)\n", phi, a, a.Weight.K)
+	}
+}

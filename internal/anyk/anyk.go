@@ -1,0 +1,285 @@
+// Package anyk implements ranked ("any-k") enumeration of join answers in
+// weight order for subset-monotone ranking functions, after the Recursive
+// Enumeration Algorithm line of work the paper builds on (Kimelfeld & Sagiv
+// 2006 [15]; Tziavelis et al. 2022 [23]).
+//
+// The paper uses ranked enumeration as the conceptual home of
+// subset-monotonicity (Section 2.2) and cites it as the source of the
+// adjacent-pair SUM trimming [22]; this module completes the ecosystem: after
+// one linear-time pass it streams answers in non-decreasing weight order with
+// logarithmic delay, which gives Top-K and threshold queries over the same
+// substrate the quantile algorithms run on.
+//
+// Construction: for every join group the solutions of its subtree form a
+// lazily materialized sorted stream. A group's stream k-way-merges the
+// streams of its tuples; a tuple's stream enumerates the product of its
+// child-group streams best-first (coordinate-successor generation, valid
+// because subset-monotone aggregates are monotone in every coordinate).
+// Streams are memoized per group, so shared subtrees are enumerated once —
+// the same factorization that makes message passing linear.
+package anyk
+
+import (
+	"container/heap"
+	"errors"
+
+	"github.com/quantilejoins/qjoin/internal/jointree"
+	"github.com/quantilejoins/qjoin/internal/query"
+	"github.com/quantilejoins/qjoin/internal/ranking"
+	"github.com/quantilejoins/qjoin/internal/relation"
+)
+
+// ErrExhausted is returned by Next after the last answer.
+var ErrExhausted = errors.New("anyk: enumeration exhausted")
+
+// solution is one ranked partial answer of a group's subtree: a tuple of the
+// group plus, per child of that tuple's node, the index of a solution in the
+// child group's stream.
+type solution struct {
+	weight   ranking.Weightv
+	tupleIdx int   // index into the group's tuple list
+	childSol []int // per child: solution index in the child group's stream
+}
+
+// candidate is a frontier entry of a tuple's product enumeration.
+type candidate struct {
+	weight   ranking.Weightv
+	tupleIdx int
+	childSol []int
+}
+
+// groupStream lazily enumerates the ranked solutions of one join group.
+type groupStream struct {
+	e      *Enumerator
+	node   int
+	tuples []int // tuple indexes of the group (or all root tuples)
+
+	// found is the sorted prefix of solutions discovered so far.
+	found []solution
+	// frontier holds candidate solutions not yet emitted.
+	frontier *candidateHeap
+	// seen dedupes frontier pushes (same tuple + same child vector).
+	seen map[string]bool
+	done bool
+}
+
+// Enumerator streams the answers of an executable join tree in
+// non-decreasing weight order.
+type Enumerator struct {
+	exec *jointree.Exec
+	f    *ranking.Func
+	mu   map[query.Var]int
+
+	weighers []*ranking.TupleWeigher
+	// groups[node][gid] is the memoized stream of that join group.
+	groups [][]*groupStream
+	root   *groupStream
+
+	varIdx  map[query.Var]int
+	nodePos [][]int
+	emitted int
+}
+
+// New builds an enumerator. The executable tree is fully reduced as a side
+// effect (dangling tuples would stall the streams).
+func New(e *jointree.Exec, f *ranking.Func) (*Enumerator, error) {
+	if err := f.Validate(e.Q); err != nil {
+		return nil, err
+	}
+	mu, err := f.AssignVars(e.Q)
+	if err != nil {
+		return nil, err
+	}
+	e.FullReduce()
+	en := &Enumerator{exec: e, f: f, mu: mu, varIdx: e.Q.VarIndex()}
+	en.weighers = make([]*ranking.TupleWeigher, len(e.T.Nodes))
+	en.groups = make([][]*groupStream, len(e.T.Nodes))
+	en.nodePos = make([][]int, len(e.T.Nodes))
+	for _, n := range e.T.Nodes {
+		en.weighers[n.ID] = ranking.NewTupleWeigher(f, mu, n.Atom, n.Vars)
+		if n.Parent >= 0 {
+			en.groups[n.ID] = make([]*groupStream, e.Groups[n.ID].NumGroups())
+		}
+		pos := make([]int, len(n.Vars))
+		for j, v := range n.Vars {
+			pos[j] = en.varIdx[v]
+		}
+		en.nodePos[n.ID] = pos
+	}
+	// Artificial root group: all root tuples.
+	rootTuples := make([]int, e.Rels[e.T.Root].Len())
+	for i := range rootTuples {
+		rootTuples[i] = i
+	}
+	en.root = en.newStream(e.T.Root, rootTuples)
+	return en, nil
+}
+
+func (en *Enumerator) newStream(node int, tuples []int) *groupStream {
+	gs := &groupStream{
+		e:        en,
+		node:     node,
+		tuples:   tuples,
+		frontier: &candidateHeap{f: en.f},
+		seen:     make(map[string]bool),
+	}
+	// Seed: the best candidate of every tuple in the group.
+	for ti := range tuples {
+		if c, ok := gs.bestOf(ti); ok {
+			gs.push(c)
+		}
+	}
+	return gs
+}
+
+// stream returns the memoized stream of a child group.
+func (en *Enumerator) stream(node, gid int) *groupStream {
+	if s := en.groups[node][gid]; s != nil {
+		return s
+	}
+	s := en.newStream(node, en.exec.Groups[node].Tuples[gid])
+	en.groups[node][gid] = s
+	return s
+}
+
+// bestOf builds tuple ti's minimal candidate: first solution of every child
+// group. After full reduction every child group is non-empty.
+func (gs *groupStream) bestOf(ti int) (candidate, bool) {
+	en := gs.e
+	n := en.exec.T.Nodes[gs.node]
+	row := en.exec.Rels[gs.node].Row(gs.tuples[ti])
+	w := en.weighers[gs.node].WeightOf(row)
+	childSol := make([]int, len(n.Children))
+	for ci, ch := range n.Children {
+		gid, ok := en.exec.GroupForParentRow(ch, row)
+		if !ok {
+			return candidate{}, false
+		}
+		cs := en.stream(ch, gid)
+		sol, ok := cs.get(0)
+		if !ok {
+			return candidate{}, false
+		}
+		childSol[ci] = 0
+		w = en.f.Combine(w, sol.weight)
+	}
+	return candidate{weight: w, tupleIdx: ti, childSol: childSol}, true
+}
+
+// weightOf recomputes a candidate's weight from its child solution indexes.
+// Returns false if some child index does not (yet or ever) exist.
+func (gs *groupStream) weightOf(ti int, childSol []int) (ranking.Weightv, bool) {
+	en := gs.e
+	n := en.exec.T.Nodes[gs.node]
+	row := en.exec.Rels[gs.node].Row(gs.tuples[ti])
+	w := en.weighers[gs.node].WeightOf(row)
+	for ci, ch := range n.Children {
+		gid, _ := en.exec.GroupForParentRow(ch, row)
+		sol, ok := en.stream(ch, gid).get(childSol[ci])
+		if !ok {
+			return ranking.Weightv{}, false
+		}
+		w = en.f.Combine(w, sol.weight)
+	}
+	return w, true
+}
+
+func (gs *groupStream) push(c candidate) {
+	key := candKey(c.tupleIdx, c.childSol)
+	if gs.seen[key] {
+		return
+	}
+	gs.seen[key] = true
+	heap.Push(gs.frontier, c)
+}
+
+func candKey(ti int, childSol []int) string {
+	buf := make([]byte, 0, 8*(1+len(childSol)))
+	put := func(v int) {
+		u := uint64(v)
+		buf = append(buf, byte(u), byte(u>>8), byte(u>>16), byte(u>>24),
+			byte(u>>32), byte(u>>40), byte(u>>48), byte(u>>56))
+	}
+	put(ti)
+	for _, s := range childSol {
+		put(s)
+	}
+	return string(buf)
+}
+
+// get returns the idx-th solution of the stream, materializing lazily.
+func (gs *groupStream) get(idx int) (solution, bool) {
+	for len(gs.found) <= idx && !gs.done {
+		gs.advance()
+	}
+	if idx < len(gs.found) {
+		return gs.found[idx], true
+	}
+	return solution{}, false
+}
+
+// advance pops the frontier minimum into found and pushes its successors:
+// the same tuple with exactly one child-solution index incremented.
+func (gs *groupStream) advance() {
+	if gs.frontier.Len() == 0 {
+		gs.done = true
+		return
+	}
+	c := heap.Pop(gs.frontier).(candidate)
+	gs.found = append(gs.found, solution{weight: c.weight, tupleIdx: c.tupleIdx, childSol: c.childSol})
+	for ci := range c.childSol {
+		next := append(append([]int(nil), c.childSol...), 0)[:len(c.childSol)]
+		next[ci]++
+		if w, ok := gs.weightOf(c.tupleIdx, next); ok {
+			gs.push(candidate{weight: w, tupleIdx: c.tupleIdx, childSol: next})
+		}
+	}
+}
+
+// Next returns the next answer in non-decreasing weight order, writing the
+// assignment (laid out per Q.Vars()) into asn.
+func (en *Enumerator) Next(asn []relation.Value) (ranking.Weightv, error) {
+	idx := en.emitted
+	sol, ok := en.root.get(idx)
+	if !ok {
+		return ranking.Weightv{}, ErrExhausted
+	}
+	en.emitted++
+	en.fill(en.root, idx, asn)
+	return sol.weight, nil
+}
+
+// fill reconstructs the assignment of the stream's idx-th solution.
+func (en *Enumerator) fill(gs *groupStream, idx int, asn []relation.Value) {
+	sol, _ := gs.get(idx)
+	node := gs.node
+	row := en.exec.Rels[node].Row(gs.tuples[sol.tupleIdx])
+	for j, p := range en.nodePos[node] {
+		asn[p] = row[j]
+	}
+	n := en.exec.T.Nodes[node]
+	for ci, ch := range n.Children {
+		gid, _ := en.exec.GroupForParentRow(ch, row)
+		en.fill(en.stream(ch, gid), sol.childSol[ci], asn)
+	}
+}
+
+// candidateHeap orders candidates by weight under the ranking function.
+type candidateHeap struct {
+	f     *ranking.Func
+	items []candidate
+}
+
+func (h *candidateHeap) Len() int { return len(h.items) }
+func (h *candidateHeap) Less(i, j int) bool {
+	return h.f.Compare(h.items[i].weight, h.items[j].weight) < 0
+}
+func (h *candidateHeap) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *candidateHeap) Push(x any)    { h.items = append(h.items, x.(candidate)) }
+func (h *candidateHeap) Pop() any {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}

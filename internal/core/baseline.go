@@ -1,0 +1,71 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/quantilejoins/qjoin/internal/counting"
+	"github.com/quantilejoins/qjoin/internal/query"
+	"github.com/quantilejoins/qjoin/internal/ranking"
+	"github.com/quantilejoins/qjoin/internal/relation"
+	"github.com/quantilejoins/qjoin/internal/selection"
+	"github.com/quantilejoins/qjoin/internal/trim"
+	"github.com/quantilejoins/qjoin/internal/yannakakis"
+)
+
+// instOf wraps a query/database pair.
+func instOf(q *query.Query, db *relation.Database) trim.Instance {
+	return trim.Instance{Q: q, DB: db}
+}
+
+// BaselineQuantile is the direct method the paper's introduction argues
+// against: materialize Q(D) with Yannakakis, then select the k-th answer by
+// weight with worst-case-linear selection. Time and memory are linear in
+// |Q(D)|, which can be Ω(|D|^ℓ) — this is the comparator for every benchmark.
+func BaselineQuantile(q0 *query.Query, db0 *relation.Database, f *ranking.Func, phi float64) (*Answer, error) {
+	if math.IsNaN(phi) || phi < 0 || phi > 1 {
+		return nil, fmt.Errorf("core: φ must be in [0,1], got %v", phi)
+	}
+	if err := f.Validate(q0); err != nil {
+		return nil, err
+	}
+	if err := q0.Validate(db0); err != nil {
+		return nil, err
+	}
+	q, db := query.EliminateSelfJoins(q0, db0)
+	origVars := q0.Vars()
+	e, err := execOf(instOf(q, db))
+	if err != nil {
+		return nil, ErrCyclic
+	}
+	fromVars := q.Vars()
+	var answers [][]relation.Value
+	yannakakis.Enumerate(e, func(asn []relation.Value) bool {
+		answers = append(answers, projectAnswer(fromVars, asn, origVars))
+		return true
+	})
+	if len(answers) == 0 {
+		return nil, ErrNoAnswers
+	}
+	aw := ranking.NewAnswerWeigher(f, origVars)
+	weights := make([]ranking.Weightv, len(answers))
+	for i, a := range answers {
+		weights[i] = aw.WeightOf(a)
+	}
+	k := Index(counting.FromInt(len(answers)), phi)
+	ki, _ := k.Uint64()
+	idx := selection.NewIndex(len(answers))
+	sel := selection.Nth(idx, int(ki), func(a, b int) bool {
+		if c := f.Compare(weights[a], weights[b]); c != 0 {
+			return c < 0
+		}
+		x, y := answers[a], answers[b]
+		for p := range x {
+			if x[p] != y[p] {
+				return x[p] < y[p]
+			}
+		}
+		return false
+	})
+	return &Answer{Vars: origVars, Values: answers[sel], Weight: weights[sel]}, nil
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"github.com/quantilejoins/qjoin/internal/hypergraph"
+	"github.com/quantilejoins/qjoin/internal/query"
+	"github.com/quantilejoins/qjoin/internal/ranking"
+)
+
+// SumClassification is the verdict of the partial-SUM dichotomy
+// (Theorem 5.6) for a query and a set of ranked variables.
+type SumClassification struct {
+	// Acyclic reports α-acyclicity of H(Q).
+	Acyclic bool
+	// MaxIndependent is the largest subset of U_w that is pairwise
+	// non-adjacent in H(Q). Tractability requires ≤ 2.
+	MaxIndependent int
+	// LongChordlessPath reports a chordless path with ≥ 4 vertices between
+	// two U_w variables. Tractability requires none.
+	LongChordlessPath bool
+	// Tractable is the dichotomy's positive side: %JQ in O(n log² n).
+	// For self-join-free queries the negative side is conditionally hard
+	// under 3sum and Hyperclique.
+	Tractable bool
+	// MaximalHyperedges is mh(H(Q)), relevant for the earlier full-SUM
+	// dichotomy of Section 2.3 (full SUM tractable iff mh ≤ 2).
+	MaximalHyperedges int
+}
+
+// ClassifySum evaluates the dichotomy conditions of Theorem 5.6 for SUM over
+// the given ranked variables.
+func ClassifySum(q *query.Query, uw []query.Var) SumClassification {
+	h, idx := hypergraph.FromQuery(q)
+	var U []int
+	for _, v := range uw {
+		if p, ok := idx[v]; ok {
+			U = append(U, p)
+		}
+	}
+	out := SumClassification{
+		Acyclic:           h.IsAcyclic(),
+		MaxIndependent:    h.MaxIndependentSubset(U),
+		LongChordlessPath: h.HasLongChordlessPath(U, 4),
+		MaximalHyperedges: h.MaximalEdgeCount(),
+	}
+	out.Tractable = out.Acyclic && out.MaxIndependent <= 2 && !out.LongChordlessPath
+	return out
+}
+
+// ClassifyRanking reports whether the exact pivoting algorithm applies to the
+// query under the given ranking function: always for MIN/MAX (Theorem 5.3)
+// and LEX (Section 5.2) on acyclic queries, and per the dichotomy for SUM.
+func ClassifyRanking(q *query.Query, f *ranking.Func) (tractable bool, why string) {
+	h, _ := hypergraph.FromQuery(q)
+	if !h.IsAcyclic() {
+		return false, "query is cyclic"
+	}
+	switch f.Agg {
+	case ranking.Min, ranking.Max:
+		return true, "MIN/MAX over acyclic JQ (Theorem 5.3)"
+	case ranking.Lex:
+		return true, "LEX over acyclic JQ (Section 5.2)"
+	case ranking.Sum:
+		c := ClassifySum(q, f.Vars)
+		if c.Tractable {
+			return true, "partial SUM on the positive side of Theorem 5.6"
+		}
+		return false, "SUM on the negative side of Theorem 5.6 (3sum/Hyperclique-hard)"
+	}
+	return false, "unknown ranking"
+}

@@ -1,0 +1,367 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/quantilejoins/qjoin/internal/counting"
+	"github.com/quantilejoins/qjoin/internal/jointree"
+	"github.com/quantilejoins/qjoin/internal/pivot"
+	"github.com/quantilejoins/qjoin/internal/query"
+	"github.com/quantilejoins/qjoin/internal/ranking"
+	"github.com/quantilejoins/qjoin/internal/relation"
+	"github.com/quantilejoins/qjoin/internal/trim"
+	"github.com/quantilejoins/qjoin/internal/yannakakis"
+)
+
+// RunStats reports what one driver run did.
+type RunStats struct {
+	// Iterations is the number of pivoting rounds executed.
+	Iterations int
+	// Materialized is the candidate count resolved by final materialization
+	// (0 when the pivot itself was returned).
+	Materialized int
+	// PivotReturned reports termination through the equal partition.
+	PivotReturned bool
+	// Count is |Q(D)|.
+	Count counting.Count
+	// MaxInstanceTuples is the largest trimmed database seen.
+	MaxInstanceTuples int
+}
+
+// trimmer binds the ranking-specific trim constructions of Section 5/6 into
+// the two operations Algorithm 1 needs.
+type trimmer struct {
+	less    func(inst trim.Instance, w ranking.Weightv, eps float64) (trim.Instance, error)
+	greater func(inst trim.Instance, w ranking.Weightv, eps float64) (trim.Instance, error)
+	lossy   bool
+}
+
+// makeTrimmer selects the trimming construction for the ranking function,
+// enforcing the dichotomy for exact SUM.
+func makeTrimmer(q *query.Query, f *ranking.Func, opts Options) (*trimmer, error) {
+	switch f.Agg {
+	case ranking.Min, ranking.Max:
+		return &trimmer{
+			less: func(inst trim.Instance, w ranking.Weightv, _ float64) (trim.Instance, error) {
+				return trim.MinMax(inst, f, w.K, trim.Less)
+			},
+			greater: func(inst trim.Instance, w ranking.Weightv, _ float64) (trim.Instance, error) {
+				return trim.MinMax(inst, f, w.K, trim.Greater)
+			},
+		}, nil
+	case ranking.Lex:
+		return &trimmer{
+			less: func(inst trim.Instance, w ranking.Weightv, _ float64) (trim.Instance, error) {
+				return trim.Lex(inst, f, w.Vec, trim.Less)
+			},
+			greater: func(inst trim.Instance, w ranking.Weightv, _ float64) (trim.Instance, error) {
+				return trim.Lex(inst, f, w.Vec, trim.Greater)
+			},
+		}, nil
+	case ranking.Sum:
+		exactOK := false
+		if !opts.ForceLossy {
+			if _, _, _, err := jointree.BuildAdjacentPair(q, f.Vars); err == nil {
+				exactOK = true
+			}
+		}
+		if exactOK {
+			return &trimmer{
+				less: func(inst trim.Instance, w ranking.Weightv, _ float64) (trim.Instance, error) {
+					return trim.SumAdjacent(inst, f, w.K, trim.Less)
+				},
+				greater: func(inst trim.Instance, w ranking.Weightv, _ float64) (trim.Instance, error) {
+					return trim.SumAdjacent(inst, f, w.K, trim.Greater)
+				},
+			}, nil
+		}
+		if opts.Epsilon <= 0 {
+			return nil, ErrIntractable
+		}
+		lossyOpts := opts.LossyOpts
+		return &trimmer{
+			lossy: true,
+			less: func(inst trim.Instance, w ranking.Weightv, eps float64) (trim.Instance, error) {
+				out, _, err := trim.SumLossy(inst, f, w.K, trim.Less, eps, lossyOpts)
+				return out, err
+			},
+			greater: func(inst trim.Instance, w ranking.Weightv, eps float64) (trim.Instance, error) {
+				out, _, err := trim.SumLossy(inst, f, w.K, trim.Greater, eps, lossyOpts)
+				return out, err
+			},
+		}, nil
+	}
+	return nil, fmt.Errorf("core: unsupported aggregate %s", f.Agg)
+}
+
+// execOf builds the executable join tree of an instance.
+func execOf(inst trim.Instance) (*jointree.Exec, error) {
+	tree, err := jointree.Build(inst.Q)
+	if err != nil {
+		return nil, err
+	}
+	return jointree.NewExec(inst.Q, inst.DB, tree)
+}
+
+// countInstance counts an instance's answers.
+func countInstance(inst trim.Instance) (counting.Count, error) {
+	e, err := execOf(inst)
+	if err != nil {
+		return counting.Zero, err
+	}
+	return yannakakis.CountAnswers(e), nil
+}
+
+// Count returns |Q(D)| for an acyclic query.
+func Count(q *query.Query, db *relation.Database) (counting.Count, error) {
+	if err := q.Validate(db); err != nil {
+		return counting.Zero, err
+	}
+	q2, db2 := query.EliminateSelfJoins(q, db)
+	c, err := countInstance(trim.Instance{Q: q2, DB: db2})
+	if err != nil {
+		return counting.Zero, ErrCyclic
+	}
+	return c, nil
+}
+
+// Quantile answers a %JQ: the φ-quantile of Q(D) under the ranking function,
+// per Algorithm 1. With opts.Epsilon > 0 and a SUM ranking outside the
+// tractable class, it returns a deterministic (φ±ε)-quantile (Theorem 6.2).
+func Quantile(q0 *query.Query, db0 *relation.Database, f *ranking.Func, phi float64, opts Options) (*Answer, *RunStats, error) {
+	if math.IsNaN(phi) || phi < 0 || phi > 1 {
+		return nil, nil, fmt.Errorf("core: φ must be in [0,1], got %v", phi)
+	}
+	return run(q0, db0, f, opts, func(total counting.Count) (counting.Count, error) {
+		return Index(total, phi), nil
+	})
+}
+
+// Select answers the selection problem (footnote 1 of the paper): the answer
+// at absolute zero-based index k in the ranked order. Selection and quantile
+// computation are equivalent for acyclic queries since |Q(D)| is computable
+// in linear time.
+func Select(q0 *query.Query, db0 *relation.Database, f *ranking.Func, k counting.Count, opts Options) (*Answer, *RunStats, error) {
+	return run(q0, db0, f, opts, func(total counting.Count) (counting.Count, error) {
+		if k.Cmp(total) >= 0 {
+			return counting.Zero, fmt.Errorf("core: index %s out of range (|Q(D)| = %s)", k, total)
+		}
+		return k, nil
+	})
+}
+
+// run is the shared driver body of Quantile and Select.
+func run(q0 *query.Query, db0 *relation.Database, f *ranking.Func, opts Options, pickIndex func(total counting.Count) (counting.Count, error)) (*Answer, *RunStats, error) {
+	if err := f.Validate(q0); err != nil {
+		return nil, nil, err
+	}
+	if err := q0.Validate(db0); err != nil {
+		return nil, nil, err
+	}
+	q, db := query.EliminateSelfJoins(q0, db0)
+	origVars := q0.Vars()
+
+	// Deduplicate the input once (relations are sets); all relations the
+	// trims derive from these stay marked distinct, so the per-iteration
+	// node materializations skip their hash passes.
+	db = dedupeDatabase(db)
+
+	orig := trim.Instance{Q: q, DB: db}
+	total, err := countInstance(orig)
+	if err != nil {
+		return nil, nil, ErrCyclic
+	}
+	stats := &RunStats{Count: total}
+	if total.IsZero() {
+		return nil, stats, ErrNoAnswers
+	}
+	trm, err := makeTrimmer(q, f, opts)
+	if err != nil {
+		return nil, stats, err
+	}
+
+	k, err := pickIndex(total)
+	if err != nil {
+		return nil, stats, err
+	}
+	threshold := counting.FromInt(opts.threshold(db.Size()))
+	low, high := ranking.NegInf(), ranking.PosInf()
+	cur, curCount := orig, total
+	paperEps := 0.0
+
+	for iter := 0; iter < opts.maxIterations(); iter++ {
+		stats.Iterations = iter
+		if curCount.Cmp(threshold) <= 0 {
+			ans, err := materializeSelect(cur, f, origVars, k)
+			if err != nil {
+				return nil, stats, err
+			}
+			m, _ := curCount.Uint64()
+			stats.Materialized = int(m)
+			return ans, stats, nil
+		}
+		e, err := execOf(cur)
+		if err != nil {
+			return nil, stats, err
+		}
+		mu, err := f.AssignVars(cur.Q)
+		if err != nil {
+			return nil, stats, err
+		}
+		pv, err := pivot.Select(e, f, mu)
+		if err != nil {
+			return nil, stats, err
+		}
+		wp := pv.Weight
+
+		epsIter := 0.0
+		if trm.lossy {
+			switch opts.Budget {
+			case BudgetPaper:
+				if paperEps == 0 {
+					// ε' = ε / (2·⌈ℓ·log_{1/(1-c)} n⌉), Lemma 3.6.
+					ell := float64(len(q.Atoms))
+					n := float64(db.Size())
+					iters := math.Ceil(ell * math.Log(n) / -math.Log(1-pv.C))
+					if iters < 1 {
+						iters = 1
+					}
+					paperEps = opts.Epsilon / (2 * iters)
+				}
+				epsIter = paperEps
+			default:
+				epsIter = opts.Epsilon / math.Pow(2, float64(iter+2))
+			}
+			if epsIter < 1e-12 {
+				epsIter = 1e-12
+			}
+		}
+
+		lt, err := trm.less(orig, wp, epsIter)
+		if err != nil {
+			return nil, stats, err
+		}
+		if low.IsFinite() {
+			if lt, err = trm.greater(lt, low.W, epsIter); err != nil {
+				return nil, stats, err
+			}
+		}
+		gt, err := trm.greater(orig, wp, epsIter)
+		if err != nil {
+			return nil, stats, err
+		}
+		if high.IsFinite() {
+			if gt, err = trm.less(gt, high.W, epsIter); err != nil {
+				return nil, stats, err
+			}
+		}
+		cLt, err := countInstance(lt)
+		if err != nil {
+			return nil, stats, err
+		}
+		cGt, err := countInstance(gt)
+		if err != nil {
+			return nil, stats, err
+		}
+		stats.MaxInstanceTuples = maxInt(stats.MaxInstanceTuples, lt.DB.Size(), gt.DB.Size())
+
+		// Choose the partition holding index k. The equal partition is
+		// implicit: everything not in lt or gt (lossy trims only move lost
+		// answers into it, Figure 5).
+		switch {
+		case k.Cmp(cLt) < 0:
+			cur, curCount, high = lt, cLt, ranking.Finite(wp)
+		case k.Cmp(curCount.Sub(cGt)) >= 0:
+			k = k.Sub(curCount.Sub(cGt))
+			cur, curCount, low = gt, cGt, ranking.Finite(wp)
+		default:
+			stats.PivotReturned = true
+			ans := projectAnswer(cur.Q.Vars(), pv.Assignment, origVars)
+			return &Answer{Vars: origVars, Values: ans, Weight: wp}, stats, nil
+		}
+	}
+	return nil, stats, ErrTooManyIterations
+}
+
+// dedupeDatabase returns a database whose relations are duplicate-free and
+// marked distinct.
+func dedupeDatabase(db *relation.Database) *relation.Database {
+	out := relation.NewDatabase()
+	for _, name := range db.Names() {
+		out.Add(db.Get(name).Deduped())
+	}
+	return out
+}
+
+func maxInt(a int, rest ...int) int {
+	for _, v := range rest {
+		if v > a {
+			a = v
+		}
+	}
+	return a
+}
+
+// projectAnswer maps an assignment laid out per fromVars onto toVars by name.
+func projectAnswer(fromVars []query.Var, vals []relation.Value, toVars []query.Var) []relation.Value {
+	pos := make(map[query.Var]int, len(fromVars))
+	for i, v := range fromVars {
+		pos[v] = i
+	}
+	out := make([]relation.Value, len(toVars))
+	for i, v := range toVars {
+		out[i] = vals[pos[v]]
+	}
+	return out
+}
+
+// materializeSelect resolves a small candidate instance: materialize its
+// answers (Yannakakis), project off helper variables, and select index k by
+// weight with a consistent value tie-break.
+func materializeSelect(inst trim.Instance, f *ranking.Func, origVars []query.Var, k counting.Count) (*Answer, error) {
+	e, err := execOf(inst)
+	if err != nil {
+		return nil, err
+	}
+	fromVars := inst.Q.Vars()
+	var answers [][]relation.Value
+	yannakakis.Enumerate(e, func(asn []relation.Value) bool {
+		answers = append(answers, projectAnswer(fromVars, asn, origVars))
+		return true
+	})
+	if len(answers) == 0 {
+		return nil, ErrNoAnswers
+	}
+	aw := ranking.NewAnswerWeigher(f, origVars)
+	weights := make([]ranking.Weightv, len(answers))
+	for i, a := range answers {
+		weights[i] = aw.WeightOf(a)
+	}
+	// Sort a permutation so weights stay aligned with their answers.
+	perm := make([]int, len(answers))
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.Slice(perm, func(x, y int) bool {
+		i, j := perm[x], perm[y]
+		if c := f.Compare(weights[i], weights[j]); c != 0 {
+			return c < 0
+		}
+		a, b := answers[i], answers[j]
+		for p := range a {
+			if a[p] != b[p] {
+				return a[p] < b[p]
+			}
+		}
+		return false
+	})
+	ki, ok := k.Uint64()
+	if !ok || ki >= uint64(len(answers)) {
+		// Lossy accounting can leave k at the boundary; clamp.
+		ki = uint64(len(answers) - 1)
+	}
+	sel := perm[ki]
+	return &Answer{Vars: origVars, Values: answers[sel], Weight: weights[sel]}, nil
+}

@@ -1,0 +1,478 @@
+// Package jointree turns a join tree of an acyclic query into an executable
+// structure: one materialized relation per tree node (projected onto the
+// atom's distinct variables, with intra-atom equality applied) and, for every
+// parent-child pair, the "join groups" of Section 2.4 — child tuples grouped
+// by the variables shared with the parent.
+//
+// Every message-passing algorithm in the paper (counting, pivot selection,
+// sketch propagation) and the Yannakakis operations (full reduction,
+// enumeration) run over this structure.
+package jointree
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/quantilejoins/qjoin/internal/hypergraph"
+	"github.com/quantilejoins/qjoin/internal/query"
+	"github.com/quantilejoins/qjoin/internal/relation"
+)
+
+// Node is one join-tree node, owning one query atom.
+type Node struct {
+	ID               int
+	Atom             int // index into the query's atom list
+	Vars             []query.Var
+	Parent           int // node id, -1 for the root
+	Children         []int
+	SharedWithParent []query.Var
+}
+
+// Tree is a rooted join tree over the atoms of a query.
+type Tree struct {
+	Nodes    []*Node
+	Root     int
+	BottomUp []int // node ids, every child before its parent
+	TopDown  []int // reverse of BottomUp
+}
+
+// Build constructs a join tree for q via GYO ear removal. It fails if the
+// query is cyclic.
+func Build(q *query.Query) (*Tree, error) {
+	h, _ := hypergraph.FromQuery(q)
+	parent, root, ok := h.JoinTree()
+	if !ok {
+		return nil, fmt.Errorf("jointree: query %s is cyclic", q)
+	}
+	return FromParent(q, parent, root), nil
+}
+
+// BuildAdjacentPair constructs a join tree in which the variables U sit on a
+// single node or two adjacent nodes (Lemma D.1), returning the node ids of
+// the pair (nodeB = -1 if one node suffices).
+func BuildAdjacentPair(q *query.Query, U []query.Var) (t *Tree, nodeA, nodeB int, err error) {
+	h, idx := hypergraph.FromQuery(q)
+	uIdx := make([]int, 0, len(U))
+	for _, v := range U {
+		i, ok := idx[v]
+		if !ok {
+			return nil, -1, -1, fmt.Errorf("jointree: ranked variable %s not in query", v)
+		}
+		uIdx = append(uIdx, i)
+	}
+	parent, root, a, b, err := h.AdjacentPairJoinTree(uIdx)
+	if err != nil {
+		return nil, -1, -1, err
+	}
+	t = FromParent(q, parent, root)
+	// Edge indexes equal atom indexes equal node ids in FromParent.
+	return t, a, b, nil
+}
+
+// FromParent builds a Tree from a parent array over atom indexes.
+func FromParent(q *query.Query, parent []int, root int) *Tree {
+	t := &Tree{Root: root}
+	for i, a := range q.Atoms {
+		t.Nodes = append(t.Nodes, &Node{
+			ID:     i,
+			Atom:   i,
+			Vars:   a.UniqueVars(),
+			Parent: parent[i],
+		})
+	}
+	for i, p := range parent {
+		if p >= 0 {
+			t.Nodes[p].Children = append(t.Nodes[p].Children, i)
+			t.Nodes[i].SharedWithParent = sharedVars(t.Nodes[i].Vars, t.Nodes[p].Vars)
+		}
+	}
+	t.computeOrders()
+	return t
+}
+
+func sharedVars(a, b []query.Var) []query.Var {
+	var out []query.Var
+	for _, v := range a {
+		for _, w := range b {
+			if v == w {
+				out = append(out, v)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func (t *Tree) computeOrders() {
+	t.TopDown = t.TopDown[:0]
+	stack := []int{t.Root}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		t.TopDown = append(t.TopDown, id)
+		stack = append(stack, t.Nodes[id].Children...)
+	}
+	t.BottomUp = make([]int, len(t.TopDown))
+	for i, id := range t.TopDown {
+		t.BottomUp[len(t.TopDown)-1-i] = id
+	}
+}
+
+// Height returns the maximum number of edges on a root-to-leaf path.
+func (t *Tree) Height() int {
+	depth := make([]int, len(t.Nodes))
+	h := 0
+	for _, id := range t.TopDown {
+		n := t.Nodes[id]
+		if n.Parent >= 0 {
+			depth[id] = depth[n.Parent] + 1
+			if depth[id] > h {
+				h = depth[id]
+			}
+		}
+	}
+	return h
+}
+
+// Binarize returns a tree, query and database in which every node has at most
+// two children (the "binary join tree" of Section 6). Nodes with more
+// children are split into a chain of copies; each copy is a fresh atom over
+// the same variables whose relation shares the original's data. The answer
+// sets of the old and new queries are in bijection (the duplicated atom is
+// forced to the same tuple).
+func Binarize(t *Tree, q *query.Query, db *relation.Database) (*Tree, *query.Query, *relation.Database) {
+	needs := false
+	for _, n := range t.Nodes {
+		if len(n.Children) > 2 {
+			needs = true
+			break
+		}
+	}
+	if !needs {
+		return t, q, db
+	}
+	q2 := q.Clone()
+	db2 := relation.NewDatabase()
+	for _, name := range db.Names() {
+		db2.Add(db.Get(name))
+	}
+	// Mutable copy of the parent structure over atom indexes.
+	parent := make([]int, len(t.Nodes))
+	children := make([][]int, len(t.Nodes))
+	for _, n := range t.Nodes {
+		parent[n.ID] = n.Parent
+		children[n.ID] = append([]int(nil), n.Children...)
+	}
+	for id := 0; id < len(children); id++ { // new nodes appended are re-checked
+		for len(children[id]) > 2 {
+			orig := q2.Atoms[id]
+			fresh := query.FreshRelName(db2, orig.Rel)
+			db2.Add(db2.Get(orig.Rel).Rename(fresh))
+			q2.Atoms = append(q2.Atoms, query.Atom{Rel: fresh, Vars: append([]query.Var(nil), orig.Vars...)})
+			newID := len(q2.Atoms) - 1
+			parent = append(parent, id)
+			// Move all but the first child under the copy.
+			moved := children[id][1:]
+			children[id] = []int{children[id][0], newID}
+			children = append(children, moved)
+			for _, c := range moved {
+				parent[c] = newID
+			}
+		}
+	}
+	root := t.Root
+	t2 := FromParent(q2, parent, root)
+	return t2, q2, db2
+}
+
+// Exec is the runnable form of a join tree over a concrete database: the
+// per-node relations and the per-node join-group indexes.
+type Exec struct {
+	Q  *query.Query
+	T  *Tree
+	DB *relation.Database
+
+	Rels   []*relation.Relation // per node, columns follow Node.Vars
+	Groups []*GroupIndex        // per non-root node; nil for the root
+
+	keyPosChild  [][]int // positions of SharedWithParent within child Vars
+	keyPosParent [][]int // positions of SharedWithParent within parent Vars
+}
+
+// GroupIndex groups the tuples of a child node by their shared-variable key.
+type GroupIndex struct {
+	byKey  map[string]int
+	Tuples [][]int // group id -> tuple indexes into the child relation
+}
+
+// NumGroups returns the number of distinct join groups.
+func (g *GroupIndex) NumGroups() int { return len(g.Tuples) }
+
+// NewExec materializes the per-node relations and group indexes.
+// Atom rows violating intra-atom repeated-variable equality are dropped.
+func NewExec(q *query.Query, db *relation.Database, t *Tree) (*Exec, error) {
+	e := &Exec{Q: q, T: t, DB: db}
+	e.Rels = make([]*relation.Relation, len(t.Nodes))
+	e.Groups = make([]*GroupIndex, len(t.Nodes))
+	e.keyPosChild = make([][]int, len(t.Nodes))
+	e.keyPosParent = make([][]int, len(t.Nodes))
+	for _, n := range t.Nodes {
+		atom := q.Atoms[n.Atom]
+		src := db.Get(atom.Rel)
+		if src == nil {
+			return nil, fmt.Errorf("jointree: relation %q missing", atom.Rel)
+		}
+		if src.Arity() != len(atom.Vars) {
+			return nil, fmt.Errorf("jointree: atom %s arity mismatch with relation arity %d", atom, src.Arity())
+		}
+		e.Rels[n.ID] = materializeNode(atom, n.Vars, src)
+		if n.Parent >= 0 {
+			e.keyPosChild[n.ID] = varPositions(n.SharedWithParent, n.Vars)
+			e.keyPosParent[n.ID] = varPositions(n.SharedWithParent, t.Nodes[n.Parent].Vars)
+		}
+	}
+	e.rebuildGroups()
+	return e, nil
+}
+
+func materializeNode(atom query.Atom, vars []query.Var, src *relation.Relation) *relation.Relation {
+	// Column index of the first occurrence of each distinct variable.
+	firstPos := make([]int, len(vars))
+	for i, v := range vars {
+		for j, av := range atom.Vars {
+			if av == v {
+				firstPos[i] = j
+				break
+			}
+		}
+	}
+	// firstOcc[j] is the first column holding the same variable as column j.
+	firstOcc := make([]int, len(atom.Vars))
+	for j, v := range atom.Vars {
+		firstOcc[j] = firstOccurrence(atom.Vars, v)
+	}
+	// Relations are sets (Section 2.1): duplicate rows are dropped so that
+	// counting and direct access see each homomorphism exactly once.
+	// Relations already marked distinct (outputs of the trim constructions
+	// and of this function) skip the hash pass, which otherwise dominates
+	// the driver's per-iteration cost.
+	repeatedVars := false
+	for j := range atom.Vars {
+		if firstOcc[j] != j {
+			repeatedVars = true
+			break
+		}
+	}
+	n := src.Len()
+	out := relation.NewWithCapacity(atom.Rel+"@node", len(vars), n)
+	needDedup := repeatedVars || !src.IsDistinct()
+	buf := make([]relation.Value, len(vars))
+	var seen map[string]struct{}
+	var key []byte
+	if needDedup {
+		seen = make(map[string]struct{}, n)
+	}
+	all := allPositions(len(buf))
+	for i := 0; i < n; i++ {
+		row := src.Row(i)
+		ok := true
+		for j := range atom.Vars {
+			if row[j] != row[firstOcc[j]] {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		for j, p := range firstPos {
+			buf[j] = row[p]
+		}
+		if needDedup {
+			key = encodeKey(key[:0], buf, all)
+			if _, dup := seen[string(key)]; dup {
+				continue
+			}
+			seen[string(key)] = struct{}{}
+		}
+		out.AppendRow(buf)
+	}
+	out.MarkDistinct()
+	return out
+}
+
+func allPositions(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func firstOccurrence(vars []query.Var, v query.Var) int {
+	for i, w := range vars {
+		if w == v {
+			return i
+		}
+	}
+	return -1
+}
+
+func varPositions(vars, within []query.Var) []int {
+	out := make([]int, len(vars))
+	for i, v := range vars {
+		out[i] = firstOccurrence(within, v)
+	}
+	return out
+}
+
+func (e *Exec) rebuildGroups() {
+	for _, n := range e.T.Nodes {
+		if n.Parent < 0 {
+			e.Groups[n.ID] = nil
+			continue
+		}
+		g := &GroupIndex{byKey: make(map[string]int)}
+		rel := e.Rels[n.ID]
+		pos := e.keyPosChild[n.ID]
+		var key []byte
+		for i := 0; i < rel.Len(); i++ {
+			key = encodeKey(key[:0], rel.Row(i), pos)
+			id, ok := g.byKey[string(key)]
+			if !ok {
+				id = len(g.Tuples)
+				g.byKey[string(key)] = id
+				g.Tuples = append(g.Tuples, nil)
+			}
+			g.Tuples[id] = append(g.Tuples[id], i)
+		}
+		e.Groups[n.ID] = g
+	}
+}
+
+func encodeKey(dst []byte, row []relation.Value, pos []int) []byte {
+	for _, p := range pos {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], uint64(row[p]))
+		dst = append(dst, b[:]...)
+	}
+	return dst
+}
+
+// GroupForParentRow returns the join-group id of child that matches the given
+// parent tuple, and whether such a group exists.
+func (e *Exec) GroupForParentRow(child int, parentRow []relation.Value) (int, bool) {
+	key := encodeKey(nil, parentRow, e.keyPosParent[child])
+	id, ok := e.Groups[child].byKey[string(key)]
+	return id, ok
+}
+
+// groupKeyOfParentRow is like GroupForParentRow but reuses a buffer.
+func (e *Exec) groupForParentRowBuf(child int, parentRow []relation.Value, buf []byte) (int, bool, []byte) {
+	buf = encodeKey(buf[:0], parentRow, e.keyPosParent[child])
+	id, ok := e.Groups[child].byKey[string(buf)]
+	return id, ok, buf
+}
+
+// FullReduce removes all dangling tuples with one bottom-up and one top-down
+// semijoin pass (the Yannakakis full reducer) and rebuilds the group indexes.
+// Afterwards every remaining tuple participates in at least one query answer.
+func (e *Exec) FullReduce() {
+	keep := make([][]bool, len(e.T.Nodes))
+	for id, rel := range e.Rels {
+		keep[id] = make([]bool, rel.Len())
+		for i := range keep[id] {
+			keep[id][i] = true
+		}
+	}
+	// Bottom-up: a tuple survives if every child has a matching group with at
+	// least one surviving tuple.
+	liveKeys := make([]map[string]bool, len(e.T.Nodes))
+	for _, id := range e.T.BottomUp {
+		n := e.T.Nodes[id]
+		rel := e.Rels[id]
+		var buf []byte
+		// Record live keys of this node for the parent check.
+		if n.Parent >= 0 {
+			liveKeys[id] = make(map[string]bool)
+		}
+		for i := 0; i < rel.Len(); i++ {
+			if !keep[id][i] {
+				continue
+			}
+			row := rel.Row(i)
+			ok := true
+			for _, c := range n.Children {
+				var gid int
+				var found bool
+				gid, found, buf = e.groupForParentRowBuf(c, row, buf)
+				if !found {
+					ok = false
+					break
+				}
+				anyLive := false
+				for _, ti := range e.Groups[c].Tuples[gid] {
+					if keep[c][ti] {
+						anyLive = true
+						break
+					}
+				}
+				if !anyLive {
+					ok = false
+					break
+				}
+			}
+			keep[id][i] = ok
+			if ok && n.Parent >= 0 {
+				buf = encodeKey(buf[:0], row, e.keyPosChild[id])
+				liveKeys[id][string(buf)] = true
+			}
+		}
+	}
+	// Top-down: a tuple survives if its key is produced by a surviving parent
+	// tuple.
+	parentKeys := make([]map[string]bool, len(e.T.Nodes))
+	for _, id := range e.T.TopDown {
+		n := e.T.Nodes[id]
+		rel := e.Rels[id]
+		var buf []byte
+		if n.Parent >= 0 {
+			pk := parentKeys[id]
+			for i := 0; i < rel.Len(); i++ {
+				if !keep[id][i] {
+					continue
+				}
+				buf = encodeKey(buf[:0], rel.Row(i), e.keyPosChild[id])
+				if !pk[string(buf)] {
+					keep[id][i] = false
+				}
+			}
+		}
+		// Publish this node's surviving keys for each child.
+		for _, c := range n.Children {
+			keys := make(map[string]bool)
+			for i := 0; i < rel.Len(); i++ {
+				if !keep[id][i] {
+					continue
+				}
+				buf = encodeKey(buf[:0], rel.Row(i), e.keyPosParent[c])
+				keys[string(buf)] = true
+			}
+			parentKeys[c] = keys
+		}
+	}
+	// Rebuild relations and groups.
+	for id, rel := range e.Rels {
+		out := relation.New(rel.Name(), rel.Arity())
+		for i := 0; i < rel.Len(); i++ {
+			if keep[id][i] {
+				out.AppendRow(rel.Row(i))
+			}
+		}
+		e.Rels[id] = out
+	}
+	e.rebuildGroups()
+}
+
+// NodeRelation returns the materialized relation of node id.
+func (e *Exec) NodeRelation(id int) *relation.Relation { return e.Rels[id] }

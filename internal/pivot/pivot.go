@@ -1,0 +1,144 @@
+// Package pivot implements Algorithm 2 of the paper: linear-time selection of
+// a c-pivot among the answers of an acyclic join query under any
+// subset-monotone ranking function (Lemma 4.1).
+//
+// The algorithm runs message passing bottom-up over the join tree. Every
+// tuple t computes pivot(t) — a partial query answer for its subtree that is
+// a c'-pivot of those partial answers — represented here by just its weight
+// and subtree count; the full variable assignment is reconstructed top-down
+// at the end. Join groups aggregate tuple pivots with the weighted median
+// (⊕, Lemma 4.5); a tuple aggregates its children's group pivots by union
+// (⊗, Lemma 4.6). Each weighted-median halves the accuracy parameter c and
+// each union multiplies the children's parameters, exactly as Algorithm 2
+// tracks: c(leaf) = 1, c(node) = Π_i c(child_i)/2, with one final halving for
+// the artificial root that gathers all root tuples.
+package pivot
+
+import (
+	"errors"
+
+	"github.com/quantilejoins/qjoin/internal/counting"
+	"github.com/quantilejoins/qjoin/internal/jointree"
+	"github.com/quantilejoins/qjoin/internal/query"
+	"github.com/quantilejoins/qjoin/internal/ranking"
+	"github.com/quantilejoins/qjoin/internal/relation"
+	"github.com/quantilejoins/qjoin/internal/selection"
+	"github.com/quantilejoins/qjoin/internal/yannakakis"
+)
+
+// ErrNoAnswers is returned when the query has no answers to pivot on.
+var ErrNoAnswers = errors.New("pivot: query has no answers")
+
+// Result is a selected pivot answer.
+type Result struct {
+	// Assignment is the pivot answer, laid out per Q.Vars().
+	Assignment []relation.Value
+	// Weight is the pivot's weight under the ranking function.
+	Weight ranking.Weightv
+	// C is the guaranteed pivot accuracy: at least C·|Q(D)| answers are ⪯
+	// the pivot and at least C·|Q(D)| are ⪰ it.
+	C float64
+	// Count is |Q(D)|, a free by-product of the pass.
+	Count counting.Count
+}
+
+// Select runs Algorithm 2 over an executable join tree. mu is the μ
+// attribute-to-atom assignment of the ranking's variables (Section 2.2).
+func Select(e *jointree.Exec, f *ranking.Func, mu map[query.Var]int) (*Result, error) {
+	counts := yannakakis.Count(e)
+	if counts.Total.IsZero() {
+		return nil, ErrNoAnswers
+	}
+
+	nNodes := len(e.T.Nodes)
+	weights := make([][]ranking.Weightv, nNodes) // pivot weight per tuple
+	selTuple := make([][]int, nNodes)            // wmed-selected tuple per group
+	cParam := make([]float64, nNodes)
+
+	for _, id := range e.T.BottomUp {
+		n := e.T.Nodes[id]
+		rel := e.Rels[id]
+		tw := ranking.NewTupleWeigher(f, mu, n.Atom, n.Vars)
+		ws := make([]ranking.Weightv, rel.Len())
+
+		c := 1.0
+		for _, ch := range n.Children {
+			c *= cParam[ch] / 2
+		}
+		cParam[id] = c
+
+		for i := 0; i < rel.Len(); i++ {
+			if counts.Tuple[id][i].IsZero() {
+				continue // dangling tuple; never selected
+			}
+			row := rel.Row(i)
+			w := tw.WeightOf(row)
+			for _, ch := range n.Children {
+				gid, _ := e.GroupForParentRow(ch, row)
+				st := selTuple[ch][gid]
+				w = f.Combine(w, weights[ch][st])
+			}
+			ws[i] = w
+		}
+		weights[id] = ws
+
+		// Close out this node's groups for the parent: weighted median of
+		// the group's live tuple pivots, multiplicities = subtree counts.
+		if n.Parent >= 0 {
+			groups := e.Groups[id]
+			sel := make([]int, groups.NumGroups())
+			for g, tuples := range groups.Tuples {
+				live := make([]int, 0, len(tuples))
+				for _, ti := range tuples {
+					if !counts.Tuple[id][ti].IsZero() {
+						live = append(live, ti)
+					}
+				}
+				if len(live) == 0 {
+					sel[g] = -1
+					continue
+				}
+				sel[g] = selection.WeightedMedian(live,
+					func(a, b int) bool { return f.Compare(ws[a], ws[b]) < 0 },
+					func(i int) counting.Count { return counts.Tuple[id][i] })
+			}
+			selTuple[id] = sel
+		}
+	}
+
+	// Artificial root: weighted median over the live root tuples.
+	root := e.T.Root
+	live := make([]int, 0, e.Rels[root].Len())
+	for i := range counts.Tuple[root] {
+		if !counts.Tuple[root][i].IsZero() {
+			live = append(live, i)
+		}
+	}
+	rootSel := selection.WeightedMedian(live,
+		func(a, b int) bool { return f.Compare(weights[root][a], weights[root][b]) < 0 },
+		func(i int) counting.Count { return counts.Tuple[root][i] })
+
+	// Reconstruct the pivot assignment top-down along the selected tuples.
+	varIdx := e.Q.VarIndex()
+	asn := make([]relation.Value, len(varIdx))
+	var fill func(id, ti int)
+	fill = func(id, ti int) {
+		n := e.T.Nodes[id]
+		row := e.Rels[id].Row(ti)
+		for j, v := range n.Vars {
+			asn[varIdx[v]] = row[j]
+		}
+		for _, ch := range n.Children {
+			gid, _ := e.GroupForParentRow(ch, row)
+			fill(ch, selTuple[ch][gid])
+		}
+	}
+	fill(root, rootSel)
+
+	return &Result{
+		Assignment: asn,
+		Weight:     weights[root][rootSel],
+		C:          cParam[root] / 2,
+		Count:      counts.Total,
+	}, nil
+}

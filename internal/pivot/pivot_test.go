@@ -1,0 +1,240 @@
+package pivot
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/quantilejoins/qjoin/internal/jointree"
+	"github.com/quantilejoins/qjoin/internal/query"
+	"github.com/quantilejoins/qjoin/internal/ranking"
+	"github.com/quantilejoins/qjoin/internal/relation"
+	"github.com/quantilejoins/qjoin/internal/testutil"
+)
+
+func selectPivot(t testing.TB, q *query.Query, db *relation.Database, f *ranking.Func) (*Result, error) {
+	t.Helper()
+	tree, err := jointree.Build(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := jointree.NewExec(q, db, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu, err := f.AssignVars(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Select(e, f, mu)
+}
+
+// Figure 2 of the paper: under full SUM with identity weights, the pivot of
+// the Figure 1 instance computed for the R-tuple (1,1) is
+// (x1:1, x2:1, x3:4, x4:6, x5:8). The overall pivot (artificial root, counts
+// 9 vs 4) selects exactly that partial answer. The figure's join tree roots
+// at R with children S and T and grandchild U, so the test pins that tree
+// (GYO may legally pick a different root, which yields a different but
+// equally valid c-pivot).
+func TestFigure2Pivot(t *testing.T) {
+	q, db := testutil.Fig1Instance()
+	f := ranking.NewSum("x1", "x2", "x3", "x4", "x5")
+	// Atoms: 0=R, 1=S, 2=T, 3=U. Parents: S->R, T->R, U->T.
+	tree := jointree.FromParent(q, []int{-1, 0, 0, 2}, 0)
+	e, err := jointree.NewExec(q, db, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu, err := f.AssignVars(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Select(e, f, mu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[query.Var]relation.Value{"x1": 1, "x2": 1, "x3": 4, "x4": 6, "x5": 8}
+	idx := q.VarIndex()
+	for v, val := range want {
+		if res.Assignment[idx[v]] != val {
+			t.Fatalf("pivot[%s] = %d, want %d (full pivot %v)", v, res.Assignment[idx[v]], val, res.Assignment)
+		}
+	}
+	if res.Weight.K != 1+1+4+6+8 {
+		t.Fatalf("pivot weight = %d", res.Weight.K)
+	}
+	if n, _ := res.Count.Uint64(); n != 13 {
+		t.Fatalf("count = %d", n)
+	}
+	if res.C <= 0 || res.C > 0.5 {
+		t.Fatalf("c = %v out of range", res.C)
+	}
+}
+
+func TestNoAnswers(t *testing.T) {
+	q := query.New(
+		query.Atom{Rel: "A", Vars: []query.Var{"x"}},
+		query.Atom{Rel: "B", Vars: []query.Var{"x"}},
+	)
+	db := relation.NewDatabase()
+	db.Add(relation.FromRows("A", 1, [][]relation.Value{{1}}))
+	db.Add(relation.FromRows("B", 1, [][]relation.Value{{2}}))
+	if _, err := selectPivot(t, q, db, ranking.NewSum("x")); err != ErrNoAnswers {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// checkCPivot verifies Definition 3.1 against brute force.
+func checkCPivot(t *testing.T, q *query.Query, db *relation.Database, f *ranking.Func, res *Result) {
+	t.Helper()
+	answers := testutil.BruteForce(q, db)
+	below, equal := testutil.RankOf(answers, f, q.Vars(), res.Weight)
+	n := len(answers)
+	atMost := below + equal // answers ⪯ pivot under some tie-break
+	atLeast := n - below    // answers ⪰ pivot
+	need := res.C * float64(n)
+	if float64(atMost) < need || float64(atLeast) < need {
+		t.Fatalf("not a %.4f-pivot: n=%d, ⪯=%d, ⪰=%d (weight %v)", res.C, n, atMost, atLeast, res.Weight)
+	}
+	// The pivot must be an actual answer.
+	found := false
+	for _, a := range answers {
+		same := true
+		for i := range a {
+			if a[i] != res.Assignment[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("pivot %v is not a query answer", res.Assignment)
+	}
+	// The reported weight must match the assignment's weight.
+	if f.Compare(f.AnswerWeight(q.Vars(), res.Assignment), res.Weight) != 0 {
+		t.Fatal("reported weight differs from assignment weight")
+	}
+}
+
+func TestPivotIsCPivotRandomSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 60; trial++ {
+		q, db := testutil.RandomTreeInstance(rng, 2+rng.Intn(3), 1+rng.Intn(12), 4)
+		f := ranking.NewSum(q.Vars()...)
+		res, err := selectPivot(t, q, db, f)
+		if err == ErrNoAnswers {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkCPivot(t, q, db, f, res)
+	}
+}
+
+func TestPivotIsCPivotMinMax(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 60; trial++ {
+		q, db := testutil.RandomStarInstance(rng, 2+rng.Intn(3), 1+rng.Intn(10), 5)
+		vars := q.Vars()
+		for _, f := range []*ranking.Func{ranking.NewMin(vars...), ranking.NewMax(vars...)} {
+			res, err := selectPivot(t, q, db, f)
+			if err == ErrNoAnswers {
+				continue
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkCPivot(t, q, db, f, res)
+		}
+	}
+}
+
+func TestPivotIsCPivotLex(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 40; trial++ {
+		q, db := testutil.RandomPathInstance(rng, 2+rng.Intn(2), 1+rng.Intn(10), 3)
+		vars := q.Vars()
+		f := ranking.NewLex(vars[0], vars[len(vars)-1])
+		res, err := selectPivot(t, q, db, f)
+		if err == ErrNoAnswers {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkCPivot(t, q, db, f, res)
+	}
+}
+
+func TestPivotPartialSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	for trial := 0; trial < 40; trial++ {
+		q, db := testutil.RandomPathInstance(rng, 3, 1+rng.Intn(10), 4)
+		f := ranking.NewSum("x1", "x2", "x3") // partial
+		res, err := selectPivot(t, q, db, f)
+		if err == ErrNoAnswers {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkCPivot(t, q, db, f, res)
+	}
+}
+
+// With custom (negative) weights the pivot property must still hold.
+func TestPivotCustomWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	for trial := 0; trial < 30; trial++ {
+		q, db := testutil.RandomPathInstance(rng, 2, 1+rng.Intn(10), 5)
+		f := ranking.NewSum(q.Vars()...)
+		f.Weight = func(v query.Var, x relation.Value) int64 { return -3 * x }
+		res, err := selectPivot(t, q, db, f)
+		if err == ErrNoAnswers {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkCPivot(t, q, db, f, res)
+	}
+}
+
+func TestPivotDanglingTuples(t *testing.T) {
+	// The pivot must never select a dangling tuple's value.
+	q := query.New(
+		query.Atom{Rel: "A", Vars: []query.Var{"x", "y"}},
+		query.Atom{Rel: "B", Vars: []query.Var{"y", "z"}},
+	)
+	db := relation.NewDatabase()
+	db.Add(relation.FromRows("A", 2, [][]relation.Value{{1, 10}, {1000, 99}}))
+	db.Add(relation.FromRows("B", 2, [][]relation.Value{{10, 5}, {10, 6}, {10, 7}}))
+	f := ranking.NewSum("x", "y", "z")
+	res, err := selectPivot(t, q, db, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Assignment[0] != 1 {
+		t.Fatalf("pivot used dangling tuple: %v", res.Assignment)
+	}
+	checkCPivot(t, q, db, f, res)
+}
+
+func BenchmarkPivotPath3(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	q, db := testutil.RandomPathInstance(rng, 3, 1<<14, 1<<10)
+	f := ranking.NewSum(q.Vars()...)
+	tree, _ := jointree.Build(q)
+	mu, _ := f.AssignVars(q)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, _ := jointree.NewExec(q, db, tree)
+		if _, err := Select(e, f, mu); err != nil && err != ErrNoAnswers {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,299 @@
+// Package relation implements the in-memory relational substrate: typed
+// values, relations with flat row-major storage, and databases.
+//
+// The paper's model of computation is the RAM model over finite relations;
+// every algorithm in this repository operates on these structures. Storage is
+// a single flat []Value per relation (row-major), which keeps scans cache
+// friendly and makes cloning, filtering and sorting cheap — the quantile
+// algorithms repeatedly rebuild trimmed copies of their input database.
+package relation
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Value is a database constant. The weight functions of ranking packages map
+// Values to int64 weights; by default the value is its own weight.
+type Value = int64
+
+// Relation is a finite relation with a fixed arity.
+type Relation struct {
+	name  string
+	arity int
+	data  []Value // row-major, len = n*arity
+	// distinct marks relations known to be duplicate-free. Relations are
+	// sets (Section 2.1); the marker lets the execution layer skip
+	// re-deduplication of relations produced by its own constructions.
+	distinct bool
+}
+
+// New returns an empty relation with the given name and arity.
+// Arity 0 is allowed (used for artificial join-tree roots).
+func New(name string, arity int) *Relation {
+	if arity < 0 {
+		panic("relation: negative arity")
+	}
+	return &Relation{name: name, arity: arity}
+}
+
+// NewWithCapacity returns an empty relation preallocated for rows tuples.
+func NewWithCapacity(name string, arity, rows int) *Relation {
+	r := New(name, arity)
+	if rows > 0 && arity > 0 {
+		r.data = make([]Value, 0, rows*arity)
+	}
+	return r
+}
+
+// MarkDistinct records that the relation holds no duplicate rows.
+// The caller is responsible for the claim being true.
+func (r *Relation) MarkDistinct() *Relation { r.distinct = true; return r }
+
+// IsDistinct reports whether the relation is known duplicate-free.
+func (r *Relation) IsDistinct() bool { return r.distinct }
+
+// Deduped returns the relation itself when known distinct, otherwise a
+// duplicate-free copy (marked distinct).
+func (r *Relation) Deduped() *Relation {
+	if r.distinct {
+		return r
+	}
+	out := NewWithCapacity(r.name, r.arity, r.Len())
+	seen := make(map[string]struct{}, r.Len())
+	var key []byte
+	n := r.Len()
+	for i := 0; i < n; i++ {
+		row := r.Row(i)
+		key = key[:0]
+		for _, v := range row {
+			u := uint64(v)
+			key = append(key, byte(u), byte(u>>8), byte(u>>16), byte(u>>24),
+				byte(u>>32), byte(u>>40), byte(u>>48), byte(u>>56))
+		}
+		if _, dup := seen[string(key)]; dup {
+			continue
+		}
+		seen[string(key)] = struct{}{}
+		out.AppendRow(row)
+	}
+	out.distinct = true
+	return out
+}
+
+// FromRows builds a relation from explicit rows. Every row must have the
+// declared arity.
+func FromRows(name string, arity int, rows [][]Value) *Relation {
+	r := New(name, arity)
+	r.data = make([]Value, 0, len(rows)*arity)
+	for _, row := range rows {
+		r.AppendRow(row)
+	}
+	return r
+}
+
+// Name returns the relation name.
+func (r *Relation) Name() string { return r.name }
+
+// Rename returns the same relation data under a different name. The data
+// slice is shared; use Clone first if independent mutation is needed.
+func (r *Relation) Rename(name string) *Relation {
+	return &Relation{name: name, arity: r.arity, data: r.data, distinct: r.distinct}
+}
+
+// Arity returns the number of columns.
+func (r *Relation) Arity() int { return r.arity }
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int {
+	if r.arity == 0 {
+		// A zero-arity relation holds either zero tuples or the single empty
+		// tuple; we represent "one empty tuple" with a 1-element sentinel.
+		return len(r.data)
+	}
+	return len(r.data) / r.arity
+}
+
+// AppendRow appends one tuple. The row slice is copied.
+func (r *Relation) AppendRow(row []Value) {
+	if len(row) != r.arity {
+		panic(fmt.Sprintf("relation %s: row arity %d, want %d", r.name, len(row), r.arity))
+	}
+	if r.arity == 0 {
+		r.data = append(r.data, 0) // sentinel for the empty tuple
+		return
+	}
+	r.data = append(r.data, row...)
+}
+
+// Append appends one tuple given as variadic values.
+func (r *Relation) Append(vals ...Value) { r.AppendRow(vals) }
+
+// Row returns tuple i as a slice view into the backing store. Callers must
+// not retain it across mutations.
+func (r *Relation) Row(i int) []Value {
+	if r.arity == 0 {
+		return nil
+	}
+	return r.data[i*r.arity : (i+1)*r.arity : (i+1)*r.arity]
+}
+
+// Get returns column j of tuple i.
+func (r *Relation) Get(i, j int) Value { return r.data[i*r.arity+j] }
+
+// Set assigns column j of tuple i.
+func (r *Relation) Set(i, j int, v Value) { r.data[i*r.arity+j] = v }
+
+// Clone returns a deep copy.
+func (r *Relation) Clone() *Relation {
+	out := New(r.name, r.arity)
+	out.data = append([]Value(nil), r.data...)
+	out.distinct = r.distinct
+	return out
+}
+
+// Filter returns a new relation containing the tuples for which keep returns
+// true, preserving order. A subset of a distinct relation stays distinct.
+func (r *Relation) Filter(keep func(row []Value) bool) *Relation {
+	out := New(r.name, r.arity)
+	n := r.Len()
+	for i := 0; i < n; i++ {
+		if keep(r.Row(i)) {
+			out.AppendRow(r.Row(i))
+		}
+	}
+	out.distinct = r.distinct
+	return out
+}
+
+// Project returns a new relation of the given name keeping only the listed
+// column indexes, in order.
+func (r *Relation) Project(name string, cols []int) *Relation {
+	out := New(name, len(cols))
+	n := r.Len()
+	row := make([]Value, len(cols))
+	for i := 0; i < n; i++ {
+		src := r.Row(i)
+		for j, c := range cols {
+			row[j] = src[c]
+		}
+		out.AppendRow(row)
+	}
+	return out
+}
+
+// WithColumn returns a new relation with one extra trailing column filled by
+// fill(i, row) for each tuple i.
+func (r *Relation) WithColumn(name string, fill func(i int, row []Value) Value) *Relation {
+	out := New(name, r.arity+1)
+	n := r.Len()
+	buf := make([]Value, r.arity+1)
+	for i := 0; i < n; i++ {
+		copy(buf, r.Row(i))
+		buf[r.arity] = fill(i, r.Row(i))
+		out.AppendRow(buf)
+	}
+	out.distinct = r.distinct
+	return out
+}
+
+// SortBy sorts tuples in place by the given less function over rows.
+func (r *Relation) SortBy(less func(a, b []Value) bool) {
+	if r.arity == 0 {
+		return
+	}
+	sort.Sort(&rowSorter{rel: r, less: less, tmp: make([]Value, r.arity)})
+}
+
+type rowSorter struct {
+	rel  *Relation
+	less func(a, b []Value) bool
+	tmp  []Value
+}
+
+func (s *rowSorter) Len() int           { return s.rel.Len() }
+func (s *rowSorter) Less(i, j int) bool { return s.less(s.rel.Row(i), s.rel.Row(j)) }
+func (s *rowSorter) Swap(i, j int) {
+	a, b := s.rel.Row(i), s.rel.Row(j)
+	copy(s.tmp, a)
+	copy(a, b)
+	copy(b, s.tmp)
+}
+
+// Equal reports whether two relations have identical name, arity and tuple
+// sequence.
+func (r *Relation) Equal(o *Relation) bool {
+	if r.name != o.name || r.arity != o.arity || len(r.data) != len(o.data) {
+		return false
+	}
+	for i, v := range r.data {
+		if o.data[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders a compact debug form.
+func (r *Relation) String() string {
+	return fmt.Sprintf("%s/%d[%d tuples]", r.name, r.arity, r.Len())
+}
+
+// Database is a named collection of relations with stable iteration order.
+type Database struct {
+	rels  map[string]*Relation
+	order []string
+}
+
+// NewDatabase returns an empty database.
+func NewDatabase() *Database {
+	return &Database{rels: make(map[string]*Relation)}
+}
+
+// Add inserts or replaces a relation under its name.
+func (db *Database) Add(r *Relation) {
+	if _, ok := db.rels[r.Name()]; !ok {
+		db.order = append(db.order, r.Name())
+	}
+	db.rels[r.Name()] = r
+}
+
+// Get returns the relation with the given name, or nil.
+func (db *Database) Get(name string) *Relation { return db.rels[name] }
+
+// Has reports whether a relation with the given name exists.
+func (db *Database) Has(name string) bool { _, ok := db.rels[name]; return ok }
+
+// Names returns relation names in insertion order.
+func (db *Database) Names() []string { return append([]string(nil), db.order...) }
+
+// Size returns the total number of tuples across all relations — the paper's
+// n = |D|.
+func (db *Database) Size() int {
+	n := 0
+	for _, name := range db.order {
+		n += db.rels[name].Len()
+	}
+	return n
+}
+
+// Clone returns a deep copy of the database.
+func (db *Database) Clone() *Database {
+	out := NewDatabase()
+	for _, name := range db.order {
+		out.Add(db.rels[name].Clone())
+	}
+	return out
+}
+
+// String renders a compact debug form.
+func (db *Database) String() string {
+	s := "db{"
+	for i, name := range db.order {
+		if i > 0 {
+			s += ", "
+		}
+		s += db.rels[name].String()
+	}
+	return s + "}"
+}

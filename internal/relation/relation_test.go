@@ -1,0 +1,231 @@
+package relation
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestAppendRowGet(t *testing.T) {
+	r := New("R", 2)
+	r.Append(1, 2)
+	r.Append(3, 4)
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	if r.Get(0, 0) != 1 || r.Get(0, 1) != 2 || r.Get(1, 0) != 3 || r.Get(1, 1) != 4 {
+		t.Fatal("values wrong")
+	}
+	row := r.Row(1)
+	if len(row) != 2 || row[0] != 3 {
+		t.Fatal("row view wrong")
+	}
+}
+
+func TestAppendWrongArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New("R", 2).Append(1)
+}
+
+func TestZeroArity(t *testing.T) {
+	r := New("Root", 0)
+	if r.Len() != 0 {
+		t.Fatal("empty zero-arity relation should have 0 tuples")
+	}
+	r.AppendRow(nil)
+	if r.Len() != 1 {
+		t.Fatal("zero-arity relation with the empty tuple should have 1 tuple")
+	}
+	if got := r.Row(0); got != nil {
+		t.Fatal("zero-arity row must be nil")
+	}
+}
+
+func TestFromRowsAndEqual(t *testing.T) {
+	a := FromRows("R", 2, [][]Value{{1, 2}, {3, 4}})
+	b := New("R", 2)
+	b.Append(1, 2)
+	b.Append(3, 4)
+	if !a.Equal(b) {
+		t.Fatal("equal relations reported unequal")
+	}
+	b.Set(1, 1, 99)
+	if a.Equal(b) {
+		t.Fatal("unequal relations reported equal")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := FromRows("R", 1, [][]Value{{1}, {2}})
+	b := a.Clone()
+	b.Set(0, 0, 42)
+	if a.Get(0, 0) != 1 {
+		t.Fatal("clone shares storage")
+	}
+}
+
+func TestRenameSharesData(t *testing.T) {
+	a := FromRows("R", 1, [][]Value{{7}})
+	b := a.Rename("S")
+	if b.Name() != "S" || b.Get(0, 0) != 7 {
+		t.Fatal("rename wrong")
+	}
+}
+
+func TestFilter(t *testing.T) {
+	a := FromRows("R", 1, [][]Value{{1}, {2}, {3}, {4}})
+	ev := a.Filter(func(row []Value) bool { return row[0]%2 == 0 })
+	if ev.Len() != 2 || ev.Get(0, 0) != 2 || ev.Get(1, 0) != 4 {
+		t.Fatalf("filter = %v", ev)
+	}
+}
+
+func TestProject(t *testing.T) {
+	a := FromRows("R", 3, [][]Value{{1, 2, 3}, {4, 5, 6}})
+	p := a.Project("P", []int{2, 0})
+	if p.Arity() != 2 || p.Get(0, 0) != 3 || p.Get(0, 1) != 1 || p.Get(1, 0) != 6 {
+		t.Fatal("projection wrong")
+	}
+}
+
+func TestWithColumn(t *testing.T) {
+	a := FromRows("R", 1, [][]Value{{10}, {20}})
+	b := a.WithColumn("R2", func(i int, row []Value) Value { return row[0] + Value(i) })
+	if b.Arity() != 2 || b.Get(0, 1) != 10 || b.Get(1, 1) != 21 {
+		t.Fatal("WithColumn wrong")
+	}
+}
+
+func TestSortBy(t *testing.T) {
+	a := FromRows("R", 2, [][]Value{{3, 1}, {1, 2}, {2, 3}})
+	a.SortBy(func(x, y []Value) bool { return x[0] < y[0] })
+	if a.Get(0, 0) != 1 || a.Get(1, 0) != 2 || a.Get(2, 0) != 3 {
+		t.Fatal("sort wrong")
+	}
+	// Payload columns must travel with their rows.
+	if a.Get(0, 1) != 2 || a.Get(2, 1) != 1 {
+		t.Fatal("payload detached during sort")
+	}
+}
+
+// Property: SortBy agrees with sort.Slice on materialized rows.
+func TestQuickSortMatchesStd(t *testing.T) {
+	f := func(vals []int16) bool {
+		r := New("R", 1)
+		want := make([]int64, len(vals))
+		for i, v := range vals {
+			r.Append(Value(v))
+			want[i] = int64(v)
+		}
+		r.SortBy(func(a, b []Value) bool { return a[0] < b[0] })
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range want {
+			if r.Get(i, 0) != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDatabase(t *testing.T) {
+	db := NewDatabase()
+	db.Add(FromRows("R", 1, [][]Value{{1}, {2}}))
+	db.Add(FromRows("S", 2, [][]Value{{1, 2}}))
+	if db.Size() != 3 {
+		t.Fatalf("Size = %d", db.Size())
+	}
+	if !db.Has("R") || db.Has("T") {
+		t.Fatal("Has wrong")
+	}
+	if got := db.Names(); len(got) != 2 || got[0] != "R" || got[1] != "S" {
+		t.Fatalf("Names = %v", got)
+	}
+	// Replacing keeps order stable.
+	db.Add(FromRows("R", 1, [][]Value{{9}}))
+	if got := db.Names(); got[0] != "R" || db.Get("R").Get(0, 0) != 9 {
+		t.Fatal("replace broke order or content")
+	}
+	c := db.Clone()
+	c.Get("R").Set(0, 0, 100)
+	if db.Get("R").Get(0, 0) != 9 {
+		t.Fatal("database clone shares storage")
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	db := NewDatabase()
+	db.Add(FromRows("R", 1, [][]Value{{1}}))
+	if db.String() == "" || db.Get("R").String() == "" {
+		t.Fatal("debug strings empty")
+	}
+}
+
+func TestDeduped(t *testing.T) {
+	a := FromRows("R", 2, [][]Value{{1, 2}, {1, 2}, {3, 4}, {1, 2}})
+	d := a.Deduped()
+	if d.Len() != 2 || !d.IsDistinct() {
+		t.Fatalf("deduped: len=%d distinct=%v", d.Len(), d.IsDistinct())
+	}
+	if d.Get(0, 0) != 1 || d.Get(1, 0) != 3 {
+		t.Fatal("dedup changed order of first occurrences")
+	}
+	// Already-distinct relations are returned as-is.
+	if d.Deduped() != d {
+		t.Fatal("distinct relation must not be copied")
+	}
+}
+
+func TestDistinctPropagation(t *testing.T) {
+	a := FromRows("R", 2, [][]Value{{1, 2}, {3, 4}}).MarkDistinct()
+	if !a.Clone().IsDistinct() {
+		t.Fatal("Clone dropped distinct")
+	}
+	if !a.Rename("S").IsDistinct() {
+		t.Fatal("Rename dropped distinct")
+	}
+	if !a.Filter(func(r []Value) bool { return r[0] == 1 }).IsDistinct() {
+		t.Fatal("Filter dropped distinct")
+	}
+	if !a.WithColumn("T", func(i int, r []Value) Value { return 9 }).IsDistinct() {
+		t.Fatal("WithColumn dropped distinct")
+	}
+	// Fresh relations are not distinct by default.
+	if New("X", 1).IsDistinct() {
+		t.Fatal("fresh relation marked distinct")
+	}
+}
+
+func TestNewWithCapacity(t *testing.T) {
+	r := NewWithCapacity("R", 3, 100)
+	if r.Len() != 0 {
+		t.Fatal("capacity must not add rows")
+	}
+	r.Append(1, 2, 3)
+	if r.Len() != 1 || r.Get(0, 2) != 3 {
+		t.Fatal("append after prealloc broken")
+	}
+}
+
+func BenchmarkAppendScan(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < b.N; i++ {
+		r := New("R", 3)
+		for j := 0; j < 1000; j++ {
+			r.Append(rng.Int63n(100), rng.Int63n(100), rng.Int63n(100))
+		}
+		var sum Value
+		for j := 0; j < r.Len(); j++ {
+			sum += r.Get(j, 0)
+		}
+		_ = sum
+	}
+}

@@ -1,0 +1,235 @@
+package selection
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"github.com/quantilejoins/qjoin/internal/counting"
+)
+
+func lessOf(vals []int) func(a, b int) bool {
+	return func(a, b int) bool { return vals[a] < vals[b] }
+}
+
+func TestNthSimple(t *testing.T) {
+	vals := []int{5, 1, 4, 2, 3}
+	for k := 0; k < 5; k++ {
+		got := Nth(NewIndex(5), k, lessOf(vals))
+		if vals[got] != k+1 {
+			t.Fatalf("Nth(%d) -> item %d", k, vals[got])
+		}
+	}
+}
+
+func TestNthDuplicates(t *testing.T) {
+	vals := []int{2, 2, 2, 1, 3}
+	if got := Nth(NewIndex(5), 2, lessOf(vals)); vals[got] != 2 {
+		t.Fatalf("median of %v = %d", vals, vals[got])
+	}
+	if got := Nth(NewIndex(5), 0, lessOf(vals)); vals[got] != 1 {
+		t.Fatal("min wrong")
+	}
+	if got := Nth(NewIndex(5), 4, lessOf(vals)); vals[got] != 3 {
+		t.Fatal("max wrong")
+	}
+}
+
+func TestNthOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Nth(NewIndex(3), 3, func(a, b int) bool { return a < b })
+}
+
+// Property: Nth agrees with sorting for every k on random inputs.
+func TestQuickNthMatchesSort(t *testing.T) {
+	f := func(raw []uint8, kRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vals := make([]int, len(raw))
+		for i, v := range raw {
+			vals[i] = int(v % 16) // force duplicates
+		}
+		k := int(kRaw) % len(vals)
+		got := vals[Nth(NewIndex(len(vals)), k, lessOf(vals))]
+		sorted := append([]int(nil), vals...)
+		sort.Ints(sorted)
+		return got == sorted[k]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightedSelectBasic(t *testing.T) {
+	// Items 10,20,30 with multiplicities 1,3,1 -> expanded: 10,20,20,20,30
+	vals := []int{10, 20, 30}
+	mults := []uint64{1, 3, 1}
+	mult := func(i int) counting.Count { return counting.FromUint64(mults[i]) }
+	want := []int{10, 20, 20, 20, 30}
+	for pos, expect := range want {
+		got := WeightedSelect(NewIndex(3), counting.FromInt(pos), lessOf(vals), mult)
+		if vals[got] != expect {
+			t.Fatalf("WeightedSelect(%d) = %d, want %d", pos, vals[got], expect)
+		}
+	}
+}
+
+func TestWeightedMedianDefinition(t *testing.T) {
+	// |B| = 5 -> lower-median position floor((5-1)/2) = 2 -> value 20.
+	vals := []int{10, 20, 30}
+	mults := []uint64{1, 3, 1}
+	mult := func(i int) counting.Count { return counting.FromUint64(mults[i]) }
+	got := WeightedMedian(NewIndex(3), lessOf(vals), mult)
+	if vals[got] != 20 {
+		t.Fatalf("weighted median = %d", vals[got])
+	}
+}
+
+func TestWeightedMedianLowerConvention(t *testing.T) {
+	// Figure 2's U-group: {8×1, 9×1} -> lower median is 8.
+	vals := []int{8, 9}
+	mult := func(i int) counting.Count { return counting.One }
+	got := WeightedMedian(NewIndex(2), lessOf(vals), mult)
+	if vals[got] != 8 {
+		t.Fatalf("lower weighted median of {8,9} = %d, want 8", vals[got])
+	}
+}
+
+func TestWeightedMedianHeavySingleton(t *testing.T) {
+	// One item dominates the multiset.
+	vals := []int{1, 100, 2, 3}
+	mults := []uint64{1, 1000, 1, 1}
+	mult := func(i int) counting.Count { return counting.FromUint64(mults[i]) }
+	got := WeightedMedian(NewIndex(4), lessOf(vals), mult)
+	if vals[got] != 100 {
+		t.Fatalf("weighted median = %d", vals[got])
+	}
+}
+
+func TestWeightedMedianEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	WeightedMedian(nil, func(a, b int) bool { return false }, func(int) counting.Count { return counting.One })
+}
+
+// Reference implementation: expand the multiset and index it.
+func refWeightedSelect(vals []int, mults []uint64, pos int) int {
+	type pair struct {
+		v int
+		m uint64
+	}
+	ps := make([]pair, len(vals))
+	for i := range vals {
+		ps[i] = pair{vals[i], mults[i]}
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].v < ps[j].v })
+	cum := uint64(0)
+	for _, p := range ps {
+		cum += p.m
+		if uint64(pos) < cum {
+			return p.v
+		}
+	}
+	panic("pos out of range")
+}
+
+// Property: WeightedSelect agrees with the expanded-multiset reference.
+func TestQuickWeightedSelect(t *testing.T) {
+	f := func(raw []uint8, posRaw uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vals := make([]int, len(raw))
+		mults := make([]uint64, len(raw))
+		var total uint64
+		for i, v := range raw {
+			vals[i] = int(v % 8)
+			mults[i] = uint64(v%5) + 1
+			total += mults[i]
+		}
+		pos := int(uint64(posRaw) % total)
+		mult := func(i int) counting.Count { return counting.FromUint64(mults[i]) }
+		got := vals[WeightedSelect(NewIndex(len(vals)), counting.FromInt(pos), lessOf(vals), mult)]
+		return got == refWeightedSelect(vals, mults, pos)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightedSelectHugeMultiplicities(t *testing.T) {
+	// Multiplicities beyond uint64 still select correctly.
+	vals := []int{1, 2, 3}
+	big := counting.FromUint64(1 << 62).Mul(counting.FromUint64(1 << 10)) // 2^72
+	mult := func(i int) counting.Count { return big }
+	// Position in the middle third must return 2.
+	target := big.Add(big.Half())
+	got := WeightedSelect(NewIndex(3), target, lessOf(vals), mult)
+	if vals[got] != 2 {
+		t.Fatalf("got %d", vals[got])
+	}
+}
+
+func TestNthLarge(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	n := 100000
+	vals := make([]int, n)
+	for i := range vals {
+		vals[i] = rng.Intn(1000)
+	}
+	sorted := append([]int(nil), vals...)
+	sort.Ints(sorted)
+	for _, k := range []int{0, 1, n / 4, n / 2, n - 2, n - 1} {
+		got := vals[Nth(NewIndex(n), k, lessOf(vals))]
+		if got != sorted[k] {
+			t.Fatalf("k=%d got %d want %d", k, got, sorted[k])
+		}
+	}
+}
+
+func BenchmarkNthMedian(b *testing.B) {
+	rng := rand.New(rand.NewSource(42))
+	n := 1 << 16
+	vals := make([]int, n)
+	for i := range vals {
+		vals[i] = rng.Int()
+	}
+	idx := NewIndex(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(idx, idx[:0:0]) // no-op to keep idx allocated
+		for j := range idx {
+			idx[j] = j
+		}
+		Nth(idx, n/2, lessOf(vals))
+	}
+}
+
+func BenchmarkWeightedMedian(b *testing.B) {
+	rng := rand.New(rand.NewSource(42))
+	n := 1 << 16
+	vals := make([]int, n)
+	mults := make([]counting.Count, n)
+	for i := range vals {
+		vals[i] = rng.Int()
+		mults[i] = counting.FromUint64(uint64(rng.Intn(1000) + 1))
+	}
+	mult := func(i int) counting.Count { return mults[i] }
+	idx := NewIndex(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range idx {
+			idx[j] = j
+		}
+		WeightedMedian(idx, lessOf(vals), mult)
+	}
+}

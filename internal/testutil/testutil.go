@@ -1,0 +1,254 @@
+// Package testutil provides brute-force oracles and random-instance
+// generators shared by the test suites of the engine packages.
+//
+// The oracles deliberately use the naive semantics of Section 2.1 — try every
+// combination of tuples, keep consistent homomorphisms — so they are
+// independent of the join-tree machinery they validate.
+package testutil
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/quantilejoins/qjoin/internal/query"
+	"github.com/quantilejoins/qjoin/internal/ranking"
+	"github.com/quantilejoins/qjoin/internal/relation"
+)
+
+// BruteForce enumerates Q(D) by backtracking over atoms. Answers are laid out
+// per q.Vars(). Relations are treated as sets (duplicate rows ignored),
+// matching the engine's semantics. Intended for small test instances only.
+func BruteForce(q *query.Query, db *relation.Database) [][]relation.Value {
+	db = dedupe(db)
+	vars := q.Vars()
+	varIdx := q.VarIndex()
+	asn := make([]relation.Value, len(vars))
+	bound := make([]bool, len(vars))
+	var out [][]relation.Value
+
+	var rec func(ai int)
+	rec = func(ai int) {
+		if ai == len(q.Atoms) {
+			out = append(out, append([]relation.Value(nil), asn...))
+			return
+		}
+		atom := q.Atoms[ai]
+		rel := db.Get(atom.Rel)
+		for ti := 0; ti < rel.Len(); ti++ {
+			row := rel.Row(ti)
+			ok := true
+			var newly []int
+			for j, v := range atom.Vars {
+				p := varIdx[v]
+				if bound[p] {
+					if asn[p] != row[j] {
+						ok = false
+						break
+					}
+				} else {
+					bound[p] = true
+					asn[p] = row[j]
+					newly = append(newly, p)
+				}
+			}
+			if ok {
+				// Re-check intra-atom equality for repeated vars bound in
+				// this very step (first binding wins; later positions must
+				// agree, which the bound check above enforces because the
+				// first occurrence binds before later ones are compared).
+				rec(ai + 1)
+			}
+			for _, p := range newly {
+				bound[p] = false
+			}
+		}
+	}
+	rec(0)
+	return out
+}
+
+// dedupe returns a database in which every relation is duplicate-free.
+func dedupe(db *relation.Database) *relation.Database {
+	out := relation.NewDatabase()
+	for _, name := range db.Names() {
+		src := db.Get(name)
+		seen := make(map[string]bool, src.Len())
+		fresh := relation.New(name, src.Arity())
+		for i := 0; i < src.Len(); i++ {
+			key := fmt.Sprint(src.Row(i))
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			fresh.AppendRow(src.Row(i))
+		}
+		out.Add(fresh)
+	}
+	return out
+}
+
+// SortAnswers orders answers lexicographically by value, for set comparison.
+func SortAnswers(answers [][]relation.Value) {
+	sort.Slice(answers, func(i, j int) bool {
+		a, b := answers[i], answers[j]
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+}
+
+// SameAnswerSet reports whether two answer multisets are equal.
+func SameAnswerSet(a, b [][]relation.Value) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	a = append([][]relation.Value(nil), a...)
+	b = append([][]relation.Value(nil), b...)
+	SortAnswers(a)
+	SortAnswers(b)
+	for i := range a {
+		for k := range a[i] {
+			if a[i][k] != b[i][k] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// SortByWeight orders answers by a ranking function, breaking ties by value
+// (a valid consistent tie-break per Section 2.2).
+func SortByWeight(answers [][]relation.Value, f *ranking.Func, vars []query.Var) {
+	aw := ranking.NewAnswerWeigher(f, vars)
+	sort.Slice(answers, func(i, j int) bool {
+		c := f.Compare(aw.WeightOf(answers[i]), aw.WeightOf(answers[j]))
+		if c != 0 {
+			return c < 0
+		}
+		a, b := answers[i], answers[j]
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+}
+
+// RankOf returns how many answers have weight strictly below w and how many
+// have weight equal to w.
+func RankOf(answers [][]relation.Value, f *ranking.Func, vars []query.Var, w ranking.Weightv) (below, equal int) {
+	aw := ranking.NewAnswerWeigher(f, vars)
+	for _, a := range answers {
+		switch f.Compare(aw.WeightOf(a), w) {
+		case -1:
+			below++
+		case 0:
+			equal++
+		}
+	}
+	return below, equal
+}
+
+// Fig1Instance returns the query and database of the paper's Figure 1.
+func Fig1Instance() (*query.Query, *relation.Database) {
+	q := query.New(
+		query.Atom{Rel: "R", Vars: []query.Var{"x1", "x2"}},
+		query.Atom{Rel: "S", Vars: []query.Var{"x1", "x3"}},
+		query.Atom{Rel: "T", Vars: []query.Var{"x2", "x4"}},
+		query.Atom{Rel: "U", Vars: []query.Var{"x4", "x5"}},
+	)
+	db := relation.NewDatabase()
+	db.Add(relation.FromRows("R", 2, [][]relation.Value{{1, 1}, {2, 2}}))
+	db.Add(relation.FromRows("S", 2, [][]relation.Value{{1, 3}, {1, 4}, {1, 5}, {2, 3}, {2, 4}}))
+	db.Add(relation.FromRows("T", 2, [][]relation.Value{{1, 6}, {1, 7}, {2, 6}}))
+	db.Add(relation.FromRows("U", 2, [][]relation.Value{{6, 8}, {6, 9}, {7, 9}}))
+	return q, db
+}
+
+// PathQuery returns the k-atom path query R1(x1,x2), ..., Rk(xk,xk+1).
+func PathQuery(k int) *query.Query {
+	var atoms []query.Atom
+	for i := 1; i <= k; i++ {
+		atoms = append(atoms, query.Atom{
+			Rel:  fmt.Sprintf("R%d", i),
+			Vars: []query.Var{query.Var(fmt.Sprintf("x%d", i)), query.Var(fmt.Sprintf("x%d", i+1))},
+		})
+	}
+	return query.New(atoms...)
+}
+
+// RandomPathInstance fills a k-atom path query with n tuples per relation and
+// values drawn from [0, dom).
+func RandomPathInstance(rng *rand.Rand, k, n int, dom int64) (*query.Query, *relation.Database) {
+	q := PathQuery(k)
+	db := relation.NewDatabase()
+	for _, a := range q.Atoms {
+		rel := relation.New(a.Rel, 2)
+		for i := 0; i < n; i++ {
+			rel.Append(rng.Int63n(dom), rng.Int63n(dom))
+		}
+		db.Add(rel)
+	}
+	return q, db
+}
+
+// StarQuery returns a k-leaf star: A1(e,y1), ..., Ak(e,yk).
+func StarQuery(k int) *query.Query {
+	var atoms []query.Atom
+	for i := 1; i <= k; i++ {
+		atoms = append(atoms, query.Atom{
+			Rel:  fmt.Sprintf("A%d", i),
+			Vars: []query.Var{"e", query.Var(fmt.Sprintf("y%d", i))},
+		})
+	}
+	return query.New(atoms...)
+}
+
+// RandomStarInstance fills a k-leaf star with n tuples per relation.
+func RandomStarInstance(rng *rand.Rand, k, n int, dom int64) (*query.Query, *relation.Database) {
+	q := StarQuery(k)
+	db := relation.NewDatabase()
+	for _, a := range q.Atoms {
+		rel := relation.New(a.Rel, 2)
+		for i := 0; i < n; i++ {
+			rel.Append(rng.Int63n(dom), rng.Int63n(dom))
+		}
+		db.Add(rel)
+	}
+	return q, db
+}
+
+// RandomTreeInstance generates a random acyclic query whose join tree is a
+// random tree over nAtoms atoms: atom i > 0 attaches to a random earlier atom
+// j and shares one variable with it, plus gets one private variable.
+func RandomTreeInstance(rng *rand.Rand, nAtoms, n int, dom int64) (*query.Query, *relation.Database) {
+	var atoms []query.Atom
+	atoms = append(atoms, query.Atom{Rel: "T0", Vars: []query.Var{"v0", "v1"}})
+	nextVar := 2
+	for i := 1; i < nAtoms; i++ {
+		parent := rng.Intn(i)
+		shared := atoms[parent].Vars[rng.Intn(2)]
+		fresh := query.Var(fmt.Sprintf("v%d", nextVar))
+		nextVar++
+		atoms = append(atoms, query.Atom{Rel: fmt.Sprintf("T%d", i), Vars: []query.Var{shared, fresh}})
+	}
+	q := query.New(atoms...)
+	db := relation.NewDatabase()
+	for _, a := range q.Atoms {
+		rel := relation.New(a.Rel, len(a.Vars))
+		for i := 0; i < n; i++ {
+			row := make([]relation.Value, len(a.Vars))
+			for j := range row {
+				row[j] = rng.Int63n(dom)
+			}
+			rel.AppendRow(row)
+		}
+		db.Add(rel)
+	}
+	return q, db
+}

@@ -1,0 +1,41 @@
+package trim
+
+import (
+	"fmt"
+
+	"github.com/quantilejoins/qjoin/internal/ranking"
+)
+
+// Lex trims a lexicographic inequality (w'_{x1}(x1), ..., w'_{xr}(xr)) ≺ λ
+// or ≻ λ per Lemma 5.4, in linear time. λ is a weight vector in significance
+// order (f.Vars order).
+//
+// Partition i fixes the weights of the first i-1 variables to λ's prefix and
+// makes variable i strictly smaller (Less) or larger (Greater); the
+// partitions are disjoint and cover exactly the satisfying answers. The
+// partition-identifier mechanics are shared with MIN/MAX (Algorithm 3).
+func Lex(inst Instance, f *ranking.Func, lambda []int64, dir Dir) (Instance, error) {
+	if f.Agg != ranking.Lex {
+		return Instance{}, fmt.Errorf("trim: Lex requires a LEX ranking, got %s", f.Agg)
+	}
+	if len(lambda) != len(f.Vars) {
+		return Instance{}, fmt.Errorf("trim: λ has %d components, ranking has %d variables",
+			len(lambda), len(f.Vars))
+	}
+	partitions := make([][]varCond, len(f.Vars))
+	for i, xi := range f.Vars {
+		var conds []varCond
+		for j, xj := range f.Vars[:i] {
+			lj := lambda[j]
+			conds = append(conds, varCond{v: xj, pred: func(w int64) bool { return w == lj }})
+		}
+		li := lambda[i]
+		if dir == Less {
+			conds = append(conds, varCond{v: xi, pred: func(w int64) bool { return w < li }})
+		} else {
+			conds = append(conds, varCond{v: xi, pred: func(w int64) bool { return w > li }})
+		}
+		partitions[i] = conds
+	}
+	return applyPartitions(inst, f, partitions)
+}

@@ -1,0 +1,52 @@
+package trim
+
+import (
+	"fmt"
+
+	"github.com/quantilejoins/qjoin/internal/query"
+	"github.com/quantilejoins/qjoin/internal/ranking"
+)
+
+// MinMax trims the inequality agg(U_w) ≺ λ (dir = Less) or agg(U_w) ≻ λ
+// (dir = Greater) for agg ∈ {MIN, MAX} per Lemma 5.2, in linear time,
+// returning an acyclic instance whose answers are in O(1) bijection (drop the
+// helper variable) with the satisfying answers of the input.
+//
+// Two of the four cases are pure filters; the other two use the disjoint
+// partitions of Example 5.1 / Algorithm 3:
+//
+//	MAX < λ: every ranked variable's weight < λ        (filter)
+//	MIN > λ: every ranked variable's weight > λ        (filter)
+//	MAX > λ: partition i forces w(x_1..x_{i-1}) ≤ λ, w(x_i) > λ
+//	MIN < λ: partition i forces w(x_1..x_{i-1}) ≥ λ, w(x_i) < λ
+func MinMax(inst Instance, f *ranking.Func, lambda int64, dir Dir) (Instance, error) {
+	switch {
+	case f.Agg == ranking.Max && dir == Less:
+		return filterByVarPred(inst, f, func(v query.Var, w int64) bool { return w < lambda })
+	case f.Agg == ranking.Min && dir == Greater:
+		return filterByVarPred(inst, f, func(v query.Var, w int64) bool { return w > lambda })
+	case f.Agg == ranking.Max && dir == Greater:
+		partitions := make([][]varCond, len(f.Vars))
+		for i, xi := range f.Vars {
+			var conds []varCond
+			for _, xj := range f.Vars[:i] {
+				conds = append(conds, varCond{v: xj, pred: func(w int64) bool { return w <= lambda }})
+			}
+			conds = append(conds, varCond{v: xi, pred: func(w int64) bool { return w > lambda }})
+			partitions[i] = conds
+		}
+		return applyPartitions(inst, f, partitions)
+	case f.Agg == ranking.Min && dir == Less:
+		partitions := make([][]varCond, len(f.Vars))
+		for i, xi := range f.Vars {
+			var conds []varCond
+			for _, xj := range f.Vars[:i] {
+				conds = append(conds, varCond{v: xj, pred: func(w int64) bool { return w >= lambda }})
+			}
+			conds = append(conds, varCond{v: xi, pred: func(w int64) bool { return w < lambda }})
+			partitions[i] = conds
+		}
+		return applyPartitions(inst, f, partitions)
+	}
+	return Instance{}, fmt.Errorf("trim: MinMax does not handle aggregate %s", f.Agg)
+}

@@ -1,0 +1,306 @@
+package trim
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/quantilejoins/qjoin/internal/jointree"
+	"github.com/quantilejoins/qjoin/internal/query"
+	"github.com/quantilejoins/qjoin/internal/ranking"
+	"github.com/quantilejoins/qjoin/internal/relation"
+)
+
+// SumAdjacent trims Σ_{x∈U_w} w_x(x) ≺ λ (or ≻ λ) when the ranked variables
+// sit on one join-tree node or two adjacent nodes (Lemma 5.5, after
+// Tziavelis et al. [22]). It runs in O(n log n), produces an instance of size
+// O(n log n), and the answers of the output are in bijection (drop the helper
+// variable) with the satisfying answers of the input. The output stays in the
+// class: the two weight-bearing atoms remain adjacent (they now additionally
+// share the helper variable), so the trim composes with itself.
+//
+// Construction, per join group of the adjacent pair (A, B): sort the B-side
+// rows by their partial sum. For an A-row with partial sum s, the admissible
+// B-rows form the prefix holding sums < λ - s (a "staircase"). Each prefix is
+// decomposed into O(log n) canonical dyadic segments of an implicit segment
+// tree over the sorted order; a fresh variable shared by A and B carries the
+// segment identity, so each admissible pair joins on exactly one segment and
+// no inadmissible pair joins at all.
+func SumAdjacent(inst Instance, f *ranking.Func, lambda int64, dir Dir) (Instance, error) {
+	if f.Agg != ranking.Sum {
+		return Instance{}, fmt.Errorf("trim: SumAdjacent requires SUM, got %s", f.Agg)
+	}
+	if err := requireSelfJoinFree(inst.Q); err != nil {
+		return Instance{}, err
+	}
+	tree, nodeA, nodeB, err := jointree.BuildAdjacentPair(inst.Q, f.Vars)
+	if err != nil {
+		return Instance{}, fmt.Errorf("trim: U_w not coverable by adjacent nodes: %w", err)
+	}
+	// Work in negated weights for ≻ so that both directions are a strict
+	// less-than on the stored sums.
+	sign := int64(1)
+	lam := lambda
+	if dir == Greater {
+		sign = -1
+		lam = -lambda
+	}
+
+	atomA := inst.Q.Atoms[tree.Nodes[nodeA].Atom]
+	if nodeB == -1 {
+		// All ranked variables in one atom: a linear filter on its relation.
+		cols, vars := rankedColumns(atomA, f)
+		db2 := cloneAllBut(inst.DB, inst.Q, atomA.Rel)
+		src := inst.DB.Get(atomA.Rel)
+		out := src.Filter(func(row []relation.Value) bool {
+			return rowSum(f, vars, cols, row, sign) < lam
+		})
+		db2.Add(out)
+		return Instance{Q: inst.Q.Clone(), DB: db2}, nil
+	}
+	atomB := inst.Q.Atoms[tree.Nodes[nodeB].Atom]
+
+	// μ-split the ranked variables: a variable appearing in both atoms
+	// contributes on the A side only.
+	var aVars, bVars []query.Var
+	for _, v := range f.Vars {
+		if atomA.HasVar(v) {
+			aVars = append(aVars, v)
+		} else {
+			bVars = append(bVars, v)
+		}
+	}
+	colsA := firstColumns(atomA, aVars)
+	colsB := firstColumns(atomB, bVars)
+
+	// Join key between the pair in the *current* query (includes helper
+	// variables from earlier trims automatically).
+	keyVars := sharedVars(atomA, atomB)
+	keyA := firstColumns(atomA, keyVars)
+	keyB := firstColumns(atomB, keyVars)
+
+	relA := inst.DB.Get(atomA.Rel)
+	relB := inst.DB.Get(atomB.Rel)
+
+	// Group the B side.
+	type bGroup struct {
+		rows []int
+		sums []int64 // sorted ascending, aligned with rows
+	}
+	groups := make(map[string]*bGroup)
+	var keyBuf []byte
+	seenB := make(map[string]bool, relB.Len())
+	allB := make([]int, relB.Arity())
+	for j := range allB {
+		allB[j] = j
+	}
+	for i := 0; i < relB.Len(); i++ {
+		row := relB.Row(i)
+		// Relations are sets: duplicate rows would receive distinct segment
+		// memberships (positions differ) and duplicate answers downstream.
+		keyBuf = encodeCols(keyBuf[:0], row, allB)
+		if seenB[string(keyBuf)] {
+			continue
+		}
+		seenB[string(keyBuf)] = true
+		keyBuf = encodeCols(keyBuf[:0], row, keyB)
+		g, ok := groups[string(keyBuf)]
+		if !ok {
+			g = &bGroup{}
+			groups[string(keyBuf)] = g
+		}
+		g.rows = append(g.rows, i)
+	}
+	for _, g := range groups {
+		g.sums = make([]int64, len(g.rows))
+		for k, ri := range g.rows {
+			g.sums[k] = rowSum(f, bVars, colsB, relB.Row(ri), sign)
+		}
+		sort.Sort(&sumRowSorter{sums: g.sums, rows: g.rows})
+	}
+
+	v := freshHelperVar(inst.Q, "s")
+	outA := relation.NewWithCapacity(atomA.Rel, relA.Arity()+1, relA.Len())
+	outB := relation.NewWithCapacity(atomB.Rel, relB.Arity()+1, relB.Len())
+	bufA := make([]relation.Value, relA.Arity()+1)
+	bufB := make([]relation.Value, relB.Arity()+1)
+
+	// Global segment-id allocation: one id per (group, level, start) that a
+	// prefix decomposition actually uses.
+	nextID := relation.Value(1)
+	type segKey struct {
+		lvl, start int
+	}
+	// Group the A side by the same key and process pairs of groups.
+	aGroups := make(map[string][]int)
+	for i := 0; i < relA.Len(); i++ {
+		keyBuf = encodeCols(keyBuf[:0], relA.Row(i), keyA)
+		aGroups[string(keyBuf)] = append(aGroups[string(keyBuf)], i)
+	}
+	for key, aRows := range aGroups {
+		g, ok := groups[key]
+		if !ok {
+			continue // A-rows with no B partner participate in no answer
+		}
+		m := len(g.rows)
+		segIDs := make(map[segKey]relation.Value)
+		used := make(map[segKey]bool)
+		idOf := func(lvl, start int) relation.Value {
+			k := segKey{lvl, start}
+			id, ok := segIDs[k]
+			if !ok {
+				id = nextID
+				nextID++
+				segIDs[k] = id
+			}
+			used[k] = true
+			return id
+		}
+		for _, ai := range aRows {
+			rowA := relA.Row(ai)
+			s := rowSum(f, aVars, colsA, rowA, sign)
+			// Admissible prefix: B-sums strictly below lam - s.
+			p := sort.Search(m, func(k int) bool { return g.sums[k] >= lam-s })
+			// Canonical dyadic decomposition of [0, p).
+			pos := 0
+			for lvl := bitsFor(m); lvl >= 0; lvl-- {
+				size := 1 << uint(lvl)
+				if pos+size <= p {
+					copy(bufA, rowA)
+					bufA[len(bufA)-1] = idOf(lvl, pos)
+					outA.AppendRow(bufA)
+					pos += size
+				}
+			}
+		}
+		// Emit B-side memberships for the segments actually used.
+		for k := range used {
+			size := 1 << uint(k.lvl)
+			hi := k.start + size
+			if hi > m {
+				hi = m
+			}
+			id := segIDs[k]
+			for p := k.start; p < hi; p++ {
+				copy(bufB, relB.Row(g.rows[p]))
+				bufB[len(bufB)-1] = id
+				outB.AppendRow(bufB)
+			}
+		}
+	}
+
+	// Segment membership emits each (B-row, segment) pair once, and A-copies
+	// carry pairwise-distinct segment ids per row, so distinctness of the
+	// inputs carries over.
+	outB.MarkDistinct()
+	if relA.IsDistinct() {
+		outA.MarkDistinct()
+	}
+	q2 := inst.Q.Clone()
+	q2.Atoms[tree.Nodes[nodeA].Atom].Vars = append(q2.Atoms[tree.Nodes[nodeA].Atom].Vars, v)
+	q2.Atoms[tree.Nodes[nodeB].Atom].Vars = append(q2.Atoms[tree.Nodes[nodeB].Atom].Vars, v)
+	db2 := relation.NewDatabase()
+	for _, atom := range inst.Q.Atoms {
+		switch atom.Rel {
+		case atomA.Rel:
+			db2.Add(outA)
+		case atomB.Rel:
+			db2.Add(outB)
+		default:
+			db2.Add(inst.DB.Get(atom.Rel).Clone())
+		}
+	}
+	return Instance{Q: q2, DB: db2}, nil
+}
+
+// bitsFor returns the highest level ⌈log2(m)⌉ needed by prefixes over m rows.
+func bitsFor(m int) int {
+	b := 0
+	for (1 << uint(b+1)) <= m {
+		b++
+	}
+	return b
+}
+
+type sumRowSorter struct {
+	sums []int64
+	rows []int
+}
+
+func (s *sumRowSorter) Len() int           { return len(s.sums) }
+func (s *sumRowSorter) Less(i, j int) bool { return s.sums[i] < s.sums[j] }
+func (s *sumRowSorter) Swap(i, j int) {
+	s.sums[i], s.sums[j] = s.sums[j], s.sums[i]
+	s.rows[i], s.rows[j] = s.rows[j], s.rows[i]
+}
+
+// rankedColumns returns the ranked variables present in atom with the column
+// of their first occurrence.
+func rankedColumns(atom query.Atom, f *ranking.Func) (cols []int, vars []query.Var) {
+	for _, v := range f.Vars {
+		for j, av := range atom.Vars {
+			if av == v {
+				cols = append(cols, j)
+				vars = append(vars, v)
+				break
+			}
+		}
+	}
+	return cols, vars
+}
+
+// firstColumns maps each variable to its first column in the atom.
+func firstColumns(atom query.Atom, vars []query.Var) []int {
+	out := make([]int, len(vars))
+	for i, v := range vars {
+		out[i] = -1
+		for j, av := range atom.Vars {
+			if av == v {
+				out[i] = j
+				break
+			}
+		}
+	}
+	return out
+}
+
+// sharedVars returns the distinct variables two atoms have in common.
+func sharedVars(a, b query.Atom) []query.Var {
+	var out []query.Var
+	for _, v := range a.UniqueVars() {
+		if b.HasVar(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// rowSum computes sign·Σ w_v(row[col_v]).
+func rowSum(f *ranking.Func, vars []query.Var, cols []int, row []relation.Value, sign int64) int64 {
+	var s int64
+	for k, c := range cols {
+		s += f.W(vars[k], row[c])
+	}
+	return sign * s
+}
+
+// cloneAllBut copies every relation used by q except the named one.
+func cloneAllBut(db *relation.Database, q *query.Query, except string) *relation.Database {
+	out := relation.NewDatabase()
+	for _, atom := range q.Atoms {
+		if atom.Rel == except || out.Has(atom.Rel) {
+			continue
+		}
+		out.Add(db.Get(atom.Rel).Clone())
+	}
+	return out
+}
+
+// encodeCols serializes selected row columns as a map key.
+func encodeCols(dst []byte, row []relation.Value, cols []int) []byte {
+	for _, c := range cols {
+		v := uint64(row[c])
+		dst = append(dst, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+			byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+	}
+	return dst
+}

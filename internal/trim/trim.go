@@ -1,0 +1,179 @@
+// Package trim implements the trim subroutine of the pivoting framework
+// (Definition 3.2, exact; Definition 3.5, lossy): given a join query, a
+// database, and an inequality over the ranking function's aggregate, it
+// rewrites query and database so that the new instance represents exactly
+// (or, for lossy trims, at least a (1-ε) fraction of) the answers satisfying
+// the inequality — without materializing them.
+//
+// Four constructions are provided, one per tractable ranking family:
+//
+//   - MIN/MAX (Section 5.1, Algorithm 3): partition-identifier construction.
+//   - LEX (Section 5.2): prefix-equality partitions.
+//   - Partial SUM on two adjacent join-tree nodes (Section 5.3, after
+//     Tziavelis et al. [22]): dyadic factorization of the staircase join.
+//   - Lossy SUM for arbitrary acyclic queries (Section 6, Algorithm 4):
+//     sketched message passing embedded back into the database.
+//
+// All trims take and return an Instance and keep the query acyclic, so they
+// can be composed — Algorithm 1 applies two per partition and iterates.
+package trim
+
+import (
+	"fmt"
+
+	"github.com/quantilejoins/qjoin/internal/query"
+	"github.com/quantilejoins/qjoin/internal/ranking"
+	"github.com/quantilejoins/qjoin/internal/relation"
+)
+
+// Dir selects the side of the inequality being trimmed.
+type Dir int
+
+// Trim directions: Less keeps answers with weight ≺ λ, Greater keeps weight ≻ λ.
+const (
+	Less Dir = iota
+	Greater
+)
+
+// String names the direction.
+func (d Dir) String() string {
+	if d == Less {
+		return "<"
+	}
+	return ">"
+}
+
+// Instance bundles a query with a database. Trims consume and produce
+// instances; they never mutate their input.
+type Instance struct {
+	Q  *query.Query
+	DB *relation.Database
+}
+
+// Answers of trimmed instances relate to the original query by dropping the
+// helper variables trims introduce; helper variables are prefixed so callers
+// can identify them.
+const helperPrefix = "·"
+
+// IsHelperVar reports whether v was introduced by a trim (or binarization).
+func IsHelperVar(v query.Var) bool {
+	return len(v) > 0 && string(v)[0] == helperPrefix[0]
+}
+
+// freshHelperVar returns an unused helper variable.
+func freshHelperVar(q *query.Query, base string) query.Var {
+	return query.FreshVar(q, helperPrefix+base)
+}
+
+// requireSelfJoinFree guards constructions that assume one relation per atom.
+func requireSelfJoinFree(q *query.Query) error {
+	if q.HasSelfJoins() {
+		return fmt.Errorf("trim: query has self-joins; eliminate them first (query.EliminateSelfJoins)")
+	}
+	return nil
+}
+
+// varCond is a per-variable weight predicate used by the partition-identifier
+// construction shared by MIN/MAX and LEX.
+type varCond struct {
+	v    query.Var
+	pred func(w int64) bool
+}
+
+// applyPartitions implements the shared mechanics of Algorithm 3: the answer
+// space is split into disjoint partitions, each described by a conjunction of
+// unary weight predicates; every relation is copied once per partition with
+// its conditions applied, a partition-identifier column is appended, and the
+// fresh identifier variable is added to every atom so answers never mix
+// partitions.
+func applyPartitions(inst Instance, f *ranking.Func, partitions [][]varCond) (Instance, error) {
+	if err := requireSelfJoinFree(inst.Q); err != nil {
+		return Instance{}, err
+	}
+	q2 := inst.Q.Clone()
+	xp := freshHelperVar(q2, "p")
+	for i := range q2.Atoms {
+		q2.Atoms[i].Vars = append(q2.Atoms[i].Vars, xp)
+	}
+	db2 := relation.NewDatabase()
+	for _, atom := range inst.Q.Atoms {
+		src := inst.DB.Get(atom.Rel)
+		out := relation.NewWithCapacity(atom.Rel, src.Arity()+1, src.Len())
+		buf := make([]relation.Value, src.Arity()+1)
+		// Column positions of each condition variable in this atom (a
+		// repeated variable imposes the condition once; columns agree).
+		for pi, conds := range partitions {
+			var local []varCond
+			var cols []int
+			for _, c := range conds {
+				for j, v := range atom.Vars {
+					if v == c.v {
+						local = append(local, c)
+						cols = append(cols, j)
+						break
+					}
+				}
+			}
+			pid := relation.Value(pi + 1)
+			for ti := 0; ti < src.Len(); ti++ {
+				row := src.Row(ti)
+				ok := true
+				for k, c := range local {
+					if !c.pred(f.W(c.v, row[cols[k]])) {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					copy(buf, row)
+					buf[len(buf)-1] = pid
+					out.AppendRow(buf)
+				}
+			}
+		}
+		// Disjoint partitions never duplicate a (row, pid) pair.
+		if src.IsDistinct() {
+			out.MarkDistinct()
+		}
+		db2.Add(out)
+	}
+	return Instance{Q: q2, DB: db2}, nil
+}
+
+// filterByVarPred keeps only tuples whose every occurrence of a ranked
+// variable satisfies the predicate. Used for the filter side of MIN/MAX.
+func filterByVarPred(inst Instance, f *ranking.Func, pred func(v query.Var, w int64) bool) (Instance, error) {
+	if err := requireSelfJoinFree(inst.Q); err != nil {
+		return Instance{}, err
+	}
+	ranked := make(map[query.Var]bool, len(f.Vars))
+	for _, v := range f.Vars {
+		ranked[v] = true
+	}
+	db2 := relation.NewDatabase()
+	for _, atom := range inst.Q.Atoms {
+		src := inst.DB.Get(atom.Rel)
+		var cols []int
+		var vars []query.Var
+		for j, v := range atom.Vars {
+			if ranked[v] {
+				cols = append(cols, j)
+				vars = append(vars, v)
+			}
+		}
+		if len(cols) == 0 {
+			db2.Add(src.Clone())
+			continue
+		}
+		out := src.Filter(func(row []relation.Value) bool {
+			for k, c := range cols {
+				if !pred(vars[k], f.W(vars[k], row[c])) {
+					return false
+				}
+			}
+			return true
+		})
+		db2.Add(out)
+	}
+	return Instance{Q: inst.Q.Clone(), DB: db2}, nil
+}

@@ -1,0 +1,143 @@
+// Package yannakakis implements the classic algorithms for acyclic join
+// queries that the paper uses as subroutines: linear-time answer counting via
+// message passing (Section 2.4, Figure 1) and constant-delay enumeration /
+// materialization of the answer set [Yannakakis 1981].
+//
+// Counting follows the ⊕/⊗ pattern of Example 2.1: within a join group
+// counts are summed (⊕ = Σ), across children they are multiplied (⊗ = Π),
+// so cnt(t) is the number of partial answers of the subtree rooted at t.
+package yannakakis
+
+import (
+	"github.com/quantilejoins/qjoin/internal/counting"
+	"github.com/quantilejoins/qjoin/internal/jointree"
+	"github.com/quantilejoins/qjoin/internal/relation"
+)
+
+// Counts holds the per-tuple and per-group subtree answer counts of one
+// bottom-up counting pass.
+type Counts struct {
+	// Tuple[node][i] is the number of partial answers rooted at tuple i of
+	// the node's relation.
+	Tuple [][]counting.Count
+	// Group[node][g] is the summed count of join group g of the node.
+	Group [][]counting.Count
+	// Total is |Q(D)|.
+	Total counting.Count
+}
+
+// Count runs the counting pass over an executable join tree.
+func Count(e *jointree.Exec) *Counts {
+	nNodes := len(e.T.Nodes)
+	c := &Counts{
+		Tuple: make([][]counting.Count, nNodes),
+		Group: make([][]counting.Count, nNodes),
+	}
+	for _, id := range e.T.BottomUp {
+		n := e.T.Nodes[id]
+		rel := e.Rels[id]
+		cnt := make([]counting.Count, rel.Len())
+		for i := 0; i < rel.Len(); i++ {
+			v := counting.One
+			row := rel.Row(i)
+			dead := false
+			for _, ch := range n.Children {
+				gid, ok := e.GroupForParentRow(ch, row)
+				if !ok || c.Group[ch][gid].IsZero() {
+					dead = true
+					break
+				}
+				v = v.Mul(c.Group[ch][gid])
+			}
+			if dead {
+				v = counting.Zero
+			}
+			cnt[i] = v
+		}
+		c.Tuple[id] = cnt
+		if n.Parent >= 0 {
+			groups := e.Groups[id]
+			g := make([]counting.Count, groups.NumGroups())
+			for gi, tuples := range groups.Tuples {
+				sum := counting.Zero
+				for _, ti := range tuples {
+					sum = sum.Add(cnt[ti])
+				}
+				g[gi] = sum
+			}
+			c.Group[id] = g
+		}
+	}
+	total := counting.Zero
+	for _, v := range c.Tuple[e.T.Root] {
+		total = total.Add(v)
+	}
+	c.Total = total
+	return c
+}
+
+// CountAnswers returns |Q(D)| for an executable join tree.
+func CountAnswers(e *jointree.Exec) counting.Count { return Count(e).Total }
+
+// Enumerate streams every query answer as an assignment laid out per
+// e.Q.Vars(). The callback must not retain the slice; it may return false to
+// stop enumeration early. Dangling tuples are skipped on the fly, so a prior
+// FullReduce is not required for correctness (only for speed guarantees).
+func Enumerate(e *jointree.Exec, fn func(asn []relation.Value) bool) {
+	vars := e.Q.Vars()
+	varIdx := e.Q.VarIndex()
+	nodePos := make([][]int, len(e.T.Nodes))
+	for _, n := range e.T.Nodes {
+		pos := make([]int, len(n.Vars))
+		for j, v := range n.Vars {
+			pos[j] = varIdx[v]
+		}
+		nodePos[n.ID] = pos
+	}
+	asn := make([]relation.Value, len(vars))
+
+	var visit func(id, ti int, cont func() bool) bool
+	visit = func(id, ti int, cont func() bool) bool {
+		row := e.Rels[id].Row(ti)
+		for j, p := range nodePos[id] {
+			asn[p] = row[j]
+		}
+		n := e.T.Nodes[id]
+		var loop func(ci int) bool
+		loop = func(ci int) bool {
+			if ci == len(n.Children) {
+				return cont()
+			}
+			ch := n.Children[ci]
+			gid, ok := e.GroupForParentRow(ch, row)
+			if !ok {
+				return true // no answers under this tuple on this branch
+			}
+			for _, cti := range e.Groups[ch].Tuples[gid] {
+				if !visit(ch, cti, func() bool { return loop(ci + 1) }) {
+					return false
+				}
+			}
+			return true
+		}
+		return loop(0)
+	}
+
+	root := e.T.Root
+	for ti := 0; ti < e.Rels[root].Len(); ti++ {
+		if !visit(root, ti, func() bool { return fn(asn) }) {
+			return
+		}
+	}
+}
+
+// Materialize collects all answers. Intended for instances already known to
+// be small (the termination step of Algorithm 1) and for test oracles.
+func Materialize(e *jointree.Exec) [][]relation.Value {
+	var out [][]relation.Value
+	Enumerate(e, func(asn []relation.Value) bool {
+		out = append(out, append([]relation.Value(nil), asn...))
+		return true
+	})
+	return out
+}
