@@ -207,6 +207,39 @@ func BenchmarkE11Crossover(b *testing.B) {
 	})
 }
 
+// BenchmarkPreparedReuse — the prepare-once/query-many split. A selective
+// binary join (|Q(D)| ≪ |D|) is queried at 8 φ's: the free functions pay
+// validation, self-join elimination, deduplication, tree building, exec
+// materialization and counting once per φ, while one Prepared plan pays them
+// once in total and answers each φ from its cached structures.
+func BenchmarkPreparedReuse(b *testing.B) {
+	rng := rand.New(rand.NewSource(13))
+	q, idb := workload.Path(rng, 2, 1<<14, 1<<18) // ≈1k answers from 32k tuples
+	db := qjoin.WrapDB(idb)
+	f := qjoin.Sum(q.Vars()...)
+	phis := []float64{0.05, 0.1, 0.25, 0.4, 0.5, 0.6, 0.75, 0.9}
+	b.Run("free", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, phi := range phis {
+				if _, err := qjoin.Quantile(q, db, f, phi); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("prepared", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p, err := qjoin.Prepare(q, db)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := p.Quantiles(f, phis); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkE12AblationBudget — ε-budget strategies of the approximate driver.
 func BenchmarkE12AblationBudget(b *testing.B) {
 	rng := rand.New(rand.NewSource(12))

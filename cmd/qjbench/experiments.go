@@ -7,6 +7,7 @@ import (
 
 	"github.com/quantilejoins/qjoin/internal/core"
 	"github.com/quantilejoins/qjoin/internal/counting"
+	"github.com/quantilejoins/qjoin/internal/engine"
 	"github.com/quantilejoins/qjoin/internal/jointree"
 	"github.com/quantilejoins/qjoin/internal/pivot"
 	"github.com/quantilejoins/qjoin/internal/query"
@@ -17,6 +18,16 @@ import (
 	"github.com/quantilejoins/qjoin/internal/workload"
 	"github.com/quantilejoins/qjoin/internal/yannakakis"
 )
+
+// engineOf compiles (q, db); experiment workloads are known-acyclic, so a
+// failure is a bug worth crashing on.
+func engineOf(q *query.Query, db *relation.Database) *engine.Engine {
+	eng, err := engine.New(q, db)
+	if err != nil {
+		panic(err)
+	}
+	return eng
+}
 
 func sizes(c *ctx, base []int) []int {
 	if !c.quick {
@@ -30,15 +41,7 @@ func sizes(c *ctx, base []int) []int {
 }
 
 func countOf(q *query.Query, db *relation.Database) counting.Count {
-	tree, err := jointree.Build(q)
-	if err != nil {
-		panic(err)
-	}
-	e, err := jointree.NewExec(q, db, tree)
-	if err != nil {
-		panic(err)
-	}
-	return yannakakis.CountAnswers(e)
+	return engineOf(q, db).Total()
 }
 
 // ---------------------------------------------------------------- E01
@@ -49,16 +52,14 @@ func runE01(c *ctx) {
 	n := countOf(q, db)
 	fmt.Printf("Figure 1 instance: |Q(D)| = %s (paper: 13)\n\n", n)
 
-	t := &table{header: []string{"n per relation", "|D|", "|Q(D)|", "count time", "ns/tuple"}}
+	t := &table{header: []string{"n per relation", "|D|", "|Q(D)|", "prepare+count time", "ns/tuple"}}
 	var xs, ys []float64
 	for _, sz := range sizes(c, []int{1 << 12, 1 << 14, 1 << 16, 1 << 18, 1 << 20}) {
 		rng := rand.New(rand.NewSource(1))
 		q, db := workload.Hierarchy(rng, sz, int64(sz/4))
-		tree, _ := jointree.Build(q)
 		var cnt counting.Count
 		d := timeIt(3, func() {
-			e, _ := jointree.NewExec(q, db, tree)
-			cnt = yannakakis.CountAnswers(e)
+			cnt = engineOf(q, db).Total()
 		})
 		t.add(fmt.Sprint(sz), fmt.Sprint(db.Size()), cnt.String(), dur(d),
 			fmt.Sprintf("%.0f", float64(d.Nanoseconds())/float64(db.Size())))
@@ -91,10 +92,9 @@ func runE02(c *ctx) {
 		rng := rand.New(rand.NewSource(2))
 		q, db := workload.Path(rng, 3, sz, int64(sz/8))
 		f := ranking.NewSum(q.Vars()...)
-		tree, _ := jointree.Build(q)
-		e, _ := jointree.NewExec(q, db, tree)
+		eng := engineOf(q, db)
 		mu, _ := f.AssignVars(q)
-		res, err := pivot.Select(e, f, mu)
+		res, err := pivot.Select(eng.Exec(), f, mu)
 		if err != nil {
 			continue
 		}
@@ -111,18 +111,17 @@ func runE02(c *ctx) {
 	}
 	qt.print()
 
-	fmt.Println("\npivot selection time (path-3, SUM):")
+	fmt.Println("\npivot selection time on a prepared plan (path-3, SUM):")
 	t := &table{header: []string{"n per relation", "|D|", "pivot time", "ns/tuple"}}
 	var xs, ys []float64
 	for _, sz := range sizes(c, []int{1 << 12, 1 << 14, 1 << 16, 1 << 18, 1 << 20}) {
 		rng := rand.New(rand.NewSource(3))
 		q, db := workload.Path(rng, 3, sz, int64(sz/4))
 		f := ranking.NewSum(q.Vars()...)
-		tree, _ := jointree.Build(q)
+		eng := engineOf(q, db)
 		mu, _ := f.AssignVars(q)
 		d := timeIt(3, func() {
-			e, _ := jointree.NewExec(q, db, tree)
-			if _, err := pivot.Select(e, f, mu); err != nil && err != pivot.ErrNoAnswers {
+			if _, err := pivot.Select(eng.Exec(), f, mu); err != nil && err != pivot.ErrNoAnswers {
 				panic(err)
 			}
 		})
@@ -137,14 +136,16 @@ func runE02(c *ctx) {
 
 // ---------------------------------------------------------------- shared driver sweep
 
-// sweepDriver measures Quantile vs BaselineQuantile across sizes.
+// sweepDriver measures one-shot Quantile, Quantile on a prepared plan, and
+// BaselineQuantile across sizes.
 func sweepDriver(c *ctx, base []int, gen func(rng *rand.Rand, n int) (*query.Query, *relation.Database, *ranking.Func), phi float64, opts core.Options, baselineCap float64) {
-	t := &table{header: []string{"n per relation", "|D|", "|Q(D)|", "pivoting", "baseline", "speedup"}}
+	t := &table{header: []string{"n per relation", "|D|", "|Q(D)|", "pivoting", "prepared", "baseline", "speedup"}}
 	var xs, ys []float64
 	for _, sz := range sizes(c, base) {
 		rng := rand.New(rand.NewSource(4))
 		q, db, f := gen(rng, sz)
-		total := countOf(q, db)
+		eng := engineOf(q, db)
+		total := eng.Total()
 
 		var a *core.Answer
 		var err error
@@ -155,6 +156,11 @@ func sweepDriver(c *ctx, base []int, gen func(rng *rand.Rand, n int) (*query.Que
 			fmt.Printf("n=%d: driver error: %v\n", sz, err)
 			continue
 		}
+		pd := timeIt(3, func() {
+			if _, _, err := core.QuantilePrepared(eng, f, phi, opts); err != nil {
+				panic(err)
+			}
+		})
 		xs = append(xs, float64(db.Size()))
 		ys = append(ys, float64(d.Nanoseconds()))
 
@@ -162,7 +168,7 @@ func sweepDriver(c *ctx, base []int, gen func(rng *rand.Rand, n int) (*query.Que
 		if total.Float64() <= baselineCap {
 			var b *core.Answer
 			bd := timeIt(1, func() {
-				b, err = core.BaselineQuantile(q, db, f, phi)
+				b, err = core.BaselineQuantilePrepared(eng, f, phi)
 			})
 			if err != nil {
 				panic(err)
@@ -173,7 +179,7 @@ func sweepDriver(c *ctx, base []int, gen func(rng *rand.Rand, n int) (*query.Que
 			baseCell = dur(bd)
 			speedCell = fmt.Sprintf("%.1f×", float64(bd)/float64(d))
 		}
-		t.add(fmt.Sprint(sz), fmt.Sprint(db.Size()), total.String(), dur(d), baseCell, speedCell)
+		t.add(fmt.Sprint(sz), fmt.Sprint(db.Size()), total.String(), dur(d), dur(pd), baseCell, speedCell)
 	}
 	t.print()
 	if len(xs) >= 3 {
@@ -394,10 +400,8 @@ func runE10(c *ctx) {
 		f := ranking.NewSum(q.Vars()...)
 		inst := trim.Instance{Q: q, DB: db}
 		// λ = the weight of a pivot (roughly the median weight).
-		tree, _ := jointree.Build(q)
-		e, _ := jointree.NewExec(q, db, tree)
 		mu, _ := f.AssignVars(q)
-		pv, err := pivot.Select(e, f, mu)
+		pv, err := pivot.Select(engineOf(q, db).Exec(), f, mu)
 		if err != nil {
 			continue
 		}
@@ -503,10 +507,8 @@ func runE12(c *ctx) {
 	at := &table{header: []string{"mode", "buckets", "output |D'|", "kept answers distinct?"}}
 	rngT := rand.New(rand.NewSource(12))
 	qt, dbt := workload.Path(rngT, 3, n, 8) // domain 8 -> heavy ties
-	tree, _ := jointree.Build(qt)
-	e, _ := jointree.NewExec(qt, dbt, tree)
 	mu, _ := f.AssignVars(qt)
-	pv, _ := pivot.Select(e, f, mu)
+	pv, _ := pivot.Select(engineOf(qt, dbt).Exec(), f, mu)
 	for _, mode := range []struct {
 		name    string
 		disable bool
@@ -530,9 +532,7 @@ func runE12(c *ctx) {
 // ---------------------------------------------------------------- helpers
 
 func materializeAll(q *query.Query, db *relation.Database) [][]relation.Value {
-	tree, _ := jointree.Build(q)
-	e, _ := jointree.NewExec(q, db, tree)
-	return yannakakis.Materialize(e)
+	return yannakakis.Materialize(engineOf(q, db).Exec())
 }
 
 // rankError computes |rank(a) - k| / N against a materialized ground truth,
@@ -555,9 +555,7 @@ func rankError(answers [][]relation.Value, q *query.Query, f *ranking.Func, a *c
 func countBelow(q *query.Query, db *relation.Database, f *ranking.Func, lambda int64) int {
 	aw := ranking.NewAnswerWeigher(f, q.Vars())
 	count := 0
-	tree, _ := jointree.Build(q)
-	e, _ := jointree.NewExec(q, db, tree)
-	yannakakis.Enumerate(e, func(asn []relation.Value) bool {
+	yannakakis.Enumerate(engineOf(q, db).Exec(), func(asn []relation.Value) bool {
 		if aw.WeightOf(asn).K < lambda {
 			count++
 		}
@@ -570,14 +568,11 @@ func countBelow(q *query.Query, db *relation.Database, f *ranking.Func, lambda i
 // instance: projections onto the original variables must be pairwise
 // distinct.
 func checkDistinctProjections(out trim.Instance, orig *query.Query) bool {
-	tree, err := jointree.Build(out.Q)
+	eng, err := engine.New(out.Q, out.DB)
 	if err != nil {
 		return false
 	}
-	e, err := jointree.NewExec(out.Q, out.DB, tree)
-	if err != nil {
-		return false
-	}
+	e := eng.Exec()
 	idx := out.Q.VarIndex()
 	var cols []int
 	for _, v := range orig.Vars() {

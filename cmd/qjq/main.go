@@ -4,12 +4,16 @@
 //
 //	qjq -query 'Orders(o,price),Shipments(o,cost)' \
 //	    -rel Orders=orders.csv -rel Shipments=shipments.csv \
-//	    -rank 'sum(price,cost)' -phi 0.5
+//	    -rank 'sum(price,cost)' -phi 0.25,0.5,0.75
 //
-// Flags select the ranking function (sum/min/max/lex over variables), the
-// quantile φ, an optional approximation ε, and diagnostics (-count,
-// -classify, -baseline). CSV files hold integer columns matching the atom's
-// arity.
+// Flags select the ranking function (sum/min/max/lex over variables), one or
+// more quantile fractions φ (comma-separated), an optional approximation ε,
+// and diagnostics (-count, -classify, -baseline). CSV files hold integer
+// columns matching the atom's arity.
+//
+// The query is compiled exactly once with qjoin.Prepare; every φ (and the
+// optional baseline comparison) is answered against the shared plan, so
+// asking for ten quantiles costs one preprocessing pass, not ten.
 package main
 
 import (
@@ -41,7 +45,7 @@ func main() {
 	rels := relFlags{}
 	queryStr := flag.String("query", "", "join query, e.g. 'R(x,y),S(y,z)'")
 	rankStr := flag.String("rank", "", "ranking, e.g. 'sum(x,z)', 'min(y)', 'max(x,y)', 'lex(x,y)'")
-	phi := flag.Float64("phi", 0.5, "quantile fraction in [0,1]")
+	phiStr := flag.String("phi", "0.5", "quantile fraction(s) in [0,1], comma-separated (e.g. '0.25,0.5,0.75')")
 	eps := flag.Float64("eps", 0, "approximation error (0 = exact)")
 	doCount := flag.Bool("count", false, "print |Q(D)| and exit")
 	doClassify := flag.Bool("classify", false, "print the tractability classification and exit")
@@ -71,12 +75,17 @@ func main() {
 		}
 	}
 
+	phis, err := parsePhis(*phiStr)
+	if err != nil {
+		fatal(err)
+	}
+
 	if *doCount {
-		n, err := qjoin.Count(q, db)
+		p, err := qjoin.Prepare(q, db)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Println(n)
+		fmt.Println(p.Count())
 		return
 	}
 
@@ -84,38 +93,85 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	// Classification is static analysis — it must work (and report) on
+	// cyclic queries too, so it runs before any plan is compiled.
 	if *doClassify {
 		ok, why := qjoin.ClassifyRanking(q, f)
 		fmt.Printf("tractable=%v: %s\n", ok, why)
 		return
 	}
 
-	start := time.Now()
-	var ans *qjoin.Answer
-	switch {
-	case *doSample:
-		if *eps <= 0 {
-			fatal(fmt.Errorf("-sample requires -eps > 0"))
-		}
-		ans, err = qjoin.SampleQuantile(q, db, f, *phi, *eps, *delta, rand.New(rand.NewSource(*seed)))
-	case *eps > 0:
-		ans, err = qjoin.ApproxQuantile(q, db, f, *phi, *eps)
-	default:
-		ans, err = qjoin.Quantile(q, db, f, *phi)
-	}
+	// Compile once; every φ below — and -baseline, -sample — runs against
+	// this single plan.
+	prepStart := time.Now()
+	p, err := qjoin.Prepare(q, db)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("answer: %s\nweight: %s\ntime:   %v\n", ans, weightString(f, ans.Weight), time.Since(start).Round(time.Microsecond))
+	prepTime := time.Since(prepStart).Round(time.Microsecond)
 
-	if *doBaseline {
-		start = time.Now()
-		base, err := qjoin.BaselineQuantile(q, db, f, *phi)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Printf("baseline weight: %s (%v)\n", weightString(f, base.Weight), time.Since(start).Round(time.Microsecond))
+	rng := rand.New(rand.NewSource(*seed))
+	single := len(phis) == 1
+	if !single {
+		fmt.Printf("prepared in %v (|Q(D)| = %s)\n", prepTime, p.Count())
 	}
+	for _, phi := range phis {
+		start := time.Now()
+		var ans *qjoin.Answer
+		switch {
+		case *doSample:
+			if *eps <= 0 {
+				fatal(fmt.Errorf("-sample requires -eps > 0"))
+			}
+			ans, err = p.SampleQuantile(f, phi, *eps, *delta, rng)
+		case *eps > 0:
+			ans, err = p.ApproxQuantile(f, phi, *eps)
+		default:
+			ans, err = p.Quantile(f, phi)
+		}
+		if err != nil {
+			fatal(fmt.Errorf("φ=%v: %w", phi, err))
+		}
+		elapsed := time.Since(start).Round(time.Microsecond)
+		if single {
+			fmt.Printf("answer: %s\nweight: %s\ntime:   %v\n", ans, weightString(f, ans.Weight), prepTime+elapsed)
+		} else {
+			fmt.Printf("φ=%-5v answer: %s  weight: %s  (%v)\n", phi, ans, weightString(f, ans.Weight), elapsed)
+		}
+
+		if *doBaseline {
+			start = time.Now()
+			base, err := p.BaselineQuantile(f, phi)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("baseline weight: %s (%v)\n", weightString(f, base.Weight), time.Since(start).Round(time.Microsecond))
+		}
+	}
+}
+
+// parsePhis parses a comma-separated list of quantile fractions.
+func parsePhis(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, part := range parts {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		phi, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -phi value %q: %w", part, err)
+		}
+		if phi < 0 || phi > 1 {
+			return nil, fmt.Errorf("-phi value %v outside [0,1]", phi)
+		}
+		out = append(out, phi)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty -phi list")
+	}
+	return out, nil
 }
 
 func weightString(f *qjoin.Ranking, w qjoin.Weight) string {

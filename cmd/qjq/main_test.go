@@ -99,3 +99,21 @@ func TestRelFlags(t *testing.T) {
 		t.Fatal("empty String()")
 	}
 }
+
+func TestParsePhis(t *testing.T) {
+	got, err := parsePhis("0.25, 0.5,0.75")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 0.25 || got[1] != 0.5 || got[2] != 0.75 {
+		t.Fatalf("parsed %v", got)
+	}
+	if got, err := parsePhis("0.5"); err != nil || len(got) != 1 || got[0] != 0.5 {
+		t.Fatalf("single: %v, %v", got, err)
+	}
+	for _, bad := range []string{"", ",", "x", "1.5", "-0.1", "0.5;0.7"} {
+		if _, err := parsePhis(bad); err == nil {
+			t.Fatalf("accepted %q", bad)
+		}
+	}
+}

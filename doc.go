@@ -34,6 +34,32 @@
 // Weights default to the attribute values themselves; set Ranking.Weight to
 // override. All weights are int64 (scale fixed-point reals as needed).
 //
+// # Prepare once, query many
+//
+// The point of the paper is that preprocessing — validation, self-join
+// elimination, input deduplication, join-tree construction, executable-tree
+// materialization, answer counting — is quasilinear while the per-query
+// work on top is cheap. Prepare makes that split explicit: it compiles a
+// (Query, DB) pair into a Prepared plan once, and every quantile, selection,
+// sampling, enumeration or counting query afterwards reuses the compiled
+// artifacts (including a lazily built direct-access structure and a cached
+// full reduction):
+//
+//	p, err := qjoin.Prepare(q, db)
+//	if err != nil { ... }
+//	n := p.Count()                                  // cached, free
+//	med, err := p.Median(qjoin.Sum("x", "z"))
+//	qs, err := p.Quantiles(f, []float64{0.25, 0.5, 0.75, 0.9, 0.99})
+//
+// Every free function in this package (Quantile, Count, TopK, ...) is a
+// thin wrapper that prepares a plan and discards it, so one-shot calls keep
+// working unchanged; answers are identical either way.
+//
+// A Prepared plan is safe for concurrent readers: all its methods may be
+// called from multiple goroutines simultaneously. Methods taking a
+// *rand.Rand require a per-goroutine generator, and a *RankedStream is a
+// single-consumer cursor (create one stream per goroutine instead).
+//
 // The implementation is a faithful, fully self-contained reproduction: GYO
 // join trees, Yannakakis evaluation, linear-time c-pivot selection by
 // message passing (Algorithm 2), the four trimming constructions of

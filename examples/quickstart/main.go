@@ -27,20 +27,23 @@ func main() {
 	)
 	f := qjoin.Sum("price", "cost")
 
-	n, err := qjoin.Count(q, db)
+	// Prepare compiles the (query, database) pair once — validation, join
+	// tree, executable tree, answer count — and every query below reuses it.
+	// (For a single one-shot question, qjoin.Median(q, db, f) works too.)
+	p, err := qjoin.Prepare(q, db)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("join answers: %s (database has %d tuples)\n", n, db.Size())
+	fmt.Printf("join answers: %s (database has %d tuples)\n", p.Count(), db.Size())
 
-	median, err := qjoin.Median(q, db, f)
+	median, err := p.Median(f)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("median by price+cost: %s  (total %d)\n", median, median.Weight.K)
 
 	for _, phi := range []float64{0.25, 0.75} {
-		a, err := qjoin.Quantile(q, db, f, phi)
+		a, err := p.Quantile(f, phi)
 		if err != nil {
 			log.Fatal(err)
 		}

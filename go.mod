@@ -1,0 +1,3 @@
+module github.com/quantilejoins/qjoin
+
+go 1.24

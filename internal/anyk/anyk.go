@@ -83,6 +83,15 @@ type Enumerator struct {
 // New builds an enumerator. The executable tree is fully reduced as a side
 // effect (dangling tuples would stall the streams).
 func New(e *jointree.Exec, f *ranking.Func) (*Enumerator, error) {
+	e.FullReduce()
+	return NewReduced(e, f)
+}
+
+// NewReduced builds an enumerator over an executable tree that is already
+// fully reduced (e.g. the cached reduction of a prepared engine). Unlike
+// New it never mutates e, so any number of enumerators — including
+// concurrent ones — may share a single reduced tree.
+func NewReduced(e *jointree.Exec, f *ranking.Func) (*Enumerator, error) {
 	if err := f.Validate(e.Q); err != nil {
 		return nil, err
 	}
@@ -90,7 +99,6 @@ func New(e *jointree.Exec, f *ranking.Func) (*Enumerator, error) {
 	if err != nil {
 		return nil, err
 	}
-	e.FullReduce()
 	en := &Enumerator{exec: e, f: f, mu: mu, varIdx: e.Q.VarIndex()}
 	en.weighers = make([]*ranking.TupleWeigher, len(e.T.Nodes))
 	en.groups = make([][]*groupStream, len(e.T.Nodes))

@@ -1,44 +1,43 @@
 package core
 
 import (
-	"fmt"
-	"math"
-
 	"github.com/quantilejoins/qjoin/internal/counting"
+	"github.com/quantilejoins/qjoin/internal/engine"
 	"github.com/quantilejoins/qjoin/internal/query"
 	"github.com/quantilejoins/qjoin/internal/ranking"
 	"github.com/quantilejoins/qjoin/internal/relation"
 	"github.com/quantilejoins/qjoin/internal/selection"
-	"github.com/quantilejoins/qjoin/internal/trim"
 	"github.com/quantilejoins/qjoin/internal/yannakakis"
 )
-
-// instOf wraps a query/database pair.
-func instOf(q *query.Query, db *relation.Database) trim.Instance {
-	return trim.Instance{Q: q, DB: db}
-}
 
 // BaselineQuantile is the direct method the paper's introduction argues
 // against: materialize Q(D) with Yannakakis, then select the k-th answer by
 // weight with worst-case-linear selection. Time and memory are linear in
 // |Q(D)|, which can be Ω(|D|^ℓ) — this is the comparator for every benchmark.
 func BaselineQuantile(q0 *query.Query, db0 *relation.Database, f *ranking.Func, phi float64) (*Answer, error) {
-	if math.IsNaN(phi) || phi < 0 || phi > 1 {
-		return nil, fmt.Errorf("core: φ must be in [0,1], got %v", phi)
-	}
-	if err := f.Validate(q0); err != nil {
+	if err := validPhi(phi); err != nil {
 		return nil, err
 	}
-	if err := q0.Validate(db0); err != nil {
-		return nil, err
-	}
-	q, db := query.EliminateSelfJoins(q0, db0)
-	origVars := q0.Vars()
-	e, err := execOf(instOf(q, db))
+	eng, err := engine.New(q0, db0)
 	if err != nil {
-		return nil, ErrCyclic
+		return nil, err
 	}
-	fromVars := q.Vars()
+	return BaselineQuantilePrepared(eng, f, phi)
+}
+
+// BaselineQuantilePrepared is BaselineQuantile against an already compiled
+// engine. Materialization still pays Θ(|Q(D)|) per call — deliberately, as
+// the comparator — but reuses the shared executable tree.
+func BaselineQuantilePrepared(eng *engine.Engine, f *ranking.Func, phi float64) (*Answer, error) {
+	if err := validPhi(phi); err != nil {
+		return nil, err
+	}
+	if err := f.Validate(eng.Source()); err != nil {
+		return nil, err
+	}
+	origVars := eng.Vars()
+	e := eng.Exec()
+	fromVars := eng.Query().Vars()
 	var answers [][]relation.Value
 	yannakakis.Enumerate(e, func(asn []relation.Value) bool {
 		answers = append(answers, projectAnswer(fromVars, asn, origVars))

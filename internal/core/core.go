@@ -16,19 +16,22 @@ import (
 	"fmt"
 
 	"github.com/quantilejoins/qjoin/internal/counting"
+	"github.com/quantilejoins/qjoin/internal/engine"
 	"github.com/quantilejoins/qjoin/internal/query"
 	"github.com/quantilejoins/qjoin/internal/ranking"
 	"github.com/quantilejoins/qjoin/internal/relation"
 	"github.com/quantilejoins/qjoin/internal/trim"
 )
 
-// Sentinel errors of the quantile drivers.
+// Sentinel errors of the quantile drivers. ErrNoAnswers and ErrCyclic are
+// produced at the preparation layer and re-exported here so that identity
+// comparisons keep working across layers.
 var (
 	// ErrNoAnswers is returned when Q(D) is empty.
-	ErrNoAnswers = errors.New("core: query has no answers")
+	ErrNoAnswers = engine.ErrNoAnswers
 	// ErrCyclic is returned for cyclic queries, which cannot be answered in
 	// quasilinear time under the Hyperclique hypothesis (Section 2.3).
-	ErrCyclic = errors.New("core: query is cyclic")
+	ErrCyclic = engine.ErrCyclic
 	// ErrIntractable is returned when an exact SUM quantile is requested for
 	// a query on the negative side of the dichotomy of Theorem 5.6.
 	ErrIntractable = errors.New("core: exact SUM quantile is intractable for this query " +

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"github.com/quantilejoins/qjoin/internal/counting"
+	"github.com/quantilejoins/qjoin/internal/engine"
 	"github.com/quantilejoins/qjoin/internal/jointree"
 	"github.com/quantilejoins/qjoin/internal/pivot"
 	"github.com/quantilejoins/qjoin/internal/query"
@@ -116,25 +117,44 @@ func countInstance(inst trim.Instance) (counting.Count, error) {
 
 // Count returns |Q(D)| for an acyclic query.
 func Count(q *query.Query, db *relation.Database) (counting.Count, error) {
-	if err := q.Validate(db); err != nil {
+	eng, err := engine.New(q, db)
+	if err != nil {
 		return counting.Zero, err
 	}
-	q2, db2 := query.EliminateSelfJoins(q, db)
-	c, err := countInstance(trim.Instance{Q: q2, DB: db2})
-	if err != nil {
-		return counting.Zero, ErrCyclic
+	return eng.Total(), nil
+}
+
+// validPhi rejects quantile fractions outside [0,1] before any preprocessing
+// is paid for.
+func validPhi(phi float64) error {
+	if math.IsNaN(phi) || phi < 0 || phi > 1 {
+		return fmt.Errorf("core: φ must be in [0,1], got %v", phi)
 	}
-	return c, nil
+	return nil
 }
 
 // Quantile answers a %JQ: the φ-quantile of Q(D) under the ranking function,
-// per Algorithm 1. With opts.Epsilon > 0 and a SUM ranking outside the
-// tractable class, it returns a deterministic (φ±ε)-quantile (Theorem 6.2).
+// per Algorithm 1. It compiles the (Q, D) pair and discards the plan; use
+// QuantilePrepared to amortize preparation over many queries.
 func Quantile(q0 *query.Query, db0 *relation.Database, f *ranking.Func, phi float64, opts Options) (*Answer, *RunStats, error) {
-	if math.IsNaN(phi) || phi < 0 || phi > 1 {
-		return nil, nil, fmt.Errorf("core: φ must be in [0,1], got %v", phi)
+	if err := validPhi(phi); err != nil {
+		return nil, nil, err
 	}
-	return run(q0, db0, f, opts, func(total counting.Count) (counting.Count, error) {
+	eng, err := engine.New(q0, db0)
+	if err != nil {
+		return nil, nil, err
+	}
+	return QuantilePrepared(eng, f, phi, opts)
+}
+
+// QuantilePrepared answers a %JQ against an already compiled engine. With
+// opts.Epsilon > 0 and a SUM ranking outside the tractable class, it returns
+// a deterministic (φ±ε)-quantile (Theorem 6.2).
+func QuantilePrepared(eng *engine.Engine, f *ranking.Func, phi float64, opts Options) (*Answer, *RunStats, error) {
+	if err := validPhi(phi); err != nil {
+		return nil, nil, err
+	}
+	return run(eng, f, opts, func(total counting.Count) (counting.Count, error) {
 		return Index(total, phi), nil
 	})
 }
@@ -144,7 +164,16 @@ func Quantile(q0 *query.Query, db0 *relation.Database, f *ranking.Func, phi floa
 // computation are equivalent for acyclic queries since |Q(D)| is computable
 // in linear time.
 func Select(q0 *query.Query, db0 *relation.Database, f *ranking.Func, k counting.Count, opts Options) (*Answer, *RunStats, error) {
-	return run(q0, db0, f, opts, func(total counting.Count) (counting.Count, error) {
+	eng, err := engine.New(q0, db0)
+	if err != nil {
+		return nil, nil, err
+	}
+	return SelectPrepared(eng, f, k, opts)
+}
+
+// SelectPrepared is Select against an already compiled engine.
+func SelectPrepared(eng *engine.Engine, f *ranking.Func, k counting.Count, opts Options) (*Answer, *RunStats, error) {
+	return run(eng, f, opts, func(total counting.Count) (counting.Count, error) {
 		if k.Cmp(total) >= 0 {
 			return counting.Zero, fmt.Errorf("core: index %s out of range (|Q(D)| = %s)", k, total)
 		}
@@ -152,27 +181,21 @@ func Select(q0 *query.Query, db0 *relation.Database, f *ranking.Func, k counting
 	})
 }
 
-// run is the shared driver body of Quantile and Select.
-func run(q0 *query.Query, db0 *relation.Database, f *ranking.Func, opts Options, pickIndex func(total counting.Count) (counting.Count, error)) (*Answer, *RunStats, error) {
-	if err := f.Validate(q0); err != nil {
+// run is the shared driver body of Quantile and Select. All per-(Q, D)
+// preprocessing lives in the engine; a run only pays for pivoting, trimming
+// and counting of its own trimmed instances. While the candidate instance is
+// still the original one, the engine's shared executable tree serves pivot
+// selection, and its cached full reduction serves materialization — neither
+// is ever mutated here.
+func run(eng *engine.Engine, f *ranking.Func, opts Options, pickIndex func(total counting.Count) (counting.Count, error)) (*Answer, *RunStats, error) {
+	if err := f.Validate(eng.Source()); err != nil {
 		return nil, nil, err
 	}
-	if err := q0.Validate(db0); err != nil {
-		return nil, nil, err
-	}
-	q, db := query.EliminateSelfJoins(q0, db0)
-	origVars := q0.Vars()
-
-	// Deduplicate the input once (relations are sets); all relations the
-	// trims derive from these stay marked distinct, so the per-iteration
-	// node materializations skip their hash passes.
-	db = dedupeDatabase(db)
+	q, db := eng.Query(), eng.DB()
+	origVars := eng.Vars()
 
 	orig := trim.Instance{Q: q, DB: db}
-	total, err := countInstance(orig)
-	if err != nil {
-		return nil, nil, ErrCyclic
-	}
+	total := eng.Total()
 	stats := &RunStats{Count: total}
 	if total.IsZero() {
 		return nil, stats, ErrNoAnswers
@@ -189,12 +212,24 @@ func run(q0 *query.Query, db0 *relation.Database, f *ranking.Func, opts Options,
 	threshold := counting.FromInt(opts.threshold(db.Size()))
 	low, high := ranking.NegInf(), ranking.PosInf()
 	cur, curCount := orig, total
+	onOrig := true // cur is the untrimmed instance; engine structures apply
 	paperEps := 0.0
 
 	for iter := 0; iter < opts.maxIterations(); iter++ {
 		stats.Iterations = iter
 		if curCount.Cmp(threshold) <= 0 {
-			ans, err := materializeSelect(cur, f, origVars, k)
+			var e *jointree.Exec
+			if onOrig {
+				// Enumerating the cached full reduction touches only tuples
+				// that participate in answers — on selective joins this is
+				// ∝ |Q(D)|, not |D|.
+				if e, err = eng.Reduced(); err != nil {
+					return nil, stats, err
+				}
+			} else if e, err = execOf(cur); err != nil {
+				return nil, stats, err
+			}
+			ans, err := materializeSelect(e, f, origVars, k)
 			if err != nil {
 				return nil, stats, err
 			}
@@ -202,8 +237,10 @@ func run(q0 *query.Query, db0 *relation.Database, f *ranking.Func, opts Options,
 			stats.Materialized = int(m)
 			return ans, stats, nil
 		}
-		e, err := execOf(cur)
-		if err != nil {
+		var e *jointree.Exec
+		if onOrig {
+			e = eng.Exec()
+		} else if e, err = execOf(cur); err != nil {
 			return nil, stats, err
 		}
 		mu, err := f.AssignVars(cur.Q)
@@ -273,9 +310,11 @@ func run(q0 *query.Query, db0 *relation.Database, f *ranking.Func, opts Options,
 		switch {
 		case k.Cmp(cLt) < 0:
 			cur, curCount, high = lt, cLt, ranking.Finite(wp)
+			onOrig = false
 		case k.Cmp(curCount.Sub(cGt)) >= 0:
 			k = k.Sub(curCount.Sub(cGt))
 			cur, curCount, low = gt, cGt, ranking.Finite(wp)
+			onOrig = false
 		default:
 			stats.PivotReturned = true
 			ans := projectAnswer(cur.Q.Vars(), pv.Assignment, origVars)
@@ -283,16 +322,6 @@ func run(q0 *query.Query, db0 *relation.Database, f *ranking.Func, opts Options,
 		}
 	}
 	return nil, stats, ErrTooManyIterations
-}
-
-// dedupeDatabase returns a database whose relations are duplicate-free and
-// marked distinct.
-func dedupeDatabase(db *relation.Database) *relation.Database {
-	out := relation.NewDatabase()
-	for _, name := range db.Names() {
-		out.Add(db.Get(name).Deduped())
-	}
-	return out
 }
 
 func maxInt(a int, rest ...int) int {
@@ -319,13 +348,11 @@ func projectAnswer(fromVars []query.Var, vals []relation.Value, toVars []query.V
 
 // materializeSelect resolves a small candidate instance: materialize its
 // answers (Yannakakis), project off helper variables, and select index k by
-// weight with a consistent value tie-break.
-func materializeSelect(inst trim.Instance, f *ranking.Func, origVars []query.Var, k counting.Count) (*Answer, error) {
-	e, err := execOf(inst)
-	if err != nil {
-		return nil, err
-	}
-	fromVars := inst.Q.Vars()
+// weight with a consistent value tie-break. The sort's (weight, values)
+// order is total over the distinct answers, so the selected answer does not
+// depend on the enumeration order of the executable tree passed in.
+func materializeSelect(e *jointree.Exec, f *ranking.Func, origVars []query.Var, k counting.Count) (*Answer, error) {
+	fromVars := e.Q.Vars()
 	var answers [][]relation.Value
 	yannakakis.Enumerate(e, func(asn []relation.Value) bool {
 		answers = append(answers, projectAnswer(fromVars, asn, origVars))

@@ -6,7 +6,7 @@ import (
 	"math/rand"
 	"sort"
 
-	"github.com/quantilejoins/qjoin/internal/access"
+	"github.com/quantilejoins/qjoin/internal/engine"
 	"github.com/quantilejoins/qjoin/internal/query"
 	"github.com/quantilejoins/qjoin/internal/ranking"
 	"github.com/quantilejoins/qjoin/internal/relation"
@@ -22,29 +22,45 @@ import (
 // probability by 1/4; r = 2⌈4·ln(1/δ)⌉+1 rounds drive the majority failure
 // below δ.
 func SampleQuantile(q0 *query.Query, db0 *relation.Database, f *ranking.Func, phi, eps, delta float64, rng *rand.Rand) (*Answer, error) {
+	if err := validSampleParams(phi, eps, delta); err != nil {
+		return nil, err
+	}
+	eng, err := engine.New(q0, db0)
+	if err != nil {
+		return nil, err
+	}
+	return SampleQuantilePrepared(eng, f, phi, eps, delta, rng)
+}
+
+// validSampleParams rejects bad sampling parameters before any
+// preprocessing is paid for.
+func validSampleParams(phi, eps, delta float64) error {
 	if eps <= 0 || eps >= 1 {
-		return nil, fmt.Errorf("core: ε must be in (0,1), got %v", eps)
+		return fmt.Errorf("core: ε must be in (0,1), got %v", eps)
 	}
 	if delta <= 0 || delta >= 1 {
-		return nil, fmt.Errorf("core: δ must be in (0,1), got %v", delta)
+		return fmt.Errorf("core: δ must be in (0,1), got %v", delta)
 	}
-	if math.IsNaN(phi) || phi < 0 || phi > 1 {
-		return nil, fmt.Errorf("core: φ must be in [0,1], got %v", phi)
+	if err := validPhi(phi); err != nil {
+		return err
 	}
-	if err := f.Validate(q0); err != nil {
-		return nil, err
-	}
-	if err := q0.Validate(db0); err != nil {
-		return nil, err
-	}
-	q, db := query.EliminateSelfJoins(q0, db0)
-	origVars := q0.Vars()
+	return nil
+}
 
-	e, err := execOf(instOf(q, db))
-	if err != nil {
-		return nil, ErrCyclic
+// SampleQuantilePrepared is SampleQuantile against an already compiled
+// engine. The direct-access structure is built lazily on the engine and
+// shared, so repeated sampling queries pay only for their samples.
+func SampleQuantilePrepared(eng *engine.Engine, f *ranking.Func, phi, eps, delta float64, rng *rand.Rand) (*Answer, error) {
+	if err := validSampleParams(phi, eps, delta); err != nil {
+		return nil, err
 	}
-	d := access.New(e)
+	if err := f.Validate(eng.Source()); err != nil {
+		return nil, err
+	}
+	q := eng.Query()
+	origVars := eng.Vars()
+
+	d := eng.Access()
 	if d.N().IsZero() {
 		return nil, ErrNoAnswers
 	}

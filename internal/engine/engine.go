@@ -1,0 +1,193 @@
+// Package engine owns the compiled artifact of a (Query, Database) pair.
+//
+// The paper's preprocessing — validation, self-join elimination
+// (Section 2.2), input deduplication (relations are sets, Section 2.1),
+// GYO join-tree construction, and materialization of the executable tree
+// with its join-group indexes (Section 2.4) — is quasilinear but far from
+// free, and every driver needs it. An Engine runs that pipeline exactly
+// once and hands the immutable result to any number of subsequent queries:
+// quantiles at many φ's, selection, sampling, enumeration, counting.
+//
+// Beyond the eager artifacts (rewritten query, deduplicated database, join
+// tree, executable tree, total answer count), an Engine lazily builds two
+// more, each guarded by a sync.Once:
+//
+//   - the direct-access structure of Section 3.1 (random access and uniform
+//     sampling over the answer set), and
+//   - a fully Yannakakis-reduced executable tree, whose relations contain
+//     only tuples that participate in some answer. Ranked enumeration
+//     requires it, and materialization of small answer sets is much faster
+//     on it because no dangling tuples are scanned.
+//
+// Concurrency: after New returns, every method of Engine is safe for
+// concurrent use. The shared executable trees are never mutated — consumers
+// that need to mutate one (the per-iteration trimmed instances of
+// Algorithm 1) build their own private copies.
+package engine
+
+import (
+	"errors"
+	"sync"
+
+	"github.com/quantilejoins/qjoin/internal/access"
+	"github.com/quantilejoins/qjoin/internal/counting"
+	"github.com/quantilejoins/qjoin/internal/jointree"
+	"github.com/quantilejoins/qjoin/internal/query"
+	"github.com/quantilejoins/qjoin/internal/relation"
+	"github.com/quantilejoins/qjoin/internal/yannakakis"
+)
+
+// Sentinel errors shared by every driver (re-exported by internal/core and
+// the public qjoin package, so identity comparisons work across layers).
+var (
+	// ErrNoAnswers is returned when Q(D) is empty.
+	ErrNoAnswers = errors.New("qjoin: query has no answers")
+	// ErrCyclic is returned for cyclic queries, which cannot be answered in
+	// quasilinear time under the Hyperclique hypothesis (Section 2.3).
+	ErrCyclic = errors.New("qjoin: query is cyclic")
+)
+
+// Engine is the compiled, reusable form of a (Query, Database) pair.
+type Engine struct {
+	src      *query.Query // the original query, as the user wrote it
+	origVars []query.Var  // src.Vars(): the canonical answer layout
+	q        *query.Query // self-join-free rewrite of src
+	db       *relation.Database
+	tree     *jointree.Tree
+	exec     *jointree.Exec // shared read-only executable tree
+	pos      []int          // positions of origVars within q.Vars()
+
+	totalOnce sync.Once
+	total     counting.Count
+
+	accessOnce sync.Once
+	access     *access.Direct
+
+	reducedOnce sync.Once
+	reduced     *jointree.Exec
+	reducedErr  error
+}
+
+// New compiles a query against a database: validate, eliminate self-joins,
+// deduplicate the input relations, build the join tree, and materialize the
+// executable tree. Everything here is quasilinear in |D| and is paid exactly
+// once per (Q, D) pair; the answer count and the other derived structures
+// are built lazily on first use and then cached.
+func New(src *query.Query, db0 *relation.Database) (*Engine, error) {
+	if err := src.Validate(db0); err != nil {
+		return nil, err
+	}
+	q, db := query.EliminateSelfJoins(src, db0)
+	// Deduplicate the input once (relations are sets); all relations the
+	// trims derive from these stay marked distinct, so downstream node
+	// materializations skip their hash passes.
+	db = dedupeDatabase(db)
+	tree, err := jointree.Build(q)
+	if err != nil {
+		return nil, ErrCyclic
+	}
+	exec, err := jointree.NewExec(q, db, tree)
+	if err != nil {
+		return nil, err
+	}
+	origVars := src.Vars()
+	idx := q.VarIndex()
+	pos := make([]int, len(origVars))
+	for i, v := range origVars {
+		pos[i] = idx[v]
+	}
+	return &Engine{
+		src:      src,
+		origVars: origVars,
+		q:        q,
+		db:       db,
+		tree:     tree,
+		exec:     exec,
+		pos:      pos,
+	}, nil
+}
+
+// Source returns the original query, exactly as passed to New.
+func (e *Engine) Source() *query.Query { return e.src }
+
+// Query returns the self-join-free rewrite the drivers run on.
+func (e *Engine) Query() *query.Query { return e.q }
+
+// DB returns the deduplicated, self-join-free database.
+func (e *Engine) DB() *relation.Database { return e.db }
+
+// Tree returns the join tree.
+func (e *Engine) Tree() *jointree.Tree { return e.tree }
+
+// Exec returns the shared executable join tree. It must be treated as
+// read-only; mutating consumers (FullReduce) must build their own copy.
+func (e *Engine) Exec() *jointree.Exec { return e.exec }
+
+// Total returns |Q(D)|, counting on first use (one linear message-passing
+// pass over the shared executable tree) and caching the result. Consumers
+// that never need the count — plain enumeration, ranked streaming — never
+// pay for it.
+func (e *Engine) Total() counting.Count {
+	e.totalOnce.Do(func() {
+		e.total = yannakakis.CountAnswers(e.exec)
+	})
+	return e.total
+}
+
+// Vars returns the original query's variables — the canonical answer layout.
+func (e *Engine) Vars() []query.Var { return e.origVars }
+
+// Width returns the arity of assignments over the rewritten query, i.e. the
+// buffer length consumers of Exec, Access and Reduced must allocate.
+func (e *Engine) Width() int { return len(e.pos) }
+
+// Pos returns, for each original variable, its position in the rewritten
+// query's Vars() layout. The slice is shared and must not be mutated.
+func (e *Engine) Pos() []int { return e.pos }
+
+// Project maps an assignment laid out per Query().Vars() onto the original
+// variable layout. dst must have length len(Vars()).
+func (e *Engine) Project(asn []relation.Value, dst []relation.Value) {
+	for i, p := range e.pos {
+		dst[i] = asn[p]
+	}
+}
+
+// Access returns the direct-access structure of Section 3.1 over the answer
+// set, building it on first use (linear time, then cached). Safe for
+// concurrent use; Sample callers must not share one *rand.Rand across
+// goroutines.
+func (e *Engine) Access() *access.Direct {
+	e.accessOnce.Do(func() {
+		e.access = access.New(e.exec)
+	})
+	return e.access
+}
+
+// Reduced returns a fully Yannakakis-reduced executable tree: every
+// remaining tuple participates in at least one answer. Built on first use
+// from a private copy of the executable tree (FullReduce mutates, so the
+// shared Exec is never touched) and cached. The result is read-only and may
+// be shared by concurrent ranked enumerations.
+func (e *Engine) Reduced() (*jointree.Exec, error) {
+	e.reducedOnce.Do(func() {
+		ex, err := jointree.NewExec(e.q, e.db, e.tree)
+		if err != nil {
+			e.reducedErr = err
+			return
+		}
+		ex.FullReduce()
+		e.reduced = ex
+	})
+	return e.reduced, e.reducedErr
+}
+
+// dedupeDatabase returns a database whose relations are duplicate-free and
+// marked distinct. Relations already known distinct are shared, not copied.
+func dedupeDatabase(db *relation.Database) *relation.Database {
+	out := relation.NewDatabase()
+	for _, name := range db.Names() {
+		out.Add(db.Get(name).Deduped())
+	}
+	return out
+}

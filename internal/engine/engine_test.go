@@ -1,0 +1,166 @@
+package engine
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/quantilejoins/qjoin/internal/query"
+	"github.com/quantilejoins/qjoin/internal/relation"
+	"github.com/quantilejoins/qjoin/internal/testutil"
+	"github.com/quantilejoins/qjoin/internal/yannakakis"
+)
+
+func fig1Engine(t *testing.T) *Engine {
+	t.Helper()
+	q, db := testutil.Fig1Instance()
+	e, err := New(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestNewCountsAnswers(t *testing.T) {
+	e := fig1Engine(t)
+	if n, _ := e.Total().Uint64(); n != 13 {
+		t.Fatalf("Figure 1 count = %d, want 13", n)
+	}
+	if got := len(e.Vars()); got != len(e.Source().Vars()) {
+		t.Fatalf("vars = %d", got)
+	}
+}
+
+func TestNewRejectsCyclic(t *testing.T) {
+	q := query.New(
+		query.Atom{Rel: "R", Vars: []query.Var{"x", "y"}},
+		query.Atom{Rel: "S", Vars: []query.Var{"y", "z"}},
+		query.Atom{Rel: "T", Vars: []query.Var{"z", "x"}},
+	)
+	db := relation.NewDatabase()
+	for _, name := range []string{"R", "S", "T"} {
+		db.Add(relation.FromRows(name, 2, [][]relation.Value{{1, 1}}))
+	}
+	if _, err := New(q, db); err != ErrCyclic {
+		t.Fatalf("err = %v, want ErrCyclic", err)
+	}
+}
+
+func TestNewRejectsSchemaMismatch(t *testing.T) {
+	q := query.New(query.Atom{Rel: "R", Vars: []query.Var{"x", "y"}})
+	db := relation.NewDatabase()
+	if _, err := New(q, db); err == nil {
+		t.Fatal("missing relation accepted")
+	}
+	db.Add(relation.FromRows("R", 1, [][]relation.Value{{1}}))
+	if _, err := New(q, db); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+}
+
+func TestSelfJoinRewrite(t *testing.T) {
+	// R(x,y), R(y,z): the second occurrence must be rewritten away while the
+	// answer count matches the brute force over the original query.
+	q := query.New(
+		query.Atom{Rel: "R", Vars: []query.Var{"x", "y"}},
+		query.Atom{Rel: "R", Vars: []query.Var{"y", "z"}},
+	)
+	db := relation.NewDatabase()
+	db.Add(relation.FromRows("R", 2, [][]relation.Value{{1, 2}, {2, 3}, {2, 4}, {3, 1}}))
+	e, err := New(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Query().HasSelfJoins() {
+		t.Fatal("rewrite still has self-joins")
+	}
+	want := len(testutil.BruteForce(q, db))
+	if n, _ := e.Total().Uint64(); int(n) != want {
+		t.Fatalf("count = %d, want %d", n, want)
+	}
+	// Projection positions must cover the original variables.
+	if len(e.Pos()) != len(q.Vars()) {
+		t.Fatalf("pos = %v", e.Pos())
+	}
+}
+
+func TestDuplicateInputRows(t *testing.T) {
+	q := testutil.PathQuery(2)
+	db := relation.NewDatabase()
+	db.Add(relation.FromRows("R1", 2, [][]relation.Value{{1, 2}, {1, 2}, {3, 4}}))
+	db.Add(relation.FromRows("R2", 2, [][]relation.Value{{2, 7}, {2, 7}, {4, 1}}))
+	e, err := New(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := e.Total().Uint64(); n != 2 {
+		t.Fatalf("count with duplicates = %d, want 2", n)
+	}
+	if e.DB().Get("R1").Len() != 2 {
+		t.Fatalf("R1 not deduplicated: %d rows", e.DB().Get("R1").Len())
+	}
+}
+
+func TestReducedPreservesAnswers(t *testing.T) {
+	e := fig1Engine(t)
+	red, err := e.Reduced()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := yannakakis.CountAnswers(red); got.Cmp(e.Total()) != 0 {
+		t.Fatalf("reduced count = %s, want %s", got, e.Total())
+	}
+	// The shared exec must be untouched by the reduction.
+	if got := yannakakis.CountAnswers(e.Exec()); got.Cmp(e.Total()) != 0 {
+		t.Fatalf("shared exec count = %s, want %s", got, e.Total())
+	}
+	// Idempotent handle.
+	red2, _ := e.Reduced()
+	if red2 != red {
+		t.Fatal("Reduced not cached")
+	}
+}
+
+func TestAccessSamplesAllAnswers(t *testing.T) {
+	e := fig1Engine(t)
+	d := e.Access()
+	if d != e.Access() {
+		t.Fatal("Access not cached")
+	}
+	if d.N().Cmp(e.Total()) != 0 {
+		t.Fatalf("access N = %s, want %s", d.N(), e.Total())
+	}
+	rng := rand.New(rand.NewSource(1))
+	buf := make([]relation.Value, e.Width())
+	seen := map[string]bool{}
+	row := make([]relation.Value, len(e.Vars()))
+	for i := 0; i < 600; i++ {
+		d.Sample(rng, buf)
+		e.Project(buf, row)
+		key := ""
+		for _, v := range row {
+			key += string(rune(v)) + ","
+		}
+		seen[key] = true
+	}
+	if len(seen) != 13 {
+		t.Fatalf("sampled %d distinct answers, want 13", len(seen))
+	}
+}
+
+func TestLazyStructuresConcurrent(t *testing.T) {
+	e := fig1Engine(t)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := e.Reduced(); err != nil {
+				t.Error(err)
+			}
+			e.Access()
+			yannakakis.CountAnswers(e.Exec())
+		}()
+	}
+	wg.Wait()
+}

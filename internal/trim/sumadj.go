@@ -130,20 +130,29 @@ func SumAdjacent(inst Instance, f *ranking.Func, lambda int64, dir Dir) (Instanc
 	type segKey struct {
 		lvl, start int
 	}
-	// Group the A side by the same key and process pairs of groups.
+	// Group the A side by the same key and process pairs of groups. Groups
+	// are visited in first-appearance order — map order would make the
+	// output row order (and with it downstream pivot tie-breaks) vary
+	// between runs, breaking the engine's repeatable-answer guarantee.
 	aGroups := make(map[string][]int)
+	var aOrder []string
 	for i := 0; i < relA.Len(); i++ {
 		keyBuf = encodeCols(keyBuf[:0], relA.Row(i), keyA)
-		aGroups[string(keyBuf)] = append(aGroups[string(keyBuf)], i)
+		key := string(keyBuf)
+		if _, ok := aGroups[key]; !ok {
+			aOrder = append(aOrder, key)
+		}
+		aGroups[key] = append(aGroups[key], i)
 	}
-	for key, aRows := range aGroups {
+	for _, key := range aOrder {
+		aRows := aGroups[key]
 		g, ok := groups[key]
 		if !ok {
 			continue // A-rows with no B partner participate in no answer
 		}
 		m := len(g.rows)
 		segIDs := make(map[segKey]relation.Value)
-		used := make(map[segKey]bool)
+		var usedOrder []segKey // allocation order, for deterministic emission
 		idOf := func(lvl, start int) relation.Value {
 			k := segKey{lvl, start}
 			id, ok := segIDs[k]
@@ -151,8 +160,8 @@ func SumAdjacent(inst Instance, f *ranking.Func, lambda int64, dir Dir) (Instanc
 				id = nextID
 				nextID++
 				segIDs[k] = id
+				usedOrder = append(usedOrder, k)
 			}
-			used[k] = true
 			return id
 		}
 		for _, ai := range aRows {
@@ -173,7 +182,7 @@ func SumAdjacent(inst Instance, f *ranking.Func, lambda int64, dir Dir) (Instanc
 			}
 		}
 		// Emit B-side memberships for the segments actually used.
-		for k := range used {
+		for _, k := range usedOrder {
 			size := 1 << uint(k.lvl)
 			hi := k.start + size
 			if hi > m {

@@ -130,8 +130,12 @@ func SumLossy(inst Instance, f *ranking.Func, lambda int64, dir Dir, eps float64
 			// Bucket the child's copies per join group.
 			childCopies := copies[ch]
 			groupItems := make(map[int][]int) // gid -> indexes into childCopies
+			var gidOrder []int                // first-appearance order: bucket ids must not depend on map order
 			for ci := range childCopies {
 				gid := rowGroup[ch][childCopies[ci].rowIdx]
+				if _, ok := groupItems[gid]; !ok {
+					gidOrder = append(gidOrder, gid)
+				}
 				groupItems[gid] = append(groupItems[gid], ci)
 			}
 			type bucketRef struct {
@@ -141,7 +145,8 @@ func SumLossy(inst Instance, f *ranking.Func, lambda int64, dir Dir, eps float64
 			}
 			groupBuckets := make(map[int][]bucketRef)
 			nextBucket := relation.Value(1)
-			for gid, idxs := range groupItems {
+			for _, gid := range gidOrder {
+				idxs := groupItems[gid]
 				items := make([]sketch.Item, len(idxs))
 				for k, ci := range idxs {
 					items[k] = sketch.Item{Sum: childCopies[ci].sum, Mult: childCopies[ci].mult}

@@ -1,0 +1,207 @@
+package qjoin
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+
+	"github.com/quantilejoins/qjoin/internal/anyk"
+	"github.com/quantilejoins/qjoin/internal/core"
+	"github.com/quantilejoins/qjoin/internal/counting"
+	"github.com/quantilejoins/qjoin/internal/engine"
+	"github.com/quantilejoins/qjoin/internal/yannakakis"
+)
+
+// Prepared is the compiled, reusable form of a (Query, DB) pair: the
+// validated query, its self-join-free rewrite, the deduplicated database,
+// the join tree, the materialized executable tree, and the cached answer
+// count, plus lazily built direct-access and fully-reduced structures.
+//
+// The paper's central point is that this preprocessing is quasilinear while
+// the per-query work on top of it is cheap; Prepared makes the split
+// explicit. Build one with Prepare and answer any number of quantile,
+// selection, sampling, enumeration and counting queries against it — every
+// one-shot free function in this package is a thin wrapper that prepares
+// and discards a plan.
+//
+// # Concurrency
+//
+// A Prepared plan is safe for concurrent readers: Quantile, QuantileStats,
+// Quantiles, ApproxQuantile, Median, SelectAt, Count, TopK, Enumerate,
+// BaselineQuantile, RankedEnumerate, SampleQuantile and SampleAnswers may
+// all be called from multiple goroutines at once. The lazily built
+// structures (direct access, full reduction) are guarded by sync.Once.
+// Two caveats:
+//
+//   - Methods taking a *rand.Rand use the caller's generator; do not share
+//     one *rand.Rand across goroutines.
+//   - A *RankedStream returned by RankedEnumerate is a single cursor and is
+//     NOT safe for concurrent use — but any number of independent streams
+//     may be created and consumed concurrently.
+type Prepared struct {
+	q   *Query
+	db  *DB
+	eng *engine.Engine
+}
+
+// Prepare compiles a query against a database. The work done here —
+// validation, self-join elimination, input deduplication, join-tree
+// construction, executable-tree materialization and answer counting — is
+// quasilinear in the database size and is paid exactly once, no matter how
+// many queries the plan later answers. It fails on cyclic queries
+// (ErrCyclic) and on queries that do not match the database schema.
+func Prepare(q *Query, db *DB) (*Prepared, error) {
+	eng, err := engine.New(q, db.inner)
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{q: q, db: db, eng: eng}, nil
+}
+
+// Query returns the query this plan was compiled from.
+func (p *Prepared) Query() *Query { return p.q }
+
+// DB returns the database this plan was compiled against.
+func (p *Prepared) DB() *DB { return p.db }
+
+// Vars returns the answer layout: the query's variables in first-appearance
+// order.
+func (p *Prepared) Vars() []Var { return p.eng.Vars() }
+
+// Count returns the cached |Q(D)|. Unlike the free Count function this
+// never fails and costs nothing: the count was taken at Prepare time.
+func (p *Prepared) Count() *big.Int { return p.eng.Total().Big() }
+
+// Quantile returns the φ-quantile of Q(D) under the ranking function (see
+// the free Quantile function for the exactness contract).
+func (p *Prepared) Quantile(f *Ranking, phi float64, opts ...Options) (*Answer, error) {
+	a, _, err := core.QuantilePrepared(p.eng, f, phi, oneOpt(opts))
+	return a, err
+}
+
+// QuantileStats is Quantile returning the driver's run statistics.
+func (p *Prepared) QuantileStats(f *Ranking, phi float64, opts ...Options) (*Answer, *RunStats, error) {
+	return core.QuantilePrepared(p.eng, f, phi, oneOpt(opts))
+}
+
+// Median returns the 0.5-quantile.
+func (p *Prepared) Median(f *Ranking, opts ...Options) (*Answer, error) {
+	return p.Quantile(f, 0.5, opts...)
+}
+
+// ApproxQuantile returns a deterministic (φ±ε)-quantile (Theorem 6.2).
+func (p *Prepared) ApproxQuantile(f *Ranking, phi, eps float64, opts ...Options) (*Answer, error) {
+	o := oneOpt(opts)
+	o.Epsilon = eps
+	a, _, err := core.QuantilePrepared(p.eng, f, phi, o)
+	return a, err
+}
+
+// Quantiles answers several φ's against this single plan. Compared with
+// calling the free Quantile once per φ, the preprocessing (and the lazily
+// built structures) are shared across all of them.
+func (p *Prepared) Quantiles(f *Ranking, phis []float64, opts ...Options) ([]*Answer, error) {
+	out := make([]*Answer, len(phis))
+	for i, phi := range phis {
+		a, err := p.Quantile(f, phi, opts...)
+		if err != nil {
+			return nil, fmt.Errorf("qjoin: φ=%v: %w", phi, err)
+		}
+		out[i] = a
+	}
+	return out, nil
+}
+
+// SelectAt answers the selection problem: the answer at absolute zero-based
+// index k of the ranked order.
+func (p *Prepared) SelectAt(f *Ranking, k *big.Int, opts ...Options) (*Answer, error) {
+	kc, ok := counting.FromBig(k)
+	if !ok {
+		return nil, fmt.Errorf("qjoin: index out of the supported 128-bit range")
+	}
+	a, _, err := core.SelectPrepared(p.eng, f, kc, oneOpt(opts))
+	return a, err
+}
+
+// SampleQuantile returns a randomized (φ±ε)-quantile with success
+// probability at least 1-δ (Section 3.1). The direct-access structure is
+// built on first use and shared by subsequent calls.
+func (p *Prepared) SampleQuantile(f *Ranking, phi, eps, delta float64, rng *rand.Rand) (*Answer, error) {
+	return core.SampleQuantilePrepared(p.eng, f, phi, eps, delta, rng)
+}
+
+// SampleAnswers draws k uniform samples from Q(D) (with replacement) using
+// the shared direct-access structure. It returns the variable layout and
+// one row per sample.
+func (p *Prepared) SampleAnswers(k int, rng *rand.Rand) ([]Var, [][]Value, error) {
+	d := p.eng.Access()
+	if d.N().IsZero() {
+		return nil, nil, ErrNoAnswers
+	}
+	vars := p.eng.Vars()
+	buf := make([]Value, p.eng.Width())
+	rows := make([][]Value, k)
+	for i := 0; i < k; i++ {
+		d.Sample(rng, buf)
+		row := make([]Value, len(vars))
+		p.eng.Project(buf, row)
+		rows[i] = row
+	}
+	return vars, rows, nil
+}
+
+// RankedEnumerate starts a ranked enumeration of Q(D) under the ranking
+// function over the plan's cached full reduction. Each Next has logarithmic
+// delay. The returned stream is a single cursor (not goroutine-safe), but
+// independent streams may run concurrently over the same plan.
+func (p *Prepared) RankedEnumerate(f *Ranking) (*RankedStream, error) {
+	e, err := p.eng.Reduced()
+	if err != nil {
+		return nil, err
+	}
+	en, err := anyk.NewReduced(e, f)
+	if err != nil {
+		return nil, err
+	}
+	return &RankedStream{
+		en:   en,
+		vars: p.eng.Vars(),
+		pos:  p.eng.Pos(),
+		buf:  make([]Value, p.eng.Width()),
+	}, nil
+}
+
+// TopK returns the k lowest-weight answers in order (fewer if |Q(D)| < k).
+func (p *Prepared) TopK(f *Ranking, k int) ([]*Answer, error) {
+	s, err := p.RankedEnumerate(f)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Answer, 0, k)
+	for len(out) < k {
+		a, ok := s.Next()
+		if !ok {
+			break
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Enumerate streams every answer (in no particular order); fn may return
+// false to stop. The slice passed to fn must not be retained.
+func (p *Prepared) Enumerate(fn func(vars []Var, vals []Value) bool) error {
+	vars := p.eng.Vars()
+	buf := make([]Value, len(vars))
+	yannakakis.Enumerate(p.eng.Exec(), func(asn []Value) bool {
+		p.eng.Project(asn, buf)
+		return fn(vars, buf)
+	})
+	return nil
+}
+
+// BaselineQuantile materializes Q(D) and selects — the direct method the
+// paper improves upon. Time and memory are linear in |Q(D)| per call.
+func (p *Prepared) BaselineQuantile(f *Ranking, phi float64) (*Answer, error) {
+	return core.BaselineQuantilePrepared(p.eng, f, phi)
+}

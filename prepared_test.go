@@ -1,0 +1,315 @@
+package qjoin_test
+
+import (
+	"math/big"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"github.com/quantilejoins/qjoin"
+	"github.com/quantilejoins/qjoin/internal/workload"
+)
+
+// diffCase is one (query, database, ranking) configuration of the
+// differential matrix.
+type diffCase struct {
+	name string
+	mk   func() (*qjoin.Query, *qjoin.DB)
+	rank func(q *qjoin.Query) *qjoin.Ranking
+	eps  float64 // >0: compare ApproxQuantile instead of exact Quantile
+}
+
+func diffCases() []diffCase {
+	return []diffCase{
+		{
+			name: "social-sum",
+			mk:   socialDB,
+			rank: func(q *qjoin.Query) *qjoin.Ranking { return qjoin.Sum("l2", "l3") },
+		},
+		{
+			name: "star3-min",
+			mk: func() (*qjoin.Query, *qjoin.DB) {
+				rng := rand.New(rand.NewSource(21))
+				q, db := workload.Star(rng, 3, 80, 10, 60)
+				return q, qjoin.WrapDB(db)
+			},
+			rank: func(q *qjoin.Query) *qjoin.Ranking { return qjoin.Min(q.Vars()...) },
+		},
+		{
+			name: "star3-max",
+			mk: func() (*qjoin.Query, *qjoin.DB) {
+				rng := rand.New(rand.NewSource(22))
+				q, db := workload.Star(rng, 3, 80, 10, 60)
+				return q, qjoin.WrapDB(db)
+			},
+			rank: func(q *qjoin.Query) *qjoin.Ranking { return qjoin.Max(q.Vars()...) },
+		},
+		{
+			name: "path3-partial-sum",
+			mk: func() (*qjoin.Query, *qjoin.DB) {
+				rng := rand.New(rand.NewSource(23))
+				q, db := workload.Path(rng, 3, 70, 12)
+				return q, qjoin.WrapDB(db)
+			},
+			rank: func(q *qjoin.Query) *qjoin.Ranking { return qjoin.Sum("x1", "x2", "x3") },
+		},
+		{
+			name: "path3-lex",
+			mk: func() (*qjoin.Query, *qjoin.DB) {
+				rng := rand.New(rand.NewSource(24))
+				q, db := workload.Path(rng, 3, 70, 12)
+				return q, qjoin.WrapDB(db)
+			},
+			rank: func(q *qjoin.Query) *qjoin.Ranking { return qjoin.Lex("x1", "x3") },
+		},
+		{
+			name: "path3-full-sum-approx",
+			mk: func() (*qjoin.Query, *qjoin.DB) {
+				rng := rand.New(rand.NewSource(25))
+				q, db := workload.Path(rng, 3, 60, 10)
+				return q, qjoin.WrapDB(db)
+			},
+			rank: func(q *qjoin.Query) *qjoin.Ranking { return qjoin.Sum(q.Vars()...) },
+			eps:  0.2,
+		},
+	}
+}
+
+func sameAnswer(t *testing.T, label string, a, b *qjoin.Answer) {
+	t.Helper()
+	if !reflect.DeepEqual(a.Vars, b.Vars) || !reflect.DeepEqual(a.Values, b.Values) ||
+		!reflect.DeepEqual(a.Weight, b.Weight) {
+		t.Fatalf("%s: prepared answer %v (w=%v) != one-shot answer %v (w=%v)",
+			label, a, a.Weight, b, b.Weight)
+	}
+}
+
+// TestPreparedMatchesOneShot asserts that every Prepared method returns
+// byte-identical results to the one-shot free functions, across rankings
+// (SUM/MIN/MAX/LEX, exact and approximate) and a φ grid.
+func TestPreparedMatchesOneShot(t *testing.T) {
+	phis := []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 1}
+	for _, tc := range diffCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			q, db := tc.mk()
+			f := tc.rank(q)
+			p, err := qjoin.Prepare(q, db)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			freeN, err := qjoin.Count(q, db)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p.Count().Cmp(freeN) != 0 {
+				t.Fatalf("count: prepared %s != free %s", p.Count(), freeN)
+			}
+
+			for _, phi := range phis {
+				var pa, fa *qjoin.Answer
+				var perr, ferr error
+				if tc.eps > 0 {
+					pa, perr = p.ApproxQuantile(f, phi, tc.eps)
+					fa, ferr = qjoin.ApproxQuantile(q, db, f, phi, tc.eps)
+				} else {
+					pa, perr = p.Quantile(f, phi)
+					fa, ferr = qjoin.Quantile(q, db, f, phi)
+				}
+				if perr != nil || ferr != nil {
+					t.Fatalf("φ=%v: prepared err %v, free err %v", phi, perr, ferr)
+				}
+				sameAnswer(t, tc.name, pa, fa)
+			}
+
+			if tc.eps == 0 {
+				// Selection at a few absolute indexes.
+				n := freeN.Int64()
+				for _, k := range []int64{0, n / 3, n - 1} {
+					pa, err := p.SelectAt(f, big.NewInt(k))
+					if err != nil {
+						t.Fatalf("SelectAt(%d): %v", k, err)
+					}
+					fa, err := qjoin.SelectAt(q, db, f, big.NewInt(k))
+					if err != nil {
+						t.Fatalf("free SelectAt(%d): %v", k, err)
+					}
+					sameAnswer(t, "selectat", pa, fa)
+				}
+
+				// Ranked prefix.
+				pt, err := p.TopK(f, 5)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ft, err := qjoin.TopK(q, db, f, 5)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(pt) != len(ft) {
+					t.Fatalf("topk: %d vs %d answers", len(pt), len(ft))
+				}
+				for i := range pt {
+					if !reflect.DeepEqual(pt[i].Weight, ft[i].Weight) {
+						t.Fatalf("topk[%d]: weight %v vs %v", i, pt[i].Weight, ft[i].Weight)
+					}
+				}
+			}
+
+			// Randomized paths share the code path, so equal seeds must give
+			// equal answers.
+			pa, err := p.SampleQuantile(f, 0.5, 0.3, 0.1, rand.New(rand.NewSource(99)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			fa, err := qjoin.SampleQuantile(q, db, f, 0.5, 0.3, 0.1, rand.New(rand.NewSource(99)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameAnswer(t, "samplequantile", pa, fa)
+		})
+	}
+}
+
+// TestPreparedQuantilesMatchesLoop pins the batch method to per-φ calls.
+func TestPreparedQuantilesMatchesLoop(t *testing.T) {
+	q, db := socialDB()
+	f := qjoin.Sum("l2", "l3")
+	p, err := qjoin.Prepare(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phis := []float64{0, 0.5, 1}
+	batch, err := p.Quantiles(f, phis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	free, err := qjoin.Quantiles(q, db, f, phis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range phis {
+		sameAnswer(t, "quantiles", batch[i], free[i])
+	}
+	if _, err := p.Quantiles(f, []float64{0.5, 7}); err == nil {
+		t.Fatal("invalid φ accepted in batch")
+	}
+}
+
+// TestPreparedErrors pins the error contract of a Prepared plan.
+func TestPreparedErrors(t *testing.T) {
+	// Cyclic queries fail at Prepare time.
+	tri := qjoin.NewQuery(
+		qjoin.NewAtom("R", "x", "y"),
+		qjoin.NewAtom("S", "y", "z"),
+		qjoin.NewAtom("T", "z", "x"),
+	)
+	db := qjoin.NewDB()
+	for _, name := range []string{"R", "S", "T"} {
+		db.MustAdd(name, 2, [][]int64{{1, 1}})
+	}
+	if _, err := qjoin.Prepare(tri, db); err != qjoin.ErrCyclic {
+		t.Fatalf("cyclic: err = %v, want ErrCyclic", err)
+	}
+
+	// Empty answer sets prepare fine and fail per query.
+	q := qjoin.NewQuery(qjoin.NewAtom("A", "x", "y"), qjoin.NewAtom("B", "y", "z"))
+	edb := qjoin.NewDB()
+	edb.MustAdd("A", 2, [][]int64{{1, 5}})
+	edb.MustAdd("B", 2, [][]int64{{7, 2}})
+	p, err := qjoin.Prepare(q, edb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Count().Sign() != 0 {
+		t.Fatalf("count = %s", p.Count())
+	}
+	if _, err := p.Quantile(qjoin.Sum("x"), 0.5); err != qjoin.ErrNoAnswers {
+		t.Fatalf("quantile on empty: %v", err)
+	}
+	if _, _, err := p.SampleAnswers(3, rand.New(rand.NewSource(1))); err != qjoin.ErrNoAnswers {
+		t.Fatalf("sample on empty: %v", err)
+	}
+
+	// Intractable exact SUM still reported per query, not at Prepare time.
+	path3 := qjoin.NewQuery(
+		qjoin.NewAtom("R1", "x1", "x2"),
+		qjoin.NewAtom("R2", "x2", "x3"),
+		qjoin.NewAtom("R3", "x3", "x4"),
+	)
+	pdb := qjoin.NewDB()
+	rng := rand.New(rand.NewSource(5))
+	rows := func() [][]int64 {
+		var out [][]int64
+		for i := 0; i < 20; i++ {
+			out = append(out, []int64{rng.Int63n(4), rng.Int63n(4)})
+		}
+		return out
+	}
+	pdb.MustAdd("R1", 2, rows())
+	pdb.MustAdd("R2", 2, rows())
+	pdb.MustAdd("R3", 2, rows())
+	pp, err := qjoin.Prepare(path3, pdb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := qjoin.Sum(path3.Vars()...)
+	if _, err := pp.Quantile(full, 0.5); err != qjoin.ErrIntractable {
+		t.Fatalf("full SUM: err = %v, want ErrIntractable", err)
+	}
+	if _, err := pp.ApproxQuantile(full, 0.5, 0.25); err != nil {
+		t.Fatalf("approx after intractable: %v", err)
+	}
+}
+
+// TestPreparedConcurrent exercises one Prepared plan from many goroutines;
+// run with -race it proves the documented concurrency contract.
+func TestPreparedConcurrent(t *testing.T) {
+	q, db := socialDB()
+	f := qjoin.Sum("l2", "l3")
+	p, err := qjoin.Prepare(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 10; i++ {
+				if a, err := p.Quantile(f, 0.5); err != nil || a.Weight.K != 9 {
+					t.Errorf("quantile: %v %v", a, err)
+					return
+				}
+				if n := p.Count(); n.Int64() != 4 {
+					t.Errorf("count = %s", n)
+					return
+				}
+				if a, err := p.SelectAt(f, big.NewInt(1)); err != nil || a.Weight.K != 7 {
+					t.Errorf("selectat: %v %v", a, err)
+					return
+				}
+				if top, err := p.TopK(f, 2); err != nil || len(top) != 2 || top[0].Weight.K != 5 {
+					t.Errorf("topk: %v %v", top, err)
+					return
+				}
+				if _, rows, err := p.SampleAnswers(4, rng); err != nil || len(rows) != 4 {
+					t.Errorf("sample: %v", err)
+					return
+				}
+				cnt := 0
+				if err := p.Enumerate(func([]qjoin.Var, []int64) bool { cnt++; return true }); err != nil || cnt != 4 {
+					t.Errorf("enumerate: %d %v", cnt, err)
+					return
+				}
+				if _, err := p.SampleQuantile(f, 0.5, 0.3, 0.1, rng); err != nil {
+					t.Errorf("samplequantile: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

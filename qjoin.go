@@ -5,16 +5,12 @@ import (
 	"math/big"
 	"math/rand"
 
-	"github.com/quantilejoins/qjoin/internal/access"
 	"github.com/quantilejoins/qjoin/internal/anyk"
 	"github.com/quantilejoins/qjoin/internal/core"
-	"github.com/quantilejoins/qjoin/internal/counting"
 	"github.com/quantilejoins/qjoin/internal/hypergraph"
-	"github.com/quantilejoins/qjoin/internal/jointree"
 	"github.com/quantilejoins/qjoin/internal/query"
 	"github.com/quantilejoins/qjoin/internal/ranking"
 	"github.com/quantilejoins/qjoin/internal/relation"
-	"github.com/quantilejoins/qjoin/internal/yannakakis"
 )
 
 // Value is a database constant.
@@ -149,6 +145,10 @@ func Count(q *Query, db *DB) (*big.Int, error) {
 // With a zero Options value the computation is exact and fails with
 // ErrIntractable on the negative side of the SUM dichotomy; set
 // Options.Epsilon for the deterministic approximation.
+//
+// Quantile prepares a plan and discards it. When several quantiles — or any
+// mix of queries — run over the same (Q, D) pair, Prepare once and query
+// the Prepared plan instead.
 func Quantile(q *Query, db *DB, f *Ranking, phi float64, opts ...Options) (*Answer, error) {
 	a, _, err := core.Quantile(q, db.inner, f, phi, oneOpt(opts))
 	return a, err
@@ -167,12 +167,11 @@ func Median(q *Query, db *DB, f *Ranking, opts ...Options) (*Answer, error) {
 // SelectAt answers the selection problem: the answer at absolute zero-based
 // index k of the ranked order.
 func SelectAt(q *Query, db *DB, f *Ranking, k *big.Int, opts ...Options) (*Answer, error) {
-	kc, ok := counting.FromBig(k)
-	if !ok {
-		return nil, fmt.Errorf("qjoin: index out of the supported 128-bit range")
+	p, err := Prepare(q, db)
+	if err != nil {
+		return nil, err
 	}
-	a, _, err := core.Select(q, db.inner, f, kc, oneOpt(opts))
-	return a, err
+	return p.SelectAt(f, k, opts...)
 }
 
 // ApproxQuantile returns a deterministic (φ±ε)-quantile (Theorem 6.2). It
@@ -192,53 +191,25 @@ func SampleQuantile(q *Query, db *DB, f *Ranking, phi, eps, delta float64, rng *
 	return core.SampleQuantile(q, db.inner, f, phi, eps, delta, rng)
 }
 
-// Quantiles computes several quantiles in one call (each runs the full
-// driver; provided for convenience and symmetric error handling).
+// Quantiles computes several quantiles in one call. The (Q, D) pair is
+// prepared once and every φ is answered against the shared plan.
 func Quantiles(q *Query, db *DB, f *Ranking, phis []float64, opts ...Options) ([]*Answer, error) {
-	out := make([]*Answer, len(phis))
-	for i, phi := range phis {
-		a, err := Quantile(q, db, f, phi, opts...)
-		if err != nil {
-			return nil, fmt.Errorf("qjoin: φ=%v: %w", phi, err)
-		}
-		out[i] = a
+	p, err := Prepare(q, db)
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return p.Quantiles(f, phis, opts...)
 }
 
 // SampleAnswers draws k uniform samples from Q(D) (with replacement) using
 // the linear-time direct-access structure of Section 3.1. It returns the
 // variable layout and one row per sample.
 func SampleAnswers(q *Query, db *DB, k int, rng *rand.Rand) ([]Var, [][]Value, error) {
-	if err := q.Validate(db.inner); err != nil {
-		return nil, nil, err
-	}
-	q2, db2 := query.EliminateSelfJoins(q, db.inner)
-	e, err := execFor(q2, db2)
+	p, err := Prepare(q, db)
 	if err != nil {
 		return nil, nil, err
 	}
-	d := access.New(e)
-	if d.N().IsZero() {
-		return nil, nil, ErrNoAnswers
-	}
-	vars := q.Vars()
-	idx := q2.VarIndex()
-	pos := make([]int, len(vars))
-	for i, v := range vars {
-		pos[i] = idx[v]
-	}
-	buf := make([]Value, len(q2.Vars()))
-	rows := make([][]Value, k)
-	for i := 0; i < k; i++ {
-		d.Sample(rng, buf)
-		row := make([]Value, len(vars))
-		for j, p := range pos {
-			row[j] = buf[p]
-		}
-		rows[i] = row
-	}
-	return vars, rows, nil
+	return p.SampleAnswers(k, rng)
 }
 
 // RankedStream enumerates answers in non-decreasing weight order (any-k
@@ -254,30 +225,11 @@ type RankedStream struct {
 // RankedEnumerate prepares a ranked enumeration of Q(D) under the ranking
 // function. Preprocessing is linear; each Next has logarithmic delay.
 func RankedEnumerate(q *Query, db *DB, f *Ranking) (*RankedStream, error) {
-	if err := q.Validate(db.inner); err != nil {
-		return nil, err
-	}
-	q2, db2 := query.EliminateSelfJoins(q, db.inner)
-	e, err := execFor(q2, db2)
+	p, err := Prepare(q, db)
 	if err != nil {
 		return nil, err
 	}
-	en, err := anyk.New(e, f)
-	if err != nil {
-		return nil, err
-	}
-	vars := q.Vars()
-	idx := q2.VarIndex()
-	pos := make([]int, len(vars))
-	for i, v := range vars {
-		pos[i] = idx[v]
-	}
-	return &RankedStream{
-		en:   en,
-		vars: vars,
-		pos:  pos,
-		buf:  make([]Value, len(q2.Vars())),
-	}, nil
+	return p.RankedEnumerate(f)
 }
 
 // Next returns the next answer in weight order, or (nil, false) when
@@ -296,19 +248,11 @@ func (s *RankedStream) Next() (*Answer, bool) {
 
 // TopK returns the k lowest-weight answers in order (fewer if |Q(D)| < k).
 func TopK(q *Query, db *DB, f *Ranking, k int) ([]*Answer, error) {
-	s, err := RankedEnumerate(q, db, f)
+	p, err := Prepare(q, db)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]*Answer, 0, k)
-	for len(out) < k {
-		a, ok := s.Next()
-		if !ok {
-			break
-		}
-		out = append(out, a)
-	}
-	return out, nil
+	return p.TopK(f, k)
 }
 
 // BaselineQuantile materializes Q(D) and selects — the direct method the
@@ -320,28 +264,11 @@ func BaselineQuantile(q *Query, db *DB, f *Ranking, phi float64) (*Answer, error
 // Enumerate streams every answer (in no particular order); fn may return
 // false to stop. The slice passed to fn must not be retained.
 func Enumerate(q *Query, db *DB, fn func(vars []Var, vals []Value) bool) error {
-	if err := q.Validate(db.inner); err != nil {
-		return err
-	}
-	q2, db2 := query.EliminateSelfJoins(q, db.inner)
-	e, err := execFor(q2, db2)
+	p, err := Prepare(q, db)
 	if err != nil {
 		return err
 	}
-	vars := q.Vars()
-	pos := make([]int, len(vars))
-	idx := q2.VarIndex()
-	for i, v := range vars {
-		pos[i] = idx[v]
-	}
-	buf := make([]Value, len(vars))
-	yannakakis.Enumerate(e, func(asn []Value) bool {
-		for i, p := range pos {
-			buf[i] = asn[p]
-		}
-		return fn(vars, buf)
-	})
-	return nil
+	return p.Enumerate(fn)
 }
 
 // ClassifySum evaluates the partial-SUM dichotomy (Theorem 5.6).
@@ -353,14 +280,6 @@ func ClassifySum(q *Query, uw ...Var) SumClassification {
 // a one-line reason referencing the paper.
 func ClassifyRanking(q *Query, f *Ranking) (tractable bool, why string) {
 	return core.ClassifyRanking(q, f)
-}
-
-func execFor(q *Query, db *relation.Database) (*jointree.Exec, error) {
-	tree, err := jointree.Build(q)
-	if err != nil {
-		return nil, ErrCyclic
-	}
-	return jointree.NewExec(q, db, tree)
 }
 
 func oneOpt(opts []Options) Options {
