@@ -5,6 +5,7 @@
 package qjoin_test
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -13,6 +14,7 @@ import (
 	"github.com/quantilejoins/qjoin/internal/jointree"
 	"github.com/quantilejoins/qjoin/internal/pivot"
 	"github.com/quantilejoins/qjoin/internal/ranking"
+	"github.com/quantilejoins/qjoin/internal/relation"
 	"github.com/quantilejoins/qjoin/internal/trim"
 	"github.com/quantilejoins/qjoin/internal/workload"
 	"github.com/quantilejoins/qjoin/internal/yannakakis"
@@ -238,6 +240,92 @@ func BenchmarkPreparedReuse(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkParallelCount — the data-parallel counting pass (ISSUE 2) on a
+// prepared executable tree at 1/2/4 workers. Speedup above 1× requires
+// GOMAXPROCS > 1; the counted total is identical at every worker count.
+func BenchmarkParallelCount(b *testing.B) {
+	rng := rand.New(rand.NewSource(14))
+	q, db := workload.Hierarchy(rng, 1<<15, 1<<13)
+	tree, _ := jointree.Build(q)
+	e, err := jointree.NewExec(q, db, tree)
+	if err != nil {
+		b.Fatal(err)
+	}
+	want := yannakakis.CountAnswers(e)
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if got := yannakakis.CountAnswersWorkers(e, w); got.Cmp(want) != 0 {
+					b.Fatalf("workers=%d: count %s, want %s", w, got, want)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelQuantile — the full quantile driver (exact SUM on a
+// 32k-tuple binary join) at Parallelism 1/2/4 against one prepared plan.
+// The per-iteration work (pivoting, trims, instance counting) runs on the
+// worker pool; answers are byte-identical at every worker count.
+func BenchmarkParallelQuantile(b *testing.B) {
+	rng := rand.New(rand.NewSource(15))
+	q, idb := workload.Path(rng, 2, 1<<14, 1<<10) // 32k tuples
+	db := qjoin.WrapDB(idb)
+	f := qjoin.Sum(q.Vars()...)
+	seq, err := qjoin.Prepare(q, db, qjoin.Options{Parallelism: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	want, err := seq.Quantile(f, 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			p, err := qjoin.Prepare(q, db, qjoin.Options{Parallelism: w})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				a, err := p.Quantile(f, 0.5)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if f.Compare(a.Weight, want.Weight) != 0 {
+					b.Fatalf("workers=%d: weight diverged from sequential", w)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDedupedAllocs — the shared fixed-width key encoder keeps input
+// deduplication at ~1 string allocation per distinct row (plus amortized
+// map/output growth). The assertion is a regression floor for the hot-path
+// allocation work of ISSUE 2.
+func BenchmarkDedupedAllocs(b *testing.B) {
+	rng := rand.New(rand.NewSource(16))
+	const rows = 1 << 15
+	rel := relation.NewWithCapacity("R", 3, rows)
+	for i := 0; i < rows; i++ {
+		// ~half the rows are duplicates of earlier ones.
+		v := relation.Value(rng.Intn(rows / 2))
+		rel.Append(v, v*7, v%13)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rel.Deduped()
+	}
+	b.StopTimer()
+	perRow := testing.AllocsPerRun(3, func() { rel.Deduped() }) / float64(rel.Len())
+	b.ReportMetric(perRow, "allocs/row")
+	if perRow > 1.1 {
+		b.Fatalf("Deduped allocates %.2f allocs/row, budget 1.1 — key-encoder regression", perRow)
+	}
 }
 
 // BenchmarkE12AblationBudget — ε-budget strategies of the approximate driver.

@@ -3,12 +3,14 @@ package main
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"time"
 
 	"github.com/quantilejoins/qjoin/internal/core"
 	"github.com/quantilejoins/qjoin/internal/counting"
 	"github.com/quantilejoins/qjoin/internal/engine"
 	"github.com/quantilejoins/qjoin/internal/jointree"
+	"github.com/quantilejoins/qjoin/internal/parallel"
 	"github.com/quantilejoins/qjoin/internal/pivot"
 	"github.com/quantilejoins/qjoin/internal/query"
 	"github.com/quantilejoins/qjoin/internal/ranking"
@@ -19,14 +21,29 @@ import (
 	"github.com/quantilejoins/qjoin/internal/yannakakis"
 )
 
-// engineOf compiles (q, db); experiment workloads are known-acyclic, so a
-// failure is a bug worth crashing on.
+// benchWorkers is the -workers flag: the worker count pinned for every
+// experiment (0 = GOMAXPROCS, 1 = sequential).
+var benchWorkers int
+
+// engineOf compiles (q, db) on the pinned worker count; experiment workloads
+// are known-acyclic, so a failure is a bug worth crashing on.
 func engineOf(q *query.Query, db *relation.Database) *engine.Engine {
-	eng, err := engine.New(q, db)
+	eng, err := engine.NewWorkers(q, db, benchWorkers)
 	if err != nil {
 		panic(err)
 	}
 	return eng
+}
+
+// workerCount resolves the -workers flag to a concrete worker count.
+func workerCount() int { return parallel.Workers(benchWorkers) }
+
+// withWorkers pins the -workers flag on a driver Options value.
+func withWorkers(opts core.Options) core.Options {
+	if opts.Parallelism == 0 {
+		opts.Parallelism = benchWorkers
+	}
+	return opts
 }
 
 func sizes(c *ctx, base []int) []int {
@@ -77,9 +94,9 @@ func runE02(c *ctx) {
 	q, db := testutil.Fig1Instance()
 	f := ranking.NewSum(q.Vars()...)
 	tree := jointree.FromParent(q, []int{-1, 0, 0, 2}, 0)
-	e, _ := jointree.NewExec(q, db, tree)
+	e, _ := jointree.NewExecWorkers(q, db, tree, workerCount())
 	mu, _ := f.AssignVars(q)
-	res, err := pivot.Select(e, f, mu)
+	res, err := pivot.SelectWorkers(e, f, mu, workerCount())
 	if err != nil {
 		panic(err)
 	}
@@ -94,7 +111,7 @@ func runE02(c *ctx) {
 		f := ranking.NewSum(q.Vars()...)
 		eng := engineOf(q, db)
 		mu, _ := f.AssignVars(q)
-		res, err := pivot.Select(eng.Exec(), f, mu)
+		res, err := pivot.SelectWorkers(eng.Exec(), f, mu, workerCount())
 		if err != nil {
 			continue
 		}
@@ -121,7 +138,7 @@ func runE02(c *ctx) {
 		eng := engineOf(q, db)
 		mu, _ := f.AssignVars(q)
 		d := timeIt(3, func() {
-			if _, err := pivot.Select(eng.Exec(), f, mu); err != nil && err != pivot.ErrNoAnswers {
+			if _, err := pivot.SelectWorkers(eng.Exec(), f, mu, workerCount()); err != nil && err != pivot.ErrNoAnswers {
 				panic(err)
 			}
 		})
@@ -139,6 +156,7 @@ func runE02(c *ctx) {
 // sweepDriver measures one-shot Quantile, Quantile on a prepared plan, and
 // BaselineQuantile across sizes.
 func sweepDriver(c *ctx, base []int, gen func(rng *rand.Rand, n int) (*query.Query, *relation.Database, *ranking.Func), phi float64, opts core.Options, baselineCap float64) {
+	opts = withWorkers(opts)
 	t := &table{header: []string{"n per relation", "|D|", "|Q(D)|", "pivoting", "prepared", "baseline", "speedup"}}
 	var xs, ys []float64
 	for _, sz := range sizes(c, base) {
@@ -308,7 +326,7 @@ func runE08(c *ctx) {
 		var stats *core.RunStats
 		var err error
 		d := timeIt(1, func() {
-			a, stats, err = core.Quantile(q, db, f, 0.5, core.Options{Epsilon: eps})
+			a, stats, err = core.Quantile(q, db, f, 0.5, withWorkers(core.Options{Epsilon: eps}))
 		})
 		if err != nil {
 			panic(err)
@@ -333,7 +351,7 @@ func runE08(c *ctx) {
 		var stats *core.RunStats
 		var err error
 		d := timeIt(1, func() {
-			_, stats, err = core.Quantile(q, db, f, 0.5, core.Options{Epsilon: 0.25})
+			_, stats, err = core.Quantile(q, db, f, 0.5, withWorkers(core.Options{Epsilon: 0.25}))
 		})
 		if err != nil {
 			if err == core.ErrNoAnswers {
@@ -398,10 +416,10 @@ func runE10(c *ctx) {
 		rng := rand.New(rand.NewSource(9))
 		q, db := workload.Path(rng, 3, sz, int64(sz/8+1))
 		f := ranking.NewSum(q.Vars()...)
-		inst := trim.Instance{Q: q, DB: db}
+		inst := trim.Instance{Q: q, DB: db, Workers: workerCount()}
 		// λ = the weight of a pivot (roughly the median weight).
 		mu, _ := f.AssignVars(q)
-		pv, err := pivot.Select(engineOf(q, db).Exec(), f, mu)
+		pv, err := pivot.SelectWorkers(engineOf(q, db).Exec(), f, mu, workerCount())
 		if err != nil {
 			continue
 		}
@@ -444,7 +462,7 @@ func runE11(c *ctx) {
 		var a *core.Answer
 		var err error
 		d := timeIt(3, func() {
-			a, _, err = core.Quantile(q, db, f, 0.5, core.Options{})
+			a, _, err = core.Quantile(q, db, f, 0.5, withWorkers(core.Options{}))
 		})
 		if err != nil {
 			panic(err)
@@ -492,7 +510,7 @@ func runE12(c *ctx) {
 		var stats *core.RunStats
 		var err error
 		d := timeIt(1, func() {
-			a, stats, err = core.Quantile(q, db, f, 0.5, core.Options{Epsilon: 0.25, Budget: mode.b})
+			a, stats, err = core.Quantile(q, db, f, 0.5, withWorkers(core.Options{Epsilon: 0.25, Budget: mode.b}))
 		})
 		if err != nil {
 			panic(err)
@@ -508,12 +526,12 @@ func runE12(c *ctx) {
 	rngT := rand.New(rand.NewSource(12))
 	qt, dbt := workload.Path(rngT, 3, n, 8) // domain 8 -> heavy ties
 	mu, _ := f.AssignVars(qt)
-	pv, _ := pivot.Select(engineOf(qt, dbt).Exec(), f, mu)
+	pv, _ := pivot.SelectWorkers(engineOf(qt, dbt).Exec(), f, mu, workerCount())
 	for _, mode := range []struct {
 		name    string
 		disable bool
 	}{{"grouped (paper)", false}, {"ungrouped (ablation)", true}} {
-		out, stats, err := trim.SumLossy(trim.Instance{Q: qt, DB: dbt}, f, pv.Weight.K, trim.Less, 0.25,
+		out, stats, err := trim.SumLossy(trim.Instance{Q: qt, DB: dbt, Workers: workerCount()}, f, pv.Weight.K, trim.Less, 0.25,
 			trim.LossyOpts{DisableAtomicity: mode.disable})
 		if err != nil {
 			panic(err)
@@ -594,4 +612,80 @@ func checkDistinctProjections(out trim.Instance, orig *query.Query) bool {
 		return true
 	})
 	return ok
+}
+
+// ---------------------------------------------------------------- E13
+
+// runE13 sweeps the worker count of the parallel execution runtime (ISSUE 2)
+// over the hot passes: engine compilation (dedup + node materialization +
+// group indexes), the counting pass, and the full quantile driver. Answers
+// must be byte-identical at every worker count; speedup is wall-clock over
+// the Parallelism=1 sequential baseline.
+func runE13(c *ctx) {
+	gmp := runtime.GOMAXPROCS(0)
+	sweep := []int{1, 2, 4}
+	if gmp != 1 && gmp != 2 && gmp != 4 {
+		sweep = append(sweep, gmp)
+	}
+	n := 1 << 14
+	if c.quick {
+		n = 1 << 12
+	}
+	rngC := rand.New(rand.NewSource(14))
+	qc, dbc := workload.Hierarchy(rngC, n, int64(n/4))
+	treeC, _ := jointree.Build(qc)
+	execC, err := jointree.NewExec(qc, dbc, treeC)
+	if err != nil {
+		panic(err)
+	}
+	rngQ := rand.New(rand.NewSource(15))
+	qq, dbq := workload.Path(rngQ, 2, n, int64(n/16+1))
+	fq := ranking.NewSum(qq.Vars()...)
+	fmt.Printf("GOMAXPROCS = %d; count workload: hierarchy |D| = %d; quantile workload: binary SUM join |D| = %d, φ = 0.5\n\n",
+		gmp, dbc.Size(), dbq.Size())
+
+	t := &table{header: []string{"workers", "prepare", "speedup", "count pass", "speedup", "quantile", "speedup"}}
+	var prepBase, cntBase, qBase time.Duration
+	var refWeight *core.Answer
+	var refTotal counting.Count
+	for _, w := range sweep {
+		prepD := timeIt(3, func() {
+			if _, err := engine.NewWorkers(qq, dbq, w); err != nil {
+				panic(err)
+			}
+		})
+		var total counting.Count
+		cntD := timeIt(3, func() {
+			total = yannakakis.CountAnswersWorkers(execC, w)
+		})
+		eng, err := engine.NewWorkers(qq, dbq, w)
+		if err != nil {
+			panic(err)
+		}
+		var a *core.Answer
+		qD := timeIt(3, func() {
+			a, _, err = core.QuantilePrepared(eng, fq, 0.5, core.Options{Parallelism: w})
+			if err != nil {
+				panic(err)
+			}
+		})
+		if w == sweep[0] {
+			prepBase, cntBase, qBase = prepD, cntD, qD
+			refWeight, refTotal = a, total
+		} else {
+			if fq.Compare(a.Weight, refWeight.Weight) != 0 {
+				panic(fmt.Sprintf("workers=%d: answer diverged from sequential baseline", w))
+			}
+			if total.Cmp(refTotal) != 0 {
+				panic(fmt.Sprintf("workers=%d: count diverged from sequential baseline", w))
+			}
+		}
+		t.add(fmt.Sprint(w),
+			dur(prepD), fmt.Sprintf("%.2f×", float64(prepBase)/float64(prepD)),
+			dur(cntD), fmt.Sprintf("%.2f×", float64(cntBase)/float64(cntD)),
+			dur(qD), fmt.Sprintf("%.2f×", float64(qBase)/float64(qD)))
+	}
+	t.print()
+	fmt.Println("\n(answers are byte-identical at every worker count — the runtime's determinism")
+	fmt.Println("contract; speedups above 1× require GOMAXPROCS > 1)")
 }

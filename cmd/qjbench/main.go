@@ -46,12 +46,15 @@ var experiments = []experiment{
 	{"E10", "Lossy trimming size and sketch guarantee (Lemma 6.1, Lemma 6.3, Figure 4)", runE10},
 	{"E11", "Crossover vs output size |Q(D)| (the headline claim)", runE11},
 	{"E12", "Ablations: ε-budget strategy and sketch value-grouping", runE12},
+	{"E13", "Parallel execution runtime: worker sweep and determinism", runE13},
 }
 
 func main() {
-	expFlag := flag.String("exp", "all", "experiment id (E01..E12) or 'all'")
+	expFlag := flag.String("exp", "all", "experiment id (E01..E13) or 'all'")
 	quick := flag.Bool("quick", false, "reduced sizes for fast runs")
+	workers := flag.Int("workers", 0, "worker count pinned for all experiments (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
+	benchWorkers = *workers
 	c := &ctx{quick: *quick}
 	ran := false
 	for _, e := range experiments {

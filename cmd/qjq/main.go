@@ -53,6 +53,7 @@ func main() {
 	doSample := flag.Bool("sample", false, "use randomized sampling (requires -eps)")
 	delta := flag.Float64("delta", 0.05, "failure probability for -sample")
 	seed := flag.Int64("seed", time.Now().UnixNano(), "random seed for -sample")
+	workers := flag.Int("workers", 0, "worker count for parallel execution (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Var(rels, "rel", "NAME=FILE CSV source for a relation (repeatable)")
 	flag.Parse()
 
@@ -80,8 +81,12 @@ func main() {
 		fatal(err)
 	}
 
+	// Answers are byte-identical for every -workers value; the knob only
+	// trades wall-clock time for cores.
+	planOpts := qjoin.Options{Parallelism: *workers}
+
 	if *doCount {
-		p, err := qjoin.Prepare(q, db)
+		p, err := qjoin.Prepare(q, db, planOpts)
 		if err != nil {
 			fatal(err)
 		}
@@ -102,9 +107,10 @@ func main() {
 	}
 
 	// Compile once; every φ below — and -baseline, -sample — runs against
-	// this single plan.
+	// this single plan. The plan-default options carry -workers into every
+	// query without repeating them per call.
 	prepStart := time.Now()
-	p, err := qjoin.Prepare(q, db)
+	p, err := qjoin.Prepare(q, db, planOpts)
 	if err != nil {
 		fatal(err)
 	}

@@ -60,6 +60,28 @@
 // *rand.Rand require a per-goroutine generator, and a *RankedStream is a
 // single-consumer cursor (create one stream per goroutine instead).
 //
+// # Parallel execution
+//
+// The hot passes — input deduplication, node materialization, join-group
+// index construction, the Yannakakis counting and reduction passes, pivot
+// selection, and the per-round trim constructions of Algorithm 1 — run on a
+// shared data-parallel runtime (a bounded worker pool with chunked
+// index-range scheduling). Options.Parallelism sets the worker count:
+//
+//	p, err := qjoin.Prepare(q, db, qjoin.Options{Parallelism: 8})
+//	med, err := p.Median(f) // plan defaults apply to every query
+//
+// 0 (the default) selects GOMAXPROCS; 1 takes the exact sequential code
+// path. The determinism contract: answers, run statistics and every
+// compiled artifact are byte-identical for every Parallelism value — all
+// parallel merges are ordered and nothing depends on goroutine scheduling —
+// so the knob only trades wall-clock time for cores. Parallelism is a no-op
+// on tiny inputs: chunked loops fall back to the sequential path below a
+// fixed chunk-size threshold, so small relations never pay goroutine
+// overhead. Custom Ranking.Weight functions must be safe for concurrent
+// calls when the resolved worker count exceeds 1 (the default identity
+// weights always are).
+//
 // The implementation is a faithful, fully self-contained reproduction: GYO
 // join trees, Yannakakis evaluation, linear-time c-pivot selection by
 // message passing (Algorithm 2), the four trimming constructions of

@@ -42,8 +42,12 @@ type Direct struct {
 
 // New builds the structure in linear time (one counting pass plus prefix
 // sums). The executable tree must not be mutated afterwards.
-func New(e *jointree.Exec) *Direct {
-	d := &Direct{e: e, counts: yannakakis.Count(e)}
+func New(e *jointree.Exec) *Direct { return NewWorkers(e, 1) }
+
+// NewWorkers is New with the counting pass run on a bounded worker pool;
+// the prefix sums stay sequential (they are inherently cumulative).
+func NewWorkers(e *jointree.Exec, workers int) *Direct {
+	d := &Direct{e: e, counts: yannakakis.CountWorkers(e, workers)}
 	varIdx := e.Q.VarIndex()
 	d.nodePos = make([][]int, len(e.T.Nodes))
 	d.groupOrder = make([][][]int, len(e.T.Nodes))

@@ -8,6 +8,7 @@ import (
 	"github.com/quantilejoins/qjoin/internal/counting"
 	"github.com/quantilejoins/qjoin/internal/engine"
 	"github.com/quantilejoins/qjoin/internal/jointree"
+	"github.com/quantilejoins/qjoin/internal/parallel"
 	"github.com/quantilejoins/qjoin/internal/pivot"
 	"github.com/quantilejoins/qjoin/internal/query"
 	"github.com/quantilejoins/qjoin/internal/ranking"
@@ -97,13 +98,14 @@ func makeTrimmer(q *query.Query, f *ranking.Func, opts Options) (*trimmer, error
 	return nil, fmt.Errorf("core: unsupported aggregate %s", f.Agg)
 }
 
-// execOf builds the executable join tree of an instance.
+// execOf builds the executable join tree of an instance on the instance's
+// worker budget.
 func execOf(inst trim.Instance) (*jointree.Exec, error) {
 	tree, err := jointree.Build(inst.Q)
 	if err != nil {
 		return nil, err
 	}
-	return jointree.NewExec(inst.Q, inst.DB, tree)
+	return jointree.NewExecWorkers(inst.Q, inst.DB, tree, inst.Workers)
 }
 
 // countInstance counts an instance's answers.
@@ -112,7 +114,7 @@ func countInstance(inst trim.Instance) (counting.Count, error) {
 	if err != nil {
 		return counting.Zero, err
 	}
-	return yannakakis.CountAnswers(e), nil
+	return yannakakis.CountAnswersWorkers(e, inst.Workers), nil
 }
 
 // Count returns |Q(D)| for an acyclic query.
@@ -140,7 +142,7 @@ func Quantile(q0 *query.Query, db0 *relation.Database, f *ranking.Func, phi floa
 	if err := validPhi(phi); err != nil {
 		return nil, nil, err
 	}
-	eng, err := engine.New(q0, db0)
+	eng, err := engine.NewWorkers(q0, db0, opts.Parallelism)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -164,7 +166,7 @@ func QuantilePrepared(eng *engine.Engine, f *ranking.Func, phi float64, opts Opt
 // computation are equivalent for acyclic queries since |Q(D)| is computable
 // in linear time.
 func Select(q0 *query.Query, db0 *relation.Database, f *ranking.Func, k counting.Count, opts Options) (*Answer, *RunStats, error) {
-	eng, err := engine.New(q0, db0)
+	eng, err := engine.NewWorkers(q0, db0, opts.Parallelism)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -194,7 +196,8 @@ func run(eng *engine.Engine, f *ranking.Func, opts Options, pickIndex func(total
 	q, db := eng.Query(), eng.DB()
 	origVars := eng.Vars()
 
-	orig := trim.Instance{Q: q, DB: db}
+	workers := parallel.Workers(opts.Parallelism)
+	orig := trim.Instance{Q: q, DB: db, Workers: workers}
 	total := eng.Total()
 	stats := &RunStats{Count: total}
 	if total.IsZero() {
@@ -247,7 +250,7 @@ func run(eng *engine.Engine, f *ranking.Func, opts Options, pickIndex func(total
 		if err != nil {
 			return nil, stats, err
 		}
-		pv, err := pivot.Select(e, f, mu)
+		pv, err := pivot.SelectWorkers(e, f, mu, workers)
 		if err != nil {
 			return nil, stats, err
 		}

@@ -32,6 +32,7 @@ import (
 	"github.com/quantilejoins/qjoin/internal/access"
 	"github.com/quantilejoins/qjoin/internal/counting"
 	"github.com/quantilejoins/qjoin/internal/jointree"
+	"github.com/quantilejoins/qjoin/internal/parallel"
 	"github.com/quantilejoins/qjoin/internal/query"
 	"github.com/quantilejoins/qjoin/internal/relation"
 	"github.com/quantilejoins/qjoin/internal/yannakakis"
@@ -56,6 +57,7 @@ type Engine struct {
 	tree     *jointree.Tree
 	exec     *jointree.Exec // shared read-only executable tree
 	pos      []int          // positions of origVars within q.Vars()
+	workers  int            // resolved worker count for compile-time passes
 
 	totalOnce sync.Once
 	total     counting.Count
@@ -72,21 +74,32 @@ type Engine struct {
 // deduplicate the input relations, build the join tree, and materialize the
 // executable tree. Everything here is quasilinear in |D| and is paid exactly
 // once per (Q, D) pair; the answer count and the other derived structures
-// are built lazily on first use and then cached.
+// are built lazily on first use and then cached. The compile-time passes run
+// data-parallel on GOMAXPROCS workers; NewWorkers pins the worker count.
 func New(src *query.Query, db0 *relation.Database) (*Engine, error) {
+	return NewWorkers(src, db0, 0)
+}
+
+// NewWorkers is New with an explicit Parallelism knob for the compile-time
+// passes (deduplication, node materialization, group indexes, counting, the
+// lazy full reduction): 0 selects GOMAXPROCS, 1 the exact sequential path.
+// The compiled artifact is byte-identical for every value — all parallel
+// merges are ordered — so the knob only trades wall-clock time for cores.
+func NewWorkers(src *query.Query, db0 *relation.Database, parallelism int) (*Engine, error) {
 	if err := src.Validate(db0); err != nil {
 		return nil, err
 	}
+	workers := parallel.Workers(parallelism)
 	q, db := query.EliminateSelfJoins(src, db0)
 	// Deduplicate the input once (relations are sets); all relations the
 	// trims derive from these stay marked distinct, so downstream node
 	// materializations skip their hash passes.
-	db = dedupeDatabase(db)
+	db = dedupeDatabase(db, workers)
 	tree, err := jointree.Build(q)
 	if err != nil {
 		return nil, ErrCyclic
 	}
-	exec, err := jointree.NewExec(q, db, tree)
+	exec, err := jointree.NewExecWorkers(q, db, tree, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -104,6 +117,7 @@ func New(src *query.Query, db0 *relation.Database) (*Engine, error) {
 		tree:     tree,
 		exec:     exec,
 		pos:      pos,
+		workers:  workers,
 	}, nil
 }
 
@@ -129,7 +143,7 @@ func (e *Engine) Exec() *jointree.Exec { return e.exec }
 // pay for it.
 func (e *Engine) Total() counting.Count {
 	e.totalOnce.Do(func() {
-		e.total = yannakakis.CountAnswers(e.exec)
+		e.total = yannakakis.CountAnswersWorkers(e.exec, e.workers)
 	})
 	return e.total
 }
@@ -159,7 +173,7 @@ func (e *Engine) Project(asn []relation.Value, dst []relation.Value) {
 // goroutines.
 func (e *Engine) Access() *access.Direct {
 	e.accessOnce.Do(func() {
-		e.access = access.New(e.exec)
+		e.access = access.NewWorkers(e.exec, e.workers)
 	})
 	return e.access
 }
@@ -171,12 +185,12 @@ func (e *Engine) Access() *access.Direct {
 // be shared by concurrent ranked enumerations.
 func (e *Engine) Reduced() (*jointree.Exec, error) {
 	e.reducedOnce.Do(func() {
-		ex, err := jointree.NewExec(e.q, e.db, e.tree)
+		ex, err := jointree.NewExecWorkers(e.q, e.db, e.tree, e.workers)
 		if err != nil {
 			e.reducedErr = err
 			return
 		}
-		ex.FullReduce()
+		ex.FullReduceWorkers(e.workers)
 		e.reduced = ex
 	})
 	return e.reduced, e.reducedErr
@@ -184,10 +198,10 @@ func (e *Engine) Reduced() (*jointree.Exec, error) {
 
 // dedupeDatabase returns a database whose relations are duplicate-free and
 // marked distinct. Relations already known distinct are shared, not copied.
-func dedupeDatabase(db *relation.Database) *relation.Database {
+func dedupeDatabase(db *relation.Database, workers int) *relation.Database {
 	out := relation.NewDatabase()
 	for _, name := range db.Names() {
-		out.Add(db.Get(name).Deduped())
+		out.Add(db.Get(name).DedupedWorkers(workers))
 	}
 	return out
 }

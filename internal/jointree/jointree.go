@@ -10,10 +10,10 @@
 package jointree
 
 import (
-	"encoding/binary"
 	"fmt"
 
 	"github.com/quantilejoins/qjoin/internal/hypergraph"
+	"github.com/quantilejoins/qjoin/internal/parallel"
 	"github.com/quantilejoins/qjoin/internal/query"
 	"github.com/quantilejoins/qjoin/internal/relation"
 )
@@ -208,9 +208,20 @@ type GroupIndex struct {
 // NumGroups returns the number of distinct join groups.
 func (g *GroupIndex) NumGroups() int { return len(g.Tuples) }
 
-// NewExec materializes the per-node relations and group indexes.
+// NewExec materializes the per-node relations and group indexes
+// sequentially; NewExecWorkers is the data-parallel variant.
 // Atom rows violating intra-atom repeated-variable equality are dropped.
 func NewExec(q *query.Query, db *relation.Database, t *Tree) (*Exec, error) {
+	return NewExecWorkers(q, db, t, 1)
+}
+
+// NewExecWorkers materializes the per-node relations and group indexes over
+// a bounded worker pool. Node materialization chunks each source relation's
+// rows and concatenates per-chunk outputs in chunk order (cross-chunk
+// duplicates resolved first-chunk-wins), and group indexes are built from
+// per-chunk partial indexes merged in chunk order, so the result is
+// byte-identical to the sequential build for every worker count.
+func NewExecWorkers(q *query.Query, db *relation.Database, t *Tree, workers int) (*Exec, error) {
 	e := &Exec{Q: q, T: t, DB: db}
 	e.Rels = make([]*relation.Relation, len(t.Nodes))
 	e.Groups = make([]*GroupIndex, len(t.Nodes))
@@ -225,17 +236,17 @@ func NewExec(q *query.Query, db *relation.Database, t *Tree) (*Exec, error) {
 		if src.Arity() != len(atom.Vars) {
 			return nil, fmt.Errorf("jointree: atom %s arity mismatch with relation arity %d", atom, src.Arity())
 		}
-		e.Rels[n.ID] = materializeNode(atom, n.Vars, src)
+		e.Rels[n.ID] = materializeNode(atom, n.Vars, src, workers)
 		if n.Parent >= 0 {
 			e.keyPosChild[n.ID] = varPositions(n.SharedWithParent, n.Vars)
 			e.keyPosParent[n.ID] = varPositions(n.SharedWithParent, t.Nodes[n.Parent].Vars)
 		}
 	}
-	e.rebuildGroups()
+	e.rebuildGroups(workers)
 	return e, nil
 }
 
-func materializeNode(atom query.Atom, vars []query.Var, src *relation.Relation) *relation.Relation {
+func materializeNode(atom query.Atom, vars []query.Var, src *relation.Relation, workers int) *relation.Relation {
 	// Column index of the first occurrence of each distinct variable.
 	firstPos := make([]int, len(vars))
 	for i, v := range vars {
@@ -264,48 +275,86 @@ func materializeNode(atom query.Atom, vars []query.Var, src *relation.Relation) 
 		}
 	}
 	n := src.Len()
-	out := relation.NewWithCapacity(atom.Rel+"@node", len(vars), n)
 	needDedup := repeatedVars || !src.IsDistinct()
-	buf := make([]relation.Value, len(vars))
-	var seen map[string]struct{}
-	var key []byte
-	if needDedup {
-		seen = make(map[string]struct{}, n)
+
+	// chunk projects, filters and locally deduplicates rows [lo, hi); keys
+	// of locally-kept rows come back pre-built for the cross-chunk merge —
+	// collected only on the multi-chunk path, where that merge exists.
+	single := len(parallel.Ranges(workers, n)) <= 1
+	type nodeChunk struct {
+		out  *relation.Relation
+		keys []string
 	}
-	all := allPositions(len(buf))
-	for i := 0; i < n; i++ {
-		row := src.Row(i)
-		ok := true
-		for j := range atom.Vars {
-			if row[j] != row[firstOcc[j]] {
-				ok = false
-				break
-			}
-		}
-		if !ok {
-			continue
-		}
-		for j, p := range firstPos {
-			buf[j] = row[p]
-		}
+	chunk := func(lo, hi int) nodeChunk {
+		out := relation.NewWithCapacity(atom.Rel+"@node", len(vars), hi-lo)
+		buf := make([]relation.Value, len(vars))
+		var seen map[string]struct{}
+		var enc relation.KeyEncoder
+		var keys []string
 		if needDedup {
-			key = encodeKey(key[:0], buf, all)
-			if _, dup := seen[string(key)]; dup {
+			seen = make(map[string]struct{}, hi-lo)
+		}
+		for i := lo; i < hi; i++ {
+			row := src.Row(i)
+			ok := true
+			for j := range atom.Vars {
+				if row[j] != row[firstOcc[j]] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
 				continue
 			}
-			seen[string(key)] = struct{}{}
+			for j, p := range firstPos {
+				buf[j] = row[p]
+			}
+			if needDedup {
+				key := enc.Row(buf)
+				if _, dup := seen[string(key)]; dup {
+					continue
+				}
+				if single {
+					seen[string(key)] = struct{}{}
+				} else {
+					k := string(key)
+					seen[k] = struct{}{}
+					keys = append(keys, k)
+				}
+			}
+			out.AppendRow(buf)
 		}
-		out.AppendRow(buf)
+		return nodeChunk{out: out, keys: keys}
+	}
+
+	if single {
+		out := chunk(0, n).out
+		out.MarkDistinct()
+		return out
+	}
+	parts := parallel.MapRanges(workers, n, chunk)
+	rels := make([]*relation.Relation, len(parts))
+	for i, p := range parts {
+		rels[i] = p.out
+	}
+	if !needDedup {
+		out := relation.Concat(atom.Rel+"@node", len(vars), false, rels)
+		out.MarkDistinct()
+		return out
+	}
+	// Ordered merge: drop rows whose key an earlier chunk already produced.
+	out := relation.NewWithCapacity(atom.Rel+"@node", len(vars), n)
+	seen := make(map[string]struct{}, n)
+	for _, p := range parts {
+		for j, k := range p.keys {
+			if _, dup := seen[k]; dup {
+				continue
+			}
+			seen[k] = struct{}{}
+			out.AppendRow(p.out.Row(j))
+		}
 	}
 	out.MarkDistinct()
-	return out
-}
-
-func allPositions(n int) []int {
-	out := make([]int, n)
-	for i := range out {
-		out[i] = i
-	}
 	return out
 }
 
@@ -326,18 +375,27 @@ func varPositions(vars, within []query.Var) []int {
 	return out
 }
 
-func (e *Exec) rebuildGroups() {
+func (e *Exec) rebuildGroups(workers int) {
 	for _, n := range e.T.Nodes {
 		if n.Parent < 0 {
 			e.Groups[n.ID] = nil
 			continue
 		}
+		e.Groups[n.ID] = buildGroupIndex(e.Rels[n.ID], e.keyPosChild[n.ID], workers)
+	}
+}
+
+// buildGroupIndex groups a child relation's tuples by their shared-variable
+// key. The parallel path builds one partial index per row chunk and merges
+// them in chunk order: group ids follow global first-appearance order and
+// tuple lists stay ascending, exactly as in the sequential build.
+func buildGroupIndex(rel *relation.Relation, pos []int, workers int) *GroupIndex {
+	n := rel.Len()
+	if len(parallel.Ranges(workers, n)) <= 1 {
 		g := &GroupIndex{byKey: make(map[string]int)}
-		rel := e.Rels[n.ID]
-		pos := e.keyPosChild[n.ID]
-		var key []byte
-		for i := 0; i < rel.Len(); i++ {
-			key = encodeKey(key[:0], rel.Row(i), pos)
+		var enc relation.KeyEncoder
+		for i := 0; i < n; i++ {
+			key := enc.Cols(rel.Row(i), pos)
 			id, ok := g.byKey[string(key)]
 			if !ok {
 				id = len(g.Tuples)
@@ -346,30 +404,57 @@ func (e *Exec) rebuildGroups() {
 			}
 			g.Tuples[id] = append(g.Tuples[id], i)
 		}
-		e.Groups[n.ID] = g
+		return g
 	}
-}
-
-func encodeKey(dst []byte, row []relation.Value, pos []int) []byte {
-	for _, p := range pos {
-		var b [8]byte
-		binary.LittleEndian.PutUint64(b[:], uint64(row[p]))
-		dst = append(dst, b[:]...)
+	type partialIndex struct {
+		keyOrder []string // local first-appearance order
+		tuples   [][]int  // aligned with keyOrder
 	}
-	return dst
+	parts := parallel.MapRanges(workers, n, func(lo, hi int) partialIndex {
+		var enc relation.KeyEncoder
+		byKey := make(map[string]int)
+		var p partialIndex
+		for i := lo; i < hi; i++ {
+			key := enc.Cols(rel.Row(i), pos)
+			id, ok := byKey[string(key)]
+			if !ok {
+				id = len(p.tuples)
+				k := string(key)
+				byKey[k] = id
+				p.keyOrder = append(p.keyOrder, k)
+				p.tuples = append(p.tuples, nil)
+			}
+			p.tuples[id] = append(p.tuples[id], i)
+		}
+		return p
+	})
+	g := &GroupIndex{byKey: make(map[string]int, len(parts[0].keyOrder))}
+	for _, p := range parts {
+		for li, key := range p.keyOrder {
+			gid, ok := g.byKey[key]
+			if !ok {
+				gid = len(g.Tuples)
+				g.byKey[key] = gid
+				g.Tuples = append(g.Tuples, nil)
+			}
+			g.Tuples[gid] = append(g.Tuples[gid], p.tuples[li]...)
+		}
+	}
+	return g
 }
 
 // GroupForParentRow returns the join-group id of child that matches the given
 // parent tuple, and whether such a group exists.
 func (e *Exec) GroupForParentRow(child int, parentRow []relation.Value) (int, bool) {
-	key := encodeKey(nil, parentRow, e.keyPosParent[child])
+	key := relation.AppendKey(nil, parentRow, e.keyPosParent[child])
 	id, ok := e.Groups[child].byKey[string(key)]
 	return id, ok
 }
 
-// groupKeyOfParentRow is like GroupForParentRow but reuses a buffer.
-func (e *Exec) groupForParentRowBuf(child int, parentRow []relation.Value, buf []byte) (int, bool, []byte) {
-	buf = encodeKey(buf[:0], parentRow, e.keyPosParent[child])
+// GroupForParentRowBuf is GroupForParentRow reusing the caller's buffer;
+// hot passes call it once per tuple without allocating.
+func (e *Exec) GroupForParentRowBuf(child int, parentRow []relation.Value, buf []byte) (int, bool, []byte) {
+	buf = relation.AppendKey(buf[:0], parentRow, e.keyPosParent[child])
 	id, ok := e.Groups[child].byKey[string(buf)]
 	return id, ok, buf
 }
@@ -377,7 +462,16 @@ func (e *Exec) groupForParentRowBuf(child int, parentRow []relation.Value, buf [
 // FullReduce removes all dangling tuples with one bottom-up and one top-down
 // semijoin pass (the Yannakakis full reducer) and rebuilds the group indexes.
 // Afterwards every remaining tuple participates in at least one query answer.
-func (e *Exec) FullReduce() {
+// The pass is sequential; FullReduceWorkers is the data-parallel variant.
+func (e *Exec) FullReduce() { e.FullReduceWorkers(1) }
+
+// FullReduceWorkers is the Yannakakis full reducer over a bounded worker
+// pool. Per-tuple survival checks are chunked over row ranges (writes to the
+// keep vectors are disjoint by index), surviving-key sets are built as
+// per-chunk sets and unioned, and the surviving relations are rebuilt from
+// per-chunk filters concatenated in chunk order — so the reduced tree is
+// byte-identical to the sequential reducer's for every worker count.
+func (e *Exec) FullReduceWorkers(workers int) {
 	keep := make([][]bool, len(e.T.Nodes))
 	for id, rel := range e.Rels {
 		keep[id] = make([]bool, rel.Len())
@@ -386,48 +480,43 @@ func (e *Exec) FullReduce() {
 		}
 	}
 	// Bottom-up: a tuple survives if every child has a matching group with at
-	// least one surviving tuple.
-	liveKeys := make([]map[string]bool, len(e.T.Nodes))
+	// least one surviving tuple. Children finish before their parent (tree
+	// order), so each chunk only reads finalized child state.
 	for _, id := range e.T.BottomUp {
 		n := e.T.Nodes[id]
-		rel := e.Rels[id]
-		var buf []byte
-		// Record live keys of this node for the parent check.
-		if n.Parent >= 0 {
-			liveKeys[id] = make(map[string]bool)
+		if len(n.Children) == 0 {
+			continue // leaves: every tuple survives the bottom-up pass
 		}
-		for i := 0; i < rel.Len(); i++ {
-			if !keep[id][i] {
-				continue
-			}
-			row := rel.Row(i)
-			ok := true
-			for _, c := range n.Children {
-				var gid int
-				var found bool
-				gid, found, buf = e.groupForParentRowBuf(c, row, buf)
-				if !found {
-					ok = false
-					break
-				}
-				anyLive := false
-				for _, ti := range e.Groups[c].Tuples[gid] {
-					if keep[c][ti] {
-						anyLive = true
+		rel := e.Rels[id]
+		kid := keep[id]
+		parallel.For(workers, rel.Len(), func(lo, hi int) {
+			var buf []byte
+			for i := lo; i < hi; i++ {
+				row := rel.Row(i)
+				ok := true
+				for _, c := range n.Children {
+					var gid int
+					var found bool
+					gid, found, buf = e.GroupForParentRowBuf(c, row, buf)
+					if !found {
+						ok = false
+						break
+					}
+					anyLive := false
+					for _, ti := range e.Groups[c].Tuples[gid] {
+						if keep[c][ti] {
+							anyLive = true
+							break
+						}
+					}
+					if !anyLive {
+						ok = false
 						break
 					}
 				}
-				if !anyLive {
-					ok = false
-					break
-				}
+				kid[i] = ok
 			}
-			keep[id][i] = ok
-			if ok && n.Parent >= 0 {
-				buf = encodeKey(buf[:0], row, e.keyPosChild[id])
-				liveKeys[id][string(buf)] = true
-			}
-		}
+		})
 	}
 	// Top-down: a tuple survives if its key is produced by a surviving parent
 	// tuple.
@@ -435,43 +524,67 @@ func (e *Exec) FullReduce() {
 	for _, id := range e.T.TopDown {
 		n := e.T.Nodes[id]
 		rel := e.Rels[id]
-		var buf []byte
+		kid := keep[id]
 		if n.Parent >= 0 {
 			pk := parentKeys[id]
-			for i := 0; i < rel.Len(); i++ {
-				if !keep[id][i] {
-					continue
+			pos := e.keyPosChild[id]
+			parallel.For(workers, rel.Len(), func(lo, hi int) {
+				var enc relation.KeyEncoder
+				for i := lo; i < hi; i++ {
+					if !kid[i] {
+						continue
+					}
+					if !pk[string(enc.Cols(rel.Row(i), pos))] {
+						kid[i] = false
+					}
 				}
-				buf = encodeKey(buf[:0], rel.Row(i), e.keyPosChild[id])
-				if !pk[string(buf)] {
-					keep[id][i] = false
-				}
-			}
+			})
 		}
-		// Publish this node's surviving keys for each child.
+		// Publish this node's surviving keys for each child: per-chunk key
+		// sets unioned into one (set union is order-independent).
 		for _, c := range n.Children {
-			keys := make(map[string]bool)
-			for i := 0; i < rel.Len(); i++ {
-				if !keep[id][i] {
-					continue
+			pos := e.keyPosParent[c]
+			parts := parallel.MapRanges(workers, rel.Len(), func(lo, hi int) []string {
+				var enc relation.KeyEncoder
+				local := make(map[string]bool)
+				var fresh []string
+				for i := lo; i < hi; i++ {
+					if !kid[i] {
+						continue
+					}
+					key := enc.Cols(rel.Row(i), pos)
+					if !local[string(key)] {
+						k := string(key)
+						local[k] = true
+						fresh = append(fresh, k)
+					}
 				}
-				buf = encodeKey(buf[:0], rel.Row(i), e.keyPosParent[c])
-				keys[string(buf)] = true
+				return fresh
+			})
+			keys := make(map[string]bool)
+			for _, part := range parts {
+				for _, k := range part {
+					keys[k] = true
+				}
 			}
 			parentKeys[c] = keys
 		}
 	}
 	// Rebuild relations and groups.
 	for id, rel := range e.Rels {
-		out := relation.New(rel.Name(), rel.Arity())
-		for i := 0; i < rel.Len(); i++ {
-			if keep[id][i] {
-				out.AppendRow(rel.Row(i))
+		kid := keep[id]
+		parts := parallel.MapRanges(workers, rel.Len(), func(lo, hi int) *relation.Relation {
+			out := relation.New(rel.Name(), rel.Arity())
+			for i := lo; i < hi; i++ {
+				if kid[i] {
+					out.AppendRow(rel.Row(i))
+				}
 			}
-		}
-		e.Rels[id] = out
+			return out
+		})
+		e.Rels[id] = relation.Concat(rel.Name(), rel.Arity(), false, parts)
 	}
-	e.rebuildGroups()
+	e.rebuildGroups(workers)
 }
 
 // NodeRelation returns the materialized relation of node id.

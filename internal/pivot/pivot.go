@@ -19,6 +19,7 @@ import (
 
 	"github.com/quantilejoins/qjoin/internal/counting"
 	"github.com/quantilejoins/qjoin/internal/jointree"
+	"github.com/quantilejoins/qjoin/internal/parallel"
 	"github.com/quantilejoins/qjoin/internal/query"
 	"github.com/quantilejoins/qjoin/internal/ranking"
 	"github.com/quantilejoins/qjoin/internal/relation"
@@ -44,8 +45,19 @@ type Result struct {
 
 // Select runs Algorithm 2 over an executable join tree. mu is the μ
 // attribute-to-atom assignment of the ranking's variables (Section 2.2).
+// The pass is sequential; SelectWorkers is the data-parallel variant.
 func Select(e *jointree.Exec, f *ranking.Func, mu map[query.Var]int) (*Result, error) {
-	counts := yannakakis.Count(e)
+	return SelectWorkers(e, f, mu, 1)
+}
+
+// SelectWorkers runs Algorithm 2 over a bounded worker pool: the counting
+// pass, the per-tuple pivot-weight loops (chunked over rows) and the
+// per-group weighted medians (chunked over groups) all run data-parallel.
+// Weighted medians are deterministic (median-of-medians, no randomization)
+// and every write is disjoint by tuple or group index, so the selected
+// pivot is identical for every worker count.
+func SelectWorkers(e *jointree.Exec, f *ranking.Func, mu map[query.Var]int, workers int) (*Result, error) {
+	counts := yannakakis.CountWorkers(e, workers)
 	if counts.Total.IsZero() {
 		return nil, ErrNoAnswers
 	}
@@ -67,19 +79,23 @@ func Select(e *jointree.Exec, f *ranking.Func, mu map[query.Var]int) (*Result, e
 		}
 		cParam[id] = c
 
-		for i := 0; i < rel.Len(); i++ {
-			if counts.Tuple[id][i].IsZero() {
-				continue // dangling tuple; never selected
+		parallel.For(workers, rel.Len(), func(lo, hi int) {
+			var buf []byte
+			for i := lo; i < hi; i++ {
+				if counts.Tuple[id][i].IsZero() {
+					continue // dangling tuple; never selected
+				}
+				row := rel.Row(i)
+				w := tw.WeightOf(row)
+				for _, ch := range n.Children {
+					var gid int
+					gid, _, buf = e.GroupForParentRowBuf(ch, row, buf)
+					st := selTuple[ch][gid]
+					w = f.Combine(w, weights[ch][st])
+				}
+				ws[i] = w
 			}
-			row := rel.Row(i)
-			w := tw.WeightOf(row)
-			for _, ch := range n.Children {
-				gid, _ := e.GroupForParentRow(ch, row)
-				st := selTuple[ch][gid]
-				w = f.Combine(w, weights[ch][st])
-			}
-			ws[i] = w
-		}
+		})
 		weights[id] = ws
 
 		// Close out this node's groups for the parent: weighted median of
@@ -87,21 +103,24 @@ func Select(e *jointree.Exec, f *ranking.Func, mu map[query.Var]int) (*Result, e
 		if n.Parent >= 0 {
 			groups := e.Groups[id]
 			sel := make([]int, groups.NumGroups())
-			for g, tuples := range groups.Tuples {
-				live := make([]int, 0, len(tuples))
-				for _, ti := range tuples {
-					if !counts.Tuple[id][ti].IsZero() {
-						live = append(live, ti)
+			parallel.For(workers, groups.NumGroups(), func(lo, hi int) {
+				for g := lo; g < hi; g++ {
+					tuples := groups.Tuples[g]
+					live := make([]int, 0, len(tuples))
+					for _, ti := range tuples {
+						if !counts.Tuple[id][ti].IsZero() {
+							live = append(live, ti)
+						}
 					}
+					if len(live) == 0 {
+						sel[g] = -1
+						continue
+					}
+					sel[g] = selection.WeightedMedian(live,
+						func(a, b int) bool { return f.Compare(ws[a], ws[b]) < 0 },
+						func(i int) counting.Count { return counts.Tuple[id][i] })
 				}
-				if len(live) == 0 {
-					sel[g] = -1
-					continue
-				}
-				sel[g] = selection.WeightedMedian(live,
-					func(a, b int) bool { return f.Compare(ws[a], ws[b]) < 0 },
-					func(i int) counting.Count { return counts.Tuple[id][i] })
-			}
+			})
 			selTuple[id] = sel
 		}
 	}

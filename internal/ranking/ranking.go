@@ -65,8 +65,6 @@ type Func struct {
 	// Weight maps a variable's value to its weight w_x(value). A nil Weight
 	// uses the value itself.
 	Weight func(v query.Var, x relation.Value) int64
-
-	posOf map[query.Var]int // lazily built LEX position index
 }
 
 // NewSum returns a SUM ranking over the given variables (full SUM when all
@@ -125,16 +123,14 @@ func (f *Func) IsFullSum(q *query.Query) bool {
 	return true
 }
 
-// lexPos returns the significance position of v, or -1.
+// lexPos returns the significance position of v, or -1. A linear scan keeps
+// Func free of lazily built state: weight computation runs concurrently on
+// worker goroutines, and LEX rankings have few variables.
 func (f *Func) lexPos(v query.Var) int {
-	if f.posOf == nil {
-		f.posOf = make(map[query.Var]int, len(f.Vars))
-		for i, x := range f.Vars {
-			f.posOf[x] = i
+	for i, x := range f.Vars {
+		if x == v {
+			return i
 		}
-	}
-	if p, ok := f.posOf[v]; ok {
-		return p
 	}
 	return -1
 }

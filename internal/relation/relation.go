@@ -11,6 +11,8 @@ package relation
 import (
 	"fmt"
 	"sort"
+
+	"github.com/quantilejoins/qjoin/internal/parallel"
 )
 
 // Value is a database constant. The weight functions of ranking packages map
@@ -54,23 +56,70 @@ func (r *Relation) MarkDistinct() *Relation { r.distinct = true; return r }
 func (r *Relation) IsDistinct() bool { return r.distinct }
 
 // Deduped returns the relation itself when known distinct, otherwise a
-// duplicate-free copy (marked distinct).
-func (r *Relation) Deduped() *Relation {
+// duplicate-free copy (marked distinct). The scan is sequential; see
+// DedupedWorkers for the data-parallel variant.
+func (r *Relation) Deduped() *Relation { return r.DedupedWorkers(1) }
+
+// DedupedWorkers is Deduped over a bounded worker pool: each chunk of rows
+// hashes its locally-first rows in parallel, and a sequential merge in chunk
+// order drops cross-chunk duplicates, so the output row sequence is
+// byte-identical to the sequential scan for every worker count.
+func (r *Relation) DedupedWorkers(workers int) *Relation {
 	if r.distinct {
 		return r
 	}
+	n := r.Len()
+	if len(parallel.Ranges(workers, n)) <= 1 {
+		return r.dedupedSeq()
+	}
+	// Parallel pass: per chunk, the locally-first rows with their key
+	// strings pre-built (the merge below reuses them, so the string
+	// allocation cost is paid on the workers, not on the merge path).
+	type chunkFirsts struct {
+		rows []int
+		keys []string
+	}
+	parts := parallel.MapRanges(workers, n, func(lo, hi int) chunkFirsts {
+		var enc KeyEncoder
+		seen := make(map[string]struct{}, hi-lo)
+		cf := chunkFirsts{}
+		for i := lo; i < hi; i++ {
+			key := enc.Row(r.Row(i))
+			if _, dup := seen[string(key)]; dup {
+				continue
+			}
+			k := string(key)
+			seen[k] = struct{}{}
+			cf.rows = append(cf.rows, i)
+			cf.keys = append(cf.keys, k)
+		}
+		return cf
+	})
+	// Ordered merge: a row survives iff no earlier chunk (or earlier row of
+	// its own chunk) produced its key — exactly the sequential outcome.
+	out := NewWithCapacity(r.name, r.arity, n)
+	seen := make(map[string]struct{}, n)
+	for _, cf := range parts {
+		for j, i := range cf.rows {
+			if _, dup := seen[cf.keys[j]]; dup {
+				continue
+			}
+			seen[cf.keys[j]] = struct{}{}
+			out.AppendRow(r.Row(i))
+		}
+	}
+	out.distinct = true
+	return out
+}
+
+func (r *Relation) dedupedSeq() *Relation {
 	out := NewWithCapacity(r.name, r.arity, r.Len())
 	seen := make(map[string]struct{}, r.Len())
-	var key []byte
+	var enc KeyEncoder
 	n := r.Len()
 	for i := 0; i < n; i++ {
 		row := r.Row(i)
-		key = key[:0]
-		for _, v := range row {
-			u := uint64(v)
-			key = append(key, byte(u), byte(u>>8), byte(u>>16), byte(u>>24),
-				byte(u>>32), byte(u>>40), byte(u>>48), byte(u>>56))
-		}
+		key := enc.Row(row)
 		if _, dup := seen[string(key)]; dup {
 			continue
 		}
@@ -163,6 +212,43 @@ func (r *Relation) Filter(keep func(row []Value) bool) *Relation {
 		}
 	}
 	out.distinct = r.distinct
+	return out
+}
+
+// FilterWorkers is Filter with the scan chunked over a bounded worker pool;
+// per-chunk outputs are concatenated in chunk order, so the result equals
+// Filter's for every worker count. keep must be safe for concurrent calls.
+func (r *Relation) FilterWorkers(workers int, keep func(row []Value) bool) *Relation {
+	n := r.Len()
+	if len(parallel.Ranges(workers, n)) <= 1 {
+		return r.Filter(keep)
+	}
+	parts := parallel.MapRanges(workers, n, func(lo, hi int) *Relation {
+		out := New(r.name, r.arity)
+		for i := lo; i < hi; i++ {
+			if keep(r.Row(i)) {
+				out.AppendRow(r.Row(i))
+			}
+		}
+		return out
+	})
+	return Concat(r.name, r.arity, r.distinct, parts)
+}
+
+// Concat flattens per-chunk relations into one, preserving chunk order —
+// the ordered-merge step of every chunked relation construction. The parts
+// must share the given arity.
+func Concat(name string, arity int, distinct bool, parts []*Relation) *Relation {
+	total := 0
+	for _, p := range parts {
+		total += len(p.data)
+	}
+	out := New(name, arity)
+	out.data = make([]Value, 0, total)
+	for _, p := range parts {
+		out.data = append(out.data, p.data...)
+	}
+	out.distinct = distinct
 	return out
 }
 

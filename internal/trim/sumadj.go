@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"github.com/quantilejoins/qjoin/internal/jointree"
+	"github.com/quantilejoins/qjoin/internal/parallel"
 	"github.com/quantilejoins/qjoin/internal/query"
 	"github.com/quantilejoins/qjoin/internal/ranking"
 	"github.com/quantilejoins/qjoin/internal/relation"
@@ -25,6 +26,13 @@ import (
 // tree over the sorted order; a fresh variable shared by A and B carries the
 // segment identity, so each admissible pair joins on exactly one segment and
 // no inadmissible pair joins at all.
+//
+// Join groups are independent, so with inst.Workers > 1 the per-group
+// staircase constructions run on the worker pool: each group allocates
+// segment ids locally in the sequential first-use order, a prefix sum over
+// the per-group id counts (taken in group order) rebases them to the global
+// sequence, and per-group outputs concatenate in group order — reproducing
+// the sequential output byte for byte at any worker count.
 func SumAdjacent(inst Instance, f *ranking.Func, lambda int64, dir Dir) (Instance, error) {
 	if f.Agg != ranking.Sum {
 		return Instance{}, fmt.Errorf("trim: SumAdjacent requires SUM, got %s", f.Agg)
@@ -35,6 +43,13 @@ func SumAdjacent(inst Instance, f *ranking.Func, lambda int64, dir Dir) (Instanc
 	tree, nodeA, nodeB, err := jointree.BuildAdjacentPair(inst.Q, f.Vars)
 	if err != nil {
 		return Instance{}, fmt.Errorf("trim: U_w not coverable by adjacent nodes: %w", err)
+	}
+	workers := inst.workers()
+	// Tiny instances (the late iterations of Algorithm 1 shrink fast) take
+	// the sequential path outright: per-group goroutine dispatch would cost
+	// more than the work it distributes.
+	if inst.DB.Size() < parallel.SeqThreshold {
+		workers = 1
 	}
 	// Work in negated weights for ≻ so that both directions are a strict
 	// less-than on the stored sums.
@@ -51,11 +66,11 @@ func SumAdjacent(inst Instance, f *ranking.Func, lambda int64, dir Dir) (Instanc
 		cols, vars := rankedColumns(atomA, f)
 		db2 := cloneAllBut(inst.DB, inst.Q, atomA.Rel)
 		src := inst.DB.Get(atomA.Rel)
-		out := src.Filter(func(row []relation.Value) bool {
+		out := src.FilterWorkers(workers, func(row []relation.Value) bool {
 			return rowSum(f, vars, cols, row, sign) < lam
 		})
 		db2.Add(out)
-		return Instance{Q: inst.Q.Clone(), DB: db2}, nil
+		return Instance{Q: inst.Q.Clone(), DB: db2, Workers: inst.Workers}, nil
 	}
 	atomB := inst.Q.Atoms[tree.Nodes[nodeB].Atom]
 
@@ -81,86 +96,128 @@ func SumAdjacent(inst Instance, f *ranking.Func, lambda int64, dir Dir) (Instanc
 	relA := inst.DB.Get(atomA.Rel)
 	relB := inst.DB.Get(atomB.Rel)
 
-	// Group the B side.
+	// Group the B side, deduplicating whole rows on the way: relations are
+	// sets, and a duplicate row would receive distinct segment memberships
+	// (positions differ) and duplicate answers downstream.
 	type bGroup struct {
 		rows []int
 		sums []int64 // sorted ascending, aligned with rows
 	}
 	groups := make(map[string]*bGroup)
-	var keyBuf []byte
-	seenB := make(map[string]bool, relB.Len())
-	allB := make([]int, relB.Arity())
-	for j := range allB {
-		allB[j] = j
-	}
-	for i := 0; i < relB.Len(); i++ {
-		row := relB.Row(i)
-		// Relations are sets: duplicate rows would receive distinct segment
-		// memberships (positions differ) and duplicate answers downstream.
-		keyBuf = encodeCols(keyBuf[:0], row, allB)
-		if seenB[string(keyBuf)] {
-			continue
+	var bOrder []*bGroup
+	if len(parallel.Ranges(workers, relB.Len())) <= 1 {
+		// Sequential path: one pass, group-key strings allocated only on
+		// first appearance of a group.
+		var encFull, encKey relation.KeyEncoder
+		seenB := make(map[string]struct{}, relB.Len())
+		for i := 0; i < relB.Len(); i++ {
+			row := relB.Row(i)
+			key := encFull.Row(row)
+			if _, dup := seenB[string(key)]; dup {
+				continue
+			}
+			seenB[string(key)] = struct{}{}
+			gk := encKey.Cols(row, keyB)
+			g, ok := groups[string(gk)]
+			if !ok {
+				g = &bGroup{}
+				groups[string(gk)] = g
+				bOrder = append(bOrder, g)
+			}
+			g.rows = append(g.rows, i)
 		}
-		seenB[string(keyBuf)] = true
-		keyBuf = encodeCols(keyBuf[:0], row, keyB)
-		g, ok := groups[string(keyBuf)]
-		if !ok {
-			g = &bGroup{}
-			groups[string(keyBuf)] = g
+	} else {
+		type bChunk struct {
+			rows      []int
+			fullKeys  []string
+			groupKeys []string
 		}
-		g.rows = append(g.rows, i)
+		parts := parallel.MapRanges(workers, relB.Len(), func(lo, hi int) bChunk {
+			var encFull, encKey relation.KeyEncoder
+			seen := make(map[string]struct{}, hi-lo)
+			var c bChunk
+			for i := lo; i < hi; i++ {
+				row := relB.Row(i)
+				key := encFull.Row(row)
+				if _, dup := seen[string(key)]; dup {
+					continue
+				}
+				k := string(key)
+				seen[k] = struct{}{}
+				c.rows = append(c.rows, i)
+				c.fullKeys = append(c.fullKeys, k)
+				c.groupKeys = append(c.groupKeys, string(encKey.Cols(row, keyB)))
+			}
+			return c
+		})
+		seenB := make(map[string]struct{}, relB.Len())
+		for _, c := range parts {
+			for j, i := range c.rows {
+				if _, dup := seenB[c.fullKeys[j]]; dup {
+					continue
+				}
+				seenB[c.fullKeys[j]] = struct{}{}
+				g, ok := groups[c.groupKeys[j]]
+				if !ok {
+					g = &bGroup{}
+					groups[c.groupKeys[j]] = g
+					bOrder = append(bOrder, g)
+				}
+				g.rows = append(g.rows, i)
+			}
+		}
 	}
-	for _, g := range groups {
+	// Partial sums and the per-group staircase sort: groups are independent,
+	// and each group's sort sees the same input regardless of worker count.
+	parallel.Do(workers, len(bOrder), func(k int) {
+		g := bOrder[k]
 		g.sums = make([]int64, len(g.rows))
-		for k, ri := range g.rows {
-			g.sums[k] = rowSum(f, bVars, colsB, relB.Row(ri), sign)
+		for j, ri := range g.rows {
+			g.sums[j] = rowSum(f, bVars, colsB, relB.Row(ri), sign)
 		}
 		sort.Sort(&sumRowSorter{sums: g.sums, rows: g.rows})
-	}
+	})
 
 	v := freshHelperVar(inst.Q, "s")
-	outA := relation.NewWithCapacity(atomA.Rel, relA.Arity()+1, relA.Len())
-	outB := relation.NewWithCapacity(atomB.Rel, relB.Arity()+1, relB.Len())
-	bufA := make([]relation.Value, relA.Arity()+1)
-	bufB := make([]relation.Value, relB.Arity()+1)
+	arityA, arityB := relA.Arity()+1, relB.Arity()+1
 
-	// Global segment-id allocation: one id per (group, level, start) that a
-	// prefix decomposition actually uses.
-	nextID := relation.Value(1)
-	type segKey struct {
-		lvl, start int
-	}
 	// Group the A side by the same key and process pairs of groups. Groups
 	// are visited in first-appearance order — map order would make the
 	// output row order (and with it downstream pivot tie-breaks) vary
 	// between runs, breaking the engine's repeatable-answer guarantee.
-	aGroups := make(map[string][]int)
-	var aOrder []string
-	for i := 0; i < relA.Len(); i++ {
-		keyBuf = encodeCols(keyBuf[:0], relA.Row(i), keyA)
-		key := string(keyBuf)
-		if _, ok := aGroups[key]; !ok {
-			aOrder = append(aOrder, key)
-		}
-		aGroups[key] = append(aGroups[key], i)
+	aGroups, aOrder := groupRowsByKey(relA, keyA, workers)
+
+	// Per-group construction with locally allocated segment ids.
+	type segKey struct {
+		lvl, start int
 	}
-	for _, key := range aOrder {
-		aRows := aGroups[key]
-		g, ok := groups[key]
+	type groupOut struct {
+		outA, outB *relation.Relation // segment-id column holds local ids
+		nSegs      relation.Value     // local ids used: 1..nSegs
+	}
+	outs := make([]groupOut, len(aOrder))
+	parallel.Do(workers, len(aOrder), func(k int) {
+		aRows := aGroups[aOrder[k]]
+		g, ok := groups[aOrder[k]]
 		if !ok {
-			continue // A-rows with no B partner participate in no answer
+			return // A-rows with no B partner participate in no answer
 		}
 		m := len(g.rows)
+		outA := relation.New(atomA.Rel, arityA)
+		outB := relation.New(atomB.Rel, arityB)
+		bufA := make([]relation.Value, arityA)
+		bufB := make([]relation.Value, arityB)
 		segIDs := make(map[segKey]relation.Value)
 		var usedOrder []segKey // allocation order, for deterministic emission
+		var nextLocal relation.Value = 1
 		idOf := func(lvl, start int) relation.Value {
-			k := segKey{lvl, start}
-			id, ok := segIDs[k]
+			sk := segKey{lvl, start}
+			id, ok := segIDs[sk]
 			if !ok {
-				id = nextID
-				nextID++
-				segIDs[k] = id
-				usedOrder = append(usedOrder, k)
+				id = nextLocal
+				nextLocal++
+				segIDs[sk] = id
+				usedOrder = append(usedOrder, sk)
 			}
 			return id
 		}
@@ -168,7 +225,7 @@ func SumAdjacent(inst Instance, f *ranking.Func, lambda int64, dir Dir) (Instanc
 			rowA := relA.Row(ai)
 			s := rowSum(f, aVars, colsA, rowA, sign)
 			// Admissible prefix: B-sums strictly below lam - s.
-			p := sort.Search(m, func(k int) bool { return g.sums[k] >= lam-s })
+			p := sort.Search(m, func(j int) bool { return g.sums[j] >= lam-s })
 			// Canonical dyadic decomposition of [0, p).
 			pos := 0
 			for lvl := bitsFor(m); lvl >= 0; lvl-- {
@@ -182,20 +239,49 @@ func SumAdjacent(inst Instance, f *ranking.Func, lambda int64, dir Dir) (Instanc
 			}
 		}
 		// Emit B-side memberships for the segments actually used.
-		for _, k := range usedOrder {
-			size := 1 << uint(k.lvl)
-			hi := k.start + size
+		for _, sk := range usedOrder {
+			size := 1 << uint(sk.lvl)
+			hi := sk.start + size
 			if hi > m {
 				hi = m
 			}
-			id := segIDs[k]
-			for p := k.start; p < hi; p++ {
+			id := segIDs[sk]
+			for p := sk.start; p < hi; p++ {
 				copy(bufB, relB.Row(g.rows[p]))
 				bufB[len(bufB)-1] = id
 				outB.AppendRow(bufB)
 			}
 		}
+		outs[k] = groupOut{outA: outA, outB: outB, nSegs: nextLocal - 1}
+	})
+	// Rebase local segment ids onto the global sequence: a prefix sum over
+	// per-group id counts in group order reproduces the sequential
+	// allocation (ids are contiguous per group, groups in aOrder).
+	offsets := make([]relation.Value, len(outs))
+	var nextID relation.Value
+	for k, o := range outs {
+		offsets[k] = nextID
+		nextID += o.nSegs
 	}
+	parallel.Do(workers, len(outs), func(k int) {
+		off := offsets[k]
+		if off == 0 || outs[k].outA == nil {
+			return
+		}
+		shiftColumn(outs[k].outA, arityA-1, off)
+		shiftColumn(outs[k].outB, arityB-1, off)
+	})
+	partsA := make([]*relation.Relation, 0, len(outs))
+	partsB := make([]*relation.Relation, 0, len(outs))
+	for _, o := range outs {
+		if o.outA == nil {
+			continue
+		}
+		partsA = append(partsA, o.outA)
+		partsB = append(partsB, o.outB)
+	}
+	outA := relation.Concat(atomA.Rel, arityA, false, partsA)
+	outB := relation.Concat(atomB.Rel, arityB, false, partsB)
 
 	// Segment membership emits each (B-row, segment) pair once, and A-copies
 	// carry pairwise-distinct segment ids per row, so distinctness of the
@@ -218,7 +304,57 @@ func SumAdjacent(inst Instance, f *ranking.Func, lambda int64, dir Dir) (Instanc
 			db2.Add(inst.DB.Get(atom.Rel).Clone())
 		}
 	}
-	return Instance{Q: q2, DB: db2}, nil
+	return Instance{Q: q2, DB: db2, Workers: inst.Workers}, nil
+}
+
+// groupRowsByKey groups row indexes by their key-column values, returning
+// the groups keyed by encoded key plus the keys in first-appearance order.
+// The parallel path merges per-chunk partial groupings in chunk order, which
+// reproduces the sequential first-appearance order and ascending row lists.
+func groupRowsByKey(rel *relation.Relation, cols []int, workers int) (map[string][]int, []string) {
+	type partial struct {
+		keyOrder []string
+		rows     [][]int
+	}
+	parts := parallel.MapRanges(workers, rel.Len(), func(lo, hi int) partial {
+		var enc relation.KeyEncoder
+		local := make(map[string]int)
+		var p partial
+		for i := lo; i < hi; i++ {
+			key := enc.Cols(rel.Row(i), cols)
+			id, ok := local[string(key)]
+			if !ok {
+				id = len(p.rows)
+				k := string(key)
+				local[k] = id
+				p.keyOrder = append(p.keyOrder, k)
+				p.rows = append(p.rows, nil)
+			}
+			p.rows[id] = append(p.rows[id], i)
+		}
+		return p
+	})
+	if len(parts) == 0 {
+		return map[string][]int{}, nil
+	}
+	out := make(map[string][]int, len(parts[0].keyOrder))
+	var order []string
+	for _, p := range parts {
+		for li, key := range p.keyOrder {
+			if _, ok := out[key]; !ok {
+				order = append(order, key)
+			}
+			out[key] = append(out[key], p.rows[li]...)
+		}
+	}
+	return out, order
+}
+
+// shiftColumn adds off to column col of every row.
+func shiftColumn(rel *relation.Relation, col int, off relation.Value) {
+	for i := 0; i < rel.Len(); i++ {
+		rel.Set(i, col, rel.Get(i, col)+off)
+	}
 }
 
 // bitsFor returns the highest level ⌈log2(m)⌉ needed by prefixes over m rows.
@@ -302,14 +438,4 @@ func cloneAllBut(db *relation.Database, q *query.Query, except string) *relation
 		out.Add(db.Get(atom.Rel).Clone())
 	}
 	return out
-}
-
-// encodeCols serializes selected row columns as a map key.
-func encodeCols(dst []byte, row []relation.Value, cols []int) []byte {
-	for _, c := range cols {
-		v := uint64(row[c])
-		dst = append(dst, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
-			byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
-	}
-	return dst
 }

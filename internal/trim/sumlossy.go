@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/quantilejoins/qjoin/internal/jointree"
+	"github.com/quantilejoins/qjoin/internal/parallel"
 	"github.com/quantilejoins/qjoin/internal/query"
 	"github.com/quantilejoins/qjoin/internal/ranking"
 	"github.com/quantilejoins/qjoin/internal/relation"
@@ -64,16 +65,22 @@ func SumLossy(inst Instance, f *ranking.Func, lambda int64, dir Dir, eps float64
 	if err := requireSelfJoinFree(inst.Q); err != nil {
 		return Instance{}, nil, err
 	}
+	workers := inst.workers()
+	// Tiny instances take the sequential path outright: the per-group
+	// sketch dispatch below would cost more than the work it distributes.
+	if inst.DB.Size() < parallel.SeqThreshold {
+		workers = 1
+	}
 	tree, err := jointree.Build(inst.Q)
 	if err != nil {
 		return Instance{}, nil, err
 	}
 	tree, q, db := jointree.Binarize(tree, inst.Q, inst.DB)
-	e, err := jointree.NewExec(q, db, tree)
+	e, err := jointree.NewExecWorkers(q, db, tree, workers)
 	if err != nil {
 		return Instance{}, nil, err
 	}
-	e.FullReduce()
+	e.FullReduceWorkers(workers)
 	mu, err := f.AssignVars(q)
 	if err != nil {
 		return Instance{}, nil, err
@@ -122,10 +129,12 @@ func SumLossy(inst Instance, f *ranking.Func, lambda int64, dir Dir, eps float64
 		n := tree.Nodes[id]
 		rel := e.Rels[id]
 		tw := ranking.NewTupleWeigher(f, mu, n.Atom, n.Vars)
-		cur := make([]copyRec, 0, rel.Len())
-		for i := 0; i < rel.Len(); i++ {
-			cur = append(cur, copyRec{rowIdx: i, sum: sign * tw.ScalarSum(rel.Row(i)), mult: 1})
-		}
+		cur := make([]copyRec, rel.Len())
+		parallel.For(workers, rel.Len(), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				cur[i] = copyRec{rowIdx: i, sum: sign * tw.ScalarSum(rel.Row(i)), mult: 1}
+			}
+		})
 		for _, ch := range n.Children {
 			// Bucket the child's copies per join group.
 			childCopies := copies[ch]
@@ -138,20 +147,27 @@ func SumLossy(inst Instance, f *ranking.Func, lambda int64, dir Dir, eps float64
 				}
 				groupItems[gid] = append(groupItems[gid], ci)
 			}
+			// Join groups sketch independently, so the builds run on the
+			// worker pool; bucket-id bases are then assigned by a prefix
+			// sum in gidOrder, reproducing the sequential allocation.
+			sketches := make([]*sketch.Sketch, len(gidOrder))
+			parallel.Do(workers, len(gidOrder), func(k int) {
+				idxs := groupItems[gidOrder[k]]
+				items := make([]sketch.Item, len(idxs))
+				for j, ci := range idxs {
+					items[j] = sketch.Item{Sum: childCopies[ci].sum, Mult: childCopies[ci].mult}
+				}
+				sketches[k] = sketch.Build(items, epsPrime, opts.DisableAtomicity)
+			})
 			type bucketRef struct {
 				id   relation.Value
 				rep  int64
 				mult float64
 			}
-			groupBuckets := make(map[int][]bucketRef)
+			groupBuckets := make(map[int][]bucketRef, len(gidOrder))
 			nextBucket := relation.Value(1)
-			for _, gid := range gidOrder {
-				idxs := groupItems[gid]
-				items := make([]sketch.Item, len(idxs))
-				for k, ci := range idxs {
-					items[k] = sketch.Item{Sum: childCopies[ci].sum, Mult: childCopies[ci].mult}
-				}
-				sk := sketch.Build(items, epsPrime, opts.DisableAtomicity)
+			for k, gid := range gidOrder {
+				sk := sketches[k]
 				stats.Buckets += len(sk.Buckets)
 				refs := make([]bucketRef, len(sk.Buckets))
 				base := nextBucket
@@ -159,25 +175,46 @@ func SumLossy(inst Instance, f *ranking.Func, lambda int64, dir Dir, eps float64
 					refs[bi] = bucketRef{id: base + relation.Value(bi), rep: b.Rep, mult: b.Mult}
 				}
 				nextBucket += relation.Value(len(sk.Buckets))
-				for k, ci := range idxs {
-					childCopies[ci].vParent = refs[sk.ItemBucket[k]].id
-				}
 				groupBuckets[gid] = refs
 			}
+			parallel.Do(workers, len(gidOrder), func(k int) {
+				idxs := groupItems[gidOrder[k]]
+				refs := groupBuckets[gidOrder[k]]
+				sk := sketches[k]
+				for j, ci := range idxs {
+					childCopies[ci].vParent = refs[sk.ItemBucket[j]].id
+				}
+			})
 			// Expand this node's copies: one per (copy, matching bucket).
-			var expanded []copyRec
-			for _, c := range cur {
-				gid, ok := e.GroupForParentRow(ch, rel.Row(c.rowIdx))
-				if !ok {
-					continue // dead after reduction; defensive
+			// Chunks concatenate in chunk order — the sequential order.
+			parts := parallel.MapRanges(workers, len(cur), func(lo, hi int) []copyRec {
+				var buf []byte
+				var expanded []copyRec
+				for x := lo; x < hi; x++ {
+					c := cur[x]
+					var gid int
+					var ok bool
+					gid, ok, buf = e.GroupForParentRowBuf(ch, rel.Row(c.rowIdx), buf)
+					if !ok {
+						continue // dead after reduction; defensive
+					}
+					for _, b := range groupBuckets[gid] {
+						nc := c
+						nc.sum = c.sum + b.rep
+						nc.mult = c.mult * b.mult
+						nc.vChild = append(append([]relation.Value(nil), c.vChild...), b.id)
+						expanded = append(expanded, nc)
+					}
 				}
-				for _, b := range groupBuckets[gid] {
-					nc := c
-					nc.sum = c.sum + b.rep
-					nc.mult = c.mult * b.mult
-					nc.vChild = append(append([]relation.Value(nil), c.vChild...), b.id)
-					expanded = append(expanded, nc)
-				}
+				return expanded
+			})
+			total := 0
+			for _, p := range parts {
+				total += len(p)
+			}
+			expanded := make([]copyRec, 0, total)
+			for _, p := range parts {
+				expanded = append(expanded, p...)
 			}
 			cur = expanded
 		}
@@ -234,19 +271,25 @@ func SumLossy(inst Instance, f *ranking.Func, lambda int64, dir Dir, eps float64
 			vars = append(vars, edgeVar[id])
 		}
 		relName := fmt.Sprintf("%s%st%d", q.Atoms[n.Atom].Rel, helperPrefix, id)
-		out := relation.New(relName, len(vars))
 		src := e.Rels[id]
-		for _, c := range copies[id] {
-			row := make([]relation.Value, 0, len(vars))
-			row = append(row, src.Row(c.rowIdx)...)
-			row = append(row, c.vChild...)
-			if n.Parent >= 0 {
-				row = append(row, c.vParent)
+		nodeCopies := copies[id]
+		hasParent := n.Parent >= 0
+		width := len(vars)
+		parts := parallel.MapRanges(workers, len(nodeCopies), func(lo, hi int) *relation.Relation {
+			out := relation.New(relName, width)
+			row := make([]relation.Value, 0, width)
+			for _, c := range nodeCopies[lo:hi] {
+				row = append(row[:0], src.Row(c.rowIdx)...)
+				row = append(row, c.vChild...)
+				if hasParent {
+					row = append(row, c.vParent)
+				}
+				out.AppendRow(row)
 			}
-			out.AppendRow(row)
-		}
+			return out
+		})
 		// Every copy of a node row carries a distinct bucket-id combination.
-		out.MarkDistinct()
+		out := relation.Concat(relName, width, true, parts)
 		db2.Add(out)
 		q2.Atoms = append(q2.Atoms, query.Atom{Rel: relName, Vars: vars})
 		stats.OutputTuples += out.Len()
@@ -254,5 +297,5 @@ func SumLossy(inst Instance, f *ranking.Func, lambda int64, dir Dir, eps float64
 			stats.MaxRelation = out.Len()
 		}
 	}
-	return Instance{Q: q2, DB: db2}, stats, nil
+	return Instance{Q: q2, DB: db2, Workers: inst.Workers}, stats, nil
 }

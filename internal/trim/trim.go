@@ -21,6 +21,7 @@ package trim
 import (
 	"fmt"
 
+	"github.com/quantilejoins/qjoin/internal/parallel"
 	"github.com/quantilejoins/qjoin/internal/query"
 	"github.com/quantilejoins/qjoin/internal/ranking"
 	"github.com/quantilejoins/qjoin/internal/relation"
@@ -48,6 +49,20 @@ func (d Dir) String() string {
 type Instance struct {
 	Q  *query.Query
 	DB *relation.Database
+	// Workers caps the worker count the trim constructions hand to the
+	// parallel runtime; values <= 1 (including the zero value) run the
+	// exact sequential code path. Trims propagate it to their outputs, so
+	// the driver sets it once on the original instance. Custom ranking
+	// Weight functions must be safe for concurrent calls when Workers > 1.
+	Workers int
+}
+
+// workers resolves the instance's worker count for the parallel runtime.
+func (inst Instance) workers() int {
+	if inst.Workers <= 1 {
+		return 1
+	}
+	return inst.Workers
 }
 
 // Answers of trimmed instances relate to the original query by dropping the
@@ -98,10 +113,12 @@ func applyPartitions(inst Instance, f *ranking.Func, partitions [][]varCond) (In
 	db2 := relation.NewDatabase()
 	for _, atom := range inst.Q.Atoms {
 		src := inst.DB.Get(atom.Rel)
-		out := relation.NewWithCapacity(atom.Rel, src.Arity()+1, src.Len())
-		buf := make([]relation.Value, src.Arity()+1)
 		// Column positions of each condition variable in this atom (a
 		// repeated variable imposes the condition once; columns agree).
+		// The per-partition row scans are chunked over the worker pool;
+		// per-chunk outputs concatenate in (partition, chunk) order, which
+		// is exactly the sequential emission order.
+		var parts []*relation.Relation
 		for pi, conds := range partitions {
 			var local []varCond
 			var cols []int
@@ -115,29 +132,32 @@ func applyPartitions(inst Instance, f *ranking.Func, partitions [][]varCond) (In
 				}
 			}
 			pid := relation.Value(pi + 1)
-			for ti := 0; ti < src.Len(); ti++ {
-				row := src.Row(ti)
-				ok := true
-				for k, c := range local {
-					if !c.pred(f.W(c.v, row[cols[k]])) {
-						ok = false
-						break
+			parts = append(parts, parallel.MapRanges(inst.workers(), src.Len(), func(lo, hi int) *relation.Relation {
+				out := relation.New(atom.Rel, src.Arity()+1)
+				buf := make([]relation.Value, src.Arity()+1)
+				for ti := lo; ti < hi; ti++ {
+					row := src.Row(ti)
+					ok := true
+					for k, c := range local {
+						if !c.pred(f.W(c.v, row[cols[k]])) {
+							ok = false
+							break
+						}
+					}
+					if ok {
+						copy(buf, row)
+						buf[len(buf)-1] = pid
+						out.AppendRow(buf)
 					}
 				}
-				if ok {
-					copy(buf, row)
-					buf[len(buf)-1] = pid
-					out.AppendRow(buf)
-				}
-			}
+				return out
+			})...)
 		}
 		// Disjoint partitions never duplicate a (row, pid) pair.
-		if src.IsDistinct() {
-			out.MarkDistinct()
-		}
+		out := relation.Concat(atom.Rel, src.Arity()+1, src.IsDistinct(), parts)
 		db2.Add(out)
 	}
-	return Instance{Q: q2, DB: db2}, nil
+	return Instance{Q: q2, DB: db2, Workers: inst.Workers}, nil
 }
 
 // filterByVarPred keeps only tuples whose every occurrence of a ranked
@@ -165,7 +185,7 @@ func filterByVarPred(inst Instance, f *ranking.Func, pred func(v query.Var, w in
 			db2.Add(src.Clone())
 			continue
 		}
-		out := src.Filter(func(row []relation.Value) bool {
+		out := src.FilterWorkers(inst.workers(), func(row []relation.Value) bool {
 			for k, c := range cols {
 				if !pred(vars[k], f.W(vars[k], row[c])) {
 					return false
@@ -175,5 +195,5 @@ func filterByVarPred(inst Instance, f *ranking.Func, pred func(v query.Var, w in
 		})
 		db2.Add(out)
 	}
-	return Instance{Q: inst.Q.Clone(), DB: db2}, nil
+	return Instance{Q: inst.Q.Clone(), DB: db2, Workers: inst.Workers}, nil
 }

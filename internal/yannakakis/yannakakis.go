@@ -11,6 +11,7 @@ package yannakakis
 import (
 	"github.com/quantilejoins/qjoin/internal/counting"
 	"github.com/quantilejoins/qjoin/internal/jointree"
+	"github.com/quantilejoins/qjoin/internal/parallel"
 	"github.com/quantilejoins/qjoin/internal/relation"
 )
 
@@ -26,8 +27,17 @@ type Counts struct {
 	Total counting.Count
 }
 
-// Count runs the counting pass over an executable join tree.
-func Count(e *jointree.Exec) *Counts {
+// Count runs the counting pass over an executable join tree sequentially;
+// CountWorkers is the data-parallel variant.
+func Count(e *jointree.Exec) *Counts { return CountWorkers(e, 1) }
+
+// CountWorkers runs the counting pass over a bounded worker pool: per-node
+// tuple loops are chunked over row ranges and per-group sums over group
+// ranges, with all writes disjoint by index. The node order stays the
+// bottom-up tree order (each node consumes its children's finished group
+// counts), and the final total folds per-chunk partial sums in chunk order,
+// so the result is identical for every worker count.
+func CountWorkers(e *jointree.Exec, workers int) *Counts {
 	nNodes := len(e.T.Nodes)
 	c := &Counts{
 		Tuple: make([][]counting.Count, nNodes),
@@ -37,40 +47,55 @@ func Count(e *jointree.Exec) *Counts {
 		n := e.T.Nodes[id]
 		rel := e.Rels[id]
 		cnt := make([]counting.Count, rel.Len())
-		for i := 0; i < rel.Len(); i++ {
-			v := counting.One
-			row := rel.Row(i)
-			dead := false
-			for _, ch := range n.Children {
-				gid, ok := e.GroupForParentRow(ch, row)
-				if !ok || c.Group[ch][gid].IsZero() {
-					dead = true
-					break
+		parallel.For(workers, rel.Len(), func(lo, hi int) {
+			var buf []byte
+			for i := lo; i < hi; i++ {
+				v := counting.One
+				row := rel.Row(i)
+				dead := false
+				for _, ch := range n.Children {
+					var gid int
+					var ok bool
+					gid, ok, buf = e.GroupForParentRowBuf(ch, row, buf)
+					if !ok || c.Group[ch][gid].IsZero() {
+						dead = true
+						break
+					}
+					v = v.Mul(c.Group[ch][gid])
 				}
-				v = v.Mul(c.Group[ch][gid])
+				if dead {
+					v = counting.Zero
+				}
+				cnt[i] = v
 			}
-			if dead {
-				v = counting.Zero
-			}
-			cnt[i] = v
-		}
+		})
 		c.Tuple[id] = cnt
 		if n.Parent >= 0 {
 			groups := e.Groups[id]
 			g := make([]counting.Count, groups.NumGroups())
-			for gi, tuples := range groups.Tuples {
-				sum := counting.Zero
-				for _, ti := range tuples {
-					sum = sum.Add(cnt[ti])
+			parallel.For(workers, groups.NumGroups(), func(lo, hi int) {
+				for gi := lo; gi < hi; gi++ {
+					sum := counting.Zero
+					for _, ti := range groups.Tuples[gi] {
+						sum = sum.Add(cnt[ti])
+					}
+					g[gi] = sum
 				}
-				g[gi] = sum
-			}
+			})
 			c.Group[id] = g
 		}
 	}
+	rootCnt := c.Tuple[e.T.Root]
+	partials := parallel.MapRanges(workers, len(rootCnt), func(lo, hi int) counting.Count {
+		sum := counting.Zero
+		for i := lo; i < hi; i++ {
+			sum = sum.Add(rootCnt[i])
+		}
+		return sum
+	})
 	total := counting.Zero
-	for _, v := range c.Tuple[e.T.Root] {
-		total = total.Add(v)
+	for _, p := range partials {
+		total = total.Add(p)
 	}
 	c.Total = total
 	return c
@@ -78,6 +103,11 @@ func Count(e *jointree.Exec) *Counts {
 
 // CountAnswers returns |Q(D)| for an executable join tree.
 func CountAnswers(e *jointree.Exec) counting.Count { return Count(e).Total }
+
+// CountAnswersWorkers is CountAnswers over a bounded worker pool.
+func CountAnswersWorkers(e *jointree.Exec, workers int) counting.Count {
+	return CountWorkers(e, workers).Total
+}
 
 // Enumerate streams every query answer as an assignment laid out per
 // e.Q.Vars(). The callback must not retain the slice; it may return false to

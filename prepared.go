@@ -39,9 +39,10 @@ import (
 //     NOT safe for concurrent use — but any number of independent streams
 //     may be created and consumed concurrently.
 type Prepared struct {
-	q   *Query
-	db  *DB
-	eng *engine.Engine
+	q    *Query
+	db   *DB
+	eng  *engine.Engine
+	opts Options
 }
 
 // Prepare compiles a query against a database. The work done here —
@@ -50,12 +51,35 @@ type Prepared struct {
 // quasilinear in the database size and is paid exactly once, no matter how
 // many queries the plan later answers. It fails on cyclic queries
 // (ErrCyclic) and on queries that do not match the database schema.
-func Prepare(q *Query, db *DB) (*Prepared, error) {
-	eng, err := engine.New(q, db.inner)
+//
+// An optional Options value becomes the plan's defaults: its Parallelism
+// governs the compile-time passes here and every later query that passes no
+// per-call Options (a per-call Options value overrides the defaults
+// wholesale). The compiled plan and all answers are byte-identical for
+// every Parallelism value.
+func Prepare(q *Query, db *DB, opts ...Options) (*Prepared, error) {
+	o := oneOpt(opts)
+	eng, err := engine.NewWorkers(q, db.inner, o.Parallelism)
 	if err != nil {
 		return nil, err
 	}
-	return &Prepared{q: q, db: db, eng: eng}, nil
+	return &Prepared{q: q, db: db, eng: eng, opts: o}, nil
+}
+
+// opt resolves per-call options against the plan defaults. A per-call
+// Options value replaces the defaults, except that an unset Parallelism
+// (0, "use the default") inherits the plan's: a plan prepared with
+// Parallelism 1 must never silently go parallel because the caller passed
+// Options{Epsilon: ...} to tweak something unrelated.
+func (p *Prepared) opt(opts []Options) Options {
+	if len(opts) == 0 {
+		return p.opts
+	}
+	o := oneOpt(opts)
+	if o.Parallelism == 0 {
+		o.Parallelism = p.opts.Parallelism
+	}
+	return o
 }
 
 // Query returns the query this plan was compiled from.
@@ -75,13 +99,13 @@ func (p *Prepared) Count() *big.Int { return p.eng.Total().Big() }
 // Quantile returns the φ-quantile of Q(D) under the ranking function (see
 // the free Quantile function for the exactness contract).
 func (p *Prepared) Quantile(f *Ranking, phi float64, opts ...Options) (*Answer, error) {
-	a, _, err := core.QuantilePrepared(p.eng, f, phi, oneOpt(opts))
+	a, _, err := core.QuantilePrepared(p.eng, f, phi, p.opt(opts))
 	return a, err
 }
 
 // QuantileStats is Quantile returning the driver's run statistics.
 func (p *Prepared) QuantileStats(f *Ranking, phi float64, opts ...Options) (*Answer, *RunStats, error) {
-	return core.QuantilePrepared(p.eng, f, phi, oneOpt(opts))
+	return core.QuantilePrepared(p.eng, f, phi, p.opt(opts))
 }
 
 // Median returns the 0.5-quantile.
@@ -91,7 +115,7 @@ func (p *Prepared) Median(f *Ranking, opts ...Options) (*Answer, error) {
 
 // ApproxQuantile returns a deterministic (φ±ε)-quantile (Theorem 6.2).
 func (p *Prepared) ApproxQuantile(f *Ranking, phi, eps float64, opts ...Options) (*Answer, error) {
-	o := oneOpt(opts)
+	o := p.opt(opts)
 	o.Epsilon = eps
 	a, _, err := core.QuantilePrepared(p.eng, f, phi, o)
 	return a, err
@@ -119,7 +143,7 @@ func (p *Prepared) SelectAt(f *Ranking, k *big.Int, opts ...Options) (*Answer, e
 	if !ok {
 		return nil, fmt.Errorf("qjoin: index out of the supported 128-bit range")
 	}
-	a, _, err := core.SelectPrepared(p.eng, f, kc, oneOpt(opts))
+	a, _, err := core.SelectPrepared(p.eng, f, kc, p.opt(opts))
 	return a, err
 }
 
