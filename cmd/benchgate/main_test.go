@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+BenchmarkPreparedReuse/free-8         	       3	 174100000 ns/op
+BenchmarkPreparedReuse/free-8         	       3	 180000000 ns/op
+BenchmarkPreparedReuse/prepared-8     	       3	  26600000 ns/op
+BenchmarkIncrementalUpdate/batch=1/update   	       5	    989214 ns/op	  123 B/op
+PASS
+ok  	github.com/quantilejoins/qjoin	1.0s
+`
+
+func parseSample(t *testing.T, s string) *Report {
+	t.Helper()
+	r, err := parse(bufio.NewScanner(strings.NewReader(s)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestParse(t *testing.T) {
+	r := parseSample(t, sample)
+	if len(r.Benchmarks) != 3 {
+		t.Fatalf("benchmarks = %d, want 3", len(r.Benchmarks))
+	}
+	free := r.Benchmarks["BenchmarkPreparedReuse/free"]
+	if len(free.NsPerOp) != 2 || free.MinNsPerOp != 174100000 {
+		t.Fatalf("free = %+v", free)
+	}
+	if got := r.Benchmarks["BenchmarkIncrementalUpdate/batch=1/update"].MinNsPerOp; got != 989214 {
+		t.Fatalf("update min = %v", got)
+	}
+	if len(r.Raw) != 4 {
+		t.Fatalf("raw lines = %d, want 4", len(r.Raw))
+	}
+}
+
+func TestGate(t *testing.T) {
+	base := parseSample(t, "BenchmarkA-8 1 1000 ns/op\nBenchmarkB-8 1 1000 ns/op\nBenchmarkC-8 1 1000 ns/op\n")
+	// Within threshold, plus an ungated new benchmark: pass.
+	ok := parseSample(t, "BenchmarkA-8 1 1200 ns/op\nBenchmarkB-8 1 900 ns/op\nBenchmarkC-8 1 1000 ns/op\nBenchmarkNew-8 1 5 ns/op\n")
+	if code := gate(ok, base, 1.30); code != 0 {
+		t.Fatalf("gate failed on non-regression (code %d)", code)
+	}
+	// A doubling while the fleet is steady: localized regression, fail.
+	badRun := parseSample(t, "BenchmarkA-8 1 2000 ns/op\nBenchmarkB-8 1 1000 ns/op\nBenchmarkC-8 1 950 ns/op\n")
+	if code := gate(badRun, base, 1.30); code != 1 {
+		t.Fatalf("gate passed a 2× localized regression (code %d)", code)
+	}
+	// Everything uniformly 3× slower: different hardware, not a regression.
+	slowHW := parseSample(t, "BenchmarkA-8 1 3000 ns/op\nBenchmarkB-8 1 3050 ns/op\nBenchmarkC-8 1 2950 ns/op\n")
+	if code := gate(slowHW, base, 1.30); code != 0 {
+		t.Fatalf("gate failed on a uniform hardware shift (code %d)", code)
+	}
+	// ... but a localized regression on slower hardware still fails.
+	slowHWBad := parseSample(t, "BenchmarkA-8 1 9000 ns/op\nBenchmarkB-8 1 3050 ns/op\nBenchmarkC-8 1 2950 ns/op\n")
+	if code := gate(slowHWBad, base, 1.30); code != 1 {
+		t.Fatalf("gate missed a localized regression under a hardware shift (code %d)", code)
+	}
+	// min-of-count: one noisy sample does not fail if another is clean —
+	// but a baseline benchmark going missing (truncated run) must fail.
+	noisy := parseSample(t, "BenchmarkA-8 1 2000 ns/op\nBenchmarkA-8 1 1100 ns/op\nBenchmarkB-8 1 1000 ns/op\n")
+	if code := gate(noisy, base, 1.30); code != 1 {
+		t.Fatalf("gate ignored a baseline benchmark missing from the run (code %d)", code)
+	}
+	noisyFull := parseSample(t, "BenchmarkA-8 1 2000 ns/op\nBenchmarkA-8 1 1100 ns/op\nBenchmarkB-8 1 1000 ns/op\nBenchmarkC-8 1 1000 ns/op\n")
+	if code := gate(noisyFull, base, 1.30); code != 0 {
+		t.Fatalf("gate used a noisy sample instead of the min (code %d)", code)
+	}
+}

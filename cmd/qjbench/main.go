@@ -47,10 +47,11 @@ var experiments = []experiment{
 	{"E11", "Crossover vs output size |Q(D)| (the headline claim)", runE11},
 	{"E12", "Ablations: ε-budget strategy and sketch value-grouping", runE12},
 	{"E13", "Parallel execution runtime: worker sweep and determinism", runE13},
+	{"E14", "Incremental maintenance: update throughput vs full re-prepare (ISSUE 3)", runE14},
 }
 
 func main() {
-	expFlag := flag.String("exp", "all", "experiment id (E01..E13) or 'all'")
+	expFlag := flag.String("exp", "all", "experiment id (E01..E14) or 'all'")
 	quick := flag.Bool("quick", false, "reduced sizes for fast runs")
 	workers := flag.Int("workers", 0, "worker count pinned for all experiments (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()

@@ -14,6 +14,13 @@
 // The query is compiled exactly once with qjoin.Prepare; every φ (and the
 // optional baseline comparison) is answered against the shared plan, so
 // asking for ten quantiles costs one preprocessing pass, not ten.
+//
+// -update FILE applies a delta file to the compiled plan before answering —
+// the incremental-maintenance path, not a recompile. Each non-empty line is
+// +Rel,v1,v2,... (insert) or -Rel,v1,v2,... (delete); '#' starts a comment:
+//
+//	+Orders,17,250
+//	-Shipments,17,99
 package main
 
 import (
@@ -54,6 +61,7 @@ func main() {
 	delta := flag.Float64("delta", 0.05, "failure probability for -sample")
 	seed := flag.Int64("seed", time.Now().UnixNano(), "random seed for -sample")
 	workers := flag.Int("workers", 0, "worker count for parallel execution (0 = GOMAXPROCS, 1 = sequential)")
+	updateFile := flag.String("update", "", "delta file (+Rel,v,... inserts / -Rel,v,... deletes) applied to the plan before answering")
 	flag.Var(rels, "rel", "NAME=FILE CSV source for a relation (repeatable)")
 	flag.Parse()
 
@@ -85,9 +93,20 @@ func main() {
 	// trades wall-clock time for cores.
 	planOpts := qjoin.Options{Parallelism: *workers}
 
+	var upd *qjoin.Delta
+	if *updateFile != "" {
+		var err error
+		if upd, err = parseDeltaFile(*updateFile); err != nil {
+			fatal(fmt.Errorf("%s: %w", *updateFile, err))
+		}
+	}
+
 	if *doCount {
 		p, err := qjoin.Prepare(q, db, planOpts)
 		if err != nil {
+			fatal(err)
+		}
+		if p, err = applyUpdate(p, upd, false); err != nil {
 			fatal(err)
 		}
 		fmt.Println(p.Count())
@@ -112,6 +131,9 @@ func main() {
 	prepStart := time.Now()
 	p, err := qjoin.Prepare(q, db, planOpts)
 	if err != nil {
+		fatal(err)
+	}
+	if p, err = applyUpdate(p, upd, len(phis) > 1); err != nil {
 		fatal(err)
 	}
 	prepTime := time.Since(prepStart).Round(time.Microsecond)
@@ -154,6 +176,65 @@ func main() {
 			fmt.Printf("baseline weight: %s (%v)\n", weightString(f, base.Weight), time.Since(start).Round(time.Microsecond))
 		}
 	}
+}
+
+// applyUpdate folds a delta into the plan via incremental maintenance (a
+// copy-on-write Update, not a recompile), optionally reporting what it did.
+func applyUpdate(p *qjoin.Prepared, delta *qjoin.Delta, verbose bool) (*qjoin.Prepared, error) {
+	if delta == nil {
+		return p, nil
+	}
+	start := time.Now()
+	up, err := p.Update(delta)
+	if err != nil {
+		return nil, fmt.Errorf("applying update: %w", err)
+	}
+	if verbose {
+		fmt.Printf("applied %d-op delta in %v\n", delta.Len(), time.Since(start).Round(time.Microsecond))
+	}
+	return up, nil
+}
+
+// parseDeltaFile reads a +Rel,v,.../-Rel,v,... delta file. Blank lines and
+// '#' comments are skipped.
+func parseDeltaFile(path string) (*qjoin.Delta, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	d := qjoin.NewDelta()
+	for ln, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if len(line) < 2 || (line[0] != '+' && line[0] != '-') {
+			return nil, fmt.Errorf("line %d: want +Rel,v,... or -Rel,v,..., got %q", ln+1, line)
+		}
+		del := line[0] == '-'
+		parts := strings.Split(line[1:], ",")
+		if len(parts) < 2 {
+			return nil, fmt.Errorf("line %d: no values in %q", ln+1, line)
+		}
+		rel := strings.TrimSpace(parts[0])
+		if rel == "" {
+			return nil, fmt.Errorf("line %d: empty relation name", ln+1)
+		}
+		row := make([]int64, 0, len(parts)-1)
+		for _, field := range parts[1:] {
+			v, err := strconv.ParseInt(strings.TrimSpace(field), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", ln+1, err)
+			}
+			row = append(row, v)
+		}
+		if del {
+			d.Delete(rel, row)
+		} else {
+			d.Insert(rel, row)
+		}
+	}
+	return d, nil
 }
 
 // parsePhis parses a comma-separated list of quantile fractions.

@@ -4,6 +4,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"github.com/quantilejoins/qjoin"
 )
 
 func TestParseQuery(t *testing.T) {
@@ -97,6 +99,63 @@ func TestRelFlags(t *testing.T) {
 	}
 	if r.String() == "" {
 		t.Fatal("empty String()")
+	}
+}
+
+func TestParseDeltaFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "delta.txt")
+	content := "# comment\n+R,1,2\n\n-S, 3 ,4\n+R,5,6\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d, err := parseDeltaFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 3 {
+		t.Fatalf("ops = %d, want 3", d.Len())
+	}
+	for _, bad := range []string{"R,1,2\n", "+R\n", "+,1\n", "+R,x\n"} {
+		os.WriteFile(path, []byte(bad), 0o644)
+		if _, err := parseDeltaFile(path); err == nil {
+			t.Fatalf("accepted %q", bad)
+		}
+	}
+	if _, err := parseDeltaFile(filepath.Join(dir, "nope.txt")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestApplyUpdateEndToEnd(t *testing.T) {
+	// A tiny end-to-end pass of the -update path: compile, apply, answer.
+	q, err := parseQuery("R(x,y),S(y,z)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := qjoin.NewDB().
+		MustAdd("R", 2, [][]int64{{1, 2}, {3, 4}}).
+		MustAdd("S", 2, [][]int64{{2, 7}, {4, 9}})
+	p, err := qjoin.Prepare(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "delta.txt")
+	os.WriteFile(path, []byte("-R,3,4\n+R,5,2\n"), 0o644)
+	delta, err := parseDeltaFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	up, err := applyUpdate(p, delta, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := up.Count().Int64(); n != 2 { // (1,2,7) and (5,2,7)
+		t.Fatalf("count after update = %d, want 2", n)
+	}
+	if n := p.Count().Int64(); n != 2 { // base plan untouched: (1,2,7), (3,4,9)
+		t.Fatalf("base count = %d, want 2", n)
 	}
 }
 

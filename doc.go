@@ -60,6 +60,31 @@
 // *rand.Rand require a per-goroutine generator, and a *RankedStream is a
 // single-consumer cursor (create one stream per goroutine instead).
 //
+// # Incremental updates
+//
+// When the database changes, a plan absorbs the delta instead of being
+// recompiled. Build a Delta with NewDelta/Insert/Delete and call
+// Prepared.Update; the change propagates through every layer of the
+// compiled artifact — refcounts, deduplicated relations, per-node
+// materializations, join-group indexes, counting state — in time
+// proportional to the touched data:
+//
+//	d := qjoin.NewDelta().Insert("R", []int64{1, 10}).Delete("S", []int64{20, 9})
+//	p2, err := p.Update(d)
+//
+// Update is a copy-on-write swap: the receiver is never mutated (concurrent
+// readers and concurrent Updates of it stay safe), and the returned plan
+// shares every structure the delta did not touch. The lazily built
+// direct-access structure and full reduction are invalidated by any change
+// to the answer set and rebuilt on first use; a delta that only changes raw
+// multiplicities (duplicate inserts, deletes of duplicate occurrences)
+// invalidates nothing. Relations are multisets at the input level: a tuple
+// leaves the answer side only when its last occurrence is deleted, and
+// deleting an absent tuple fails atomically with ErrDeleteAbsent. Answers
+// of an updated plan are byte-identical — RunStats included — to a fresh
+// Prepare on the mutated database (DB.Apply produces exactly that
+// database).
+//
 // # Parallel execution
 //
 // The hot passes — input deduplication, node materialization, join-group

@@ -49,25 +49,38 @@ var (
 )
 
 // Engine is the compiled, reusable form of a (Query, Database) pair.
+//
+// Engines are immutable once returned: Update never modifies the receiver,
+// it derives a new Engine sharing every untouched structure (copy-on-write),
+// so readers of the old artifact are never disturbed.
 type Engine struct {
-	src      *query.Query // the original query, as the user wrote it
-	origVars []query.Var  // src.Vars(): the canonical answer layout
-	q        *query.Query // self-join-free rewrite of src
-	db       *relation.Database
+	src      *query.Query       // the original query, as the user wrote it
+	origVars []query.Var        // src.Vars(): the canonical answer layout
+	q        *query.Query       // self-join-free rewrite of src
+	db       *relation.Database // deduplicated, self-join-free database
+	db0      *relation.Database // raw input database (nil on derived engines)
 	tree     *jointree.Tree
 	exec     *jointree.Exec // shared read-only executable tree
 	pos      []int          // positions of origVars within q.Vars()
 	workers  int            // resolved worker count for compile-time passes
 
-	totalOnce sync.Once
-	total     counting.Count
+	// The lazy structures are guarded by one small mutex each (not a
+	// sync.Once: Update peeks at what is already built to carry caches
+	// forward onto derived engines, and a Once cannot be inspected without
+	// racing its builder). Building happens under the lock, so concurrent
+	// first users serialize exactly as they would on a Once.
+	countsMu sync.Mutex
+	counts   *yannakakis.Counts // full counting state; Total plus the per-tuple/per-group counts Update's delta counting needs
 
-	accessOnce sync.Once
-	access     *access.Direct
+	setsMu sync.Mutex
+	sets   map[string]*relation.Multiset // raw tuple multiplicities per source relation; built on first Update
 
-	reducedOnce sync.Once
-	reduced     *jointree.Exec
-	reducedErr  error
+	accessMu sync.Mutex
+	access   *access.Direct
+
+	reducedMu  sync.Mutex
+	reduced    *jointree.Exec
+	reducedErr error
 }
 
 // New compiles a query against a database: validate, eliminate self-joins,
@@ -114,6 +127,7 @@ func NewWorkers(src *query.Query, db0 *relation.Database, parallelism int) (*Eng
 		origVars: origVars,
 		q:        q,
 		db:       db,
+		db0:      db0,
 		tree:     tree,
 		exec:     exec,
 		pos:      pos,
@@ -137,15 +151,32 @@ func (e *Engine) Tree() *jointree.Tree { return e.tree }
 // read-only; mutating consumers (FullReduce) must build their own copy.
 func (e *Engine) Exec() *jointree.Exec { return e.exec }
 
-// Total returns |Q(D)|, counting on first use (one linear message-passing
-// pass over the shared executable tree) and caching the result. Consumers
-// that never need the count — plain enumeration, ranked streaming — never
-// pay for it.
+// Counts returns the full counting state of the shared executable tree —
+// per-tuple and per-group subtree counts plus the total — computing it on
+// first use (one linear message-passing pass) and caching the result.
+// Update's delta counting starts from this state; engines derived by Update
+// carry their maintained state here, so the pass is never repeated.
+func (e *Engine) Counts() *yannakakis.Counts {
+	e.countsMu.Lock()
+	defer e.countsMu.Unlock()
+	if e.counts == nil {
+		e.counts = yannakakis.CountWorkers(e.exec, e.workers)
+	}
+	return e.counts
+}
+
+// peekCounts returns the counting state only if already built.
+func (e *Engine) peekCounts() *yannakakis.Counts {
+	e.countsMu.Lock()
+	defer e.countsMu.Unlock()
+	return e.counts
+}
+
+// Total returns |Q(D)|, counting on first use and caching the result.
+// Consumers that never need the count — plain enumeration, ranked
+// streaming — never pay for it.
 func (e *Engine) Total() counting.Count {
-	e.totalOnce.Do(func() {
-		e.total = yannakakis.CountAnswersWorkers(e.exec, e.workers)
-	})
-	return e.total
+	return e.Counts().Total
 }
 
 // Vars returns the original query's variables — the canonical answer layout.
@@ -172,9 +203,18 @@ func (e *Engine) Project(asn []relation.Value, dst []relation.Value) {
 // concurrent use; Sample callers must not share one *rand.Rand across
 // goroutines.
 func (e *Engine) Access() *access.Direct {
-	e.accessOnce.Do(func() {
+	e.accessMu.Lock()
+	defer e.accessMu.Unlock()
+	if e.access == nil {
 		e.access = access.NewWorkers(e.exec, e.workers)
-	})
+	}
+	return e.access
+}
+
+// peekAccess returns the direct-access structure only if already built.
+func (e *Engine) peekAccess() *access.Direct {
+	e.accessMu.Lock()
+	defer e.accessMu.Unlock()
 	return e.access
 }
 
@@ -184,20 +224,37 @@ func (e *Engine) Access() *access.Direct {
 // shared Exec is never touched) and cached. The result is read-only and may
 // be shared by concurrent ranked enumerations.
 func (e *Engine) Reduced() (*jointree.Exec, error) {
-	e.reducedOnce.Do(func() {
+	e.reducedMu.Lock()
+	defer e.reducedMu.Unlock()
+	if e.reduced == nil && e.reducedErr == nil {
 		ex, err := jointree.NewExecWorkers(e.q, e.db, e.tree, e.workers)
 		if err != nil {
 			e.reducedErr = err
-			return
+		} else {
+			ex.FullReduceWorkers(e.workers)
+			e.reduced = ex
 		}
-		ex.FullReduceWorkers(e.workers)
-		e.reduced = ex
-	})
+	}
 	return e.reduced, e.reducedErr
+}
+
+// peekReduced returns the full reduction only if already built.
+func (e *Engine) peekReduced() *jointree.Exec {
+	e.reducedMu.Lock()
+	defer e.reducedMu.Unlock()
+	return e.reduced
 }
 
 // dedupeDatabase returns a database whose relations are duplicate-free and
 // marked distinct. Relations already known distinct are shared, not copied.
+//
+// Deduplication is append-only: it collapses raw multiplicities to a set and
+// forgets them, so nothing at this level can answer "is it safe to remove
+// this tuple?". Deletions must instead flow through Engine.Update, which
+// replays them against the per-relation Multiset refcounts and rejects a
+// delete of an absent tuple with ErrDeleteAbsent — silently dropping a row
+// here (or re-running this pass on a mutated input) would desynchronize the
+// refcounts from the set view.
 func dedupeDatabase(db *relation.Database, workers int) *relation.Database {
 	out := relation.NewDatabase()
 	for _, name := range db.Names() {

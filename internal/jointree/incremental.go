@@ -1,0 +1,302 @@
+// Incremental (re)materialization of an executable join tree. ApplyDelta
+// derives a new Exec from an existing one plus set-level relation changes,
+// touching only the nodes whose source relation changed: survivors keep
+// their relative order and insertions append, so the derived per-node
+// relations are byte-identical to the ones a fresh NewExec would build on
+// the mutated database. Group indexes are maintained in place of a rebuild —
+// tuple lists are remapped (deletions) or extended (insertions), group ids
+// are stable, and groups emptied by deletions are retained (consumers treat
+// them exactly like missing keys). The derived Exec shares every untouched
+// structure with its base; neither Exec is ever mutated after construction,
+// so base and derivation stay safe for concurrent readers.
+package jointree
+
+import (
+	"fmt"
+
+	"github.com/quantilejoins/qjoin/internal/query"
+	"github.com/quantilejoins/qjoin/internal/relation"
+)
+
+// RelDelta is the net, set-level change to one deduplicated relation:
+// rows leaving the set and rows entering it. Entering rows are in canonical
+// append order — the order a fresh deduplication of the mutated raw input
+// would first encounter them.
+type RelDelta struct {
+	RemovedRows [][]relation.Value // full-row values of rows leaving the set
+	RemovedKeys []string           // fixed-width row keys aligned with RemovedRows
+	AddedRows   [][]relation.Value // rows entering the set, in append order
+}
+
+// Empty reports whether the delta changes nothing at the set level.
+func (d RelDelta) Empty() bool { return len(d.RemovedRows) == 0 && len(d.AddedRows) == 0 }
+
+// NodeChange records how ApplyDelta transformed one node's relation — the
+// exact inputs the delta-counting pass needs.
+type NodeChange struct {
+	// Node is the join-tree node id.
+	Node int
+	// Remap maps old tuple indexes to new ones, -1 for removed rows; nil
+	// when the change was append-only and old indexes are unchanged.
+	Remap []int
+	// RemovedIdx and RemovedRows are the old indexes and node-layout rows of
+	// the tuples that left the node relation, in ascending index order.
+	RemovedIdx  []int
+	RemovedRows [][]relation.Value
+	// AddedIdx are the new indexes of the appended tuples, ascending.
+	AddedIdx []int
+	// OldLen and NewLen are the node relation sizes before and after.
+	OldLen, NewLen int
+}
+
+// ApplyDelta derives an executable tree reflecting the given per-relation
+// set deltas (keyed by relation name in e.DB). The base Exec is not
+// modified. It returns the derived Exec and one NodeChange per touched node,
+// in tree-node order.
+func (e *Exec) ApplyDelta(deltas map[string]RelDelta, workers int) (*Exec, []NodeChange, error) {
+	_ = workers // per-node delta work is O(|relation|) scans at worst; chunking buys nothing on small deltas
+	newDB := relation.NewDatabase()
+	// Per touched relation, one key scan locates the removed rows; the node
+	// updates below reuse the indexes (node rows are 1:1 with source rows
+	// for atoms without repeated variables), so no further hashing of the
+	// full relation happens anywhere on the update path.
+	removedIdx := make(map[string][]int, len(deltas))
+	for _, name := range e.DB.Names() {
+		old := e.DB.Get(name)
+		if d, ok := deltas[name]; ok && !d.Empty() {
+			var idx []int
+			if len(d.RemovedRows) > 0 {
+				idx = locateRows(old, d.RemovedKeys)
+			}
+			removedIdx[name] = idx
+			newDB.Add(applyRelDelta(old, d, idx))
+		} else {
+			newDB.Add(old)
+		}
+	}
+	out := &Exec{
+		Q:            e.Q,
+		T:            e.T,
+		DB:           newDB,
+		Rels:         append([]*relation.Relation(nil), e.Rels...),
+		Groups:       append([]*GroupIndex(nil), e.Groups...),
+		keyPosChild:  e.keyPosChild,
+		keyPosParent: e.keyPosParent,
+	}
+	var changes []NodeChange
+	for _, n := range e.T.Nodes {
+		atom := e.Q.Atoms[n.Atom]
+		d, ok := deltas[atom.Rel]
+		if !ok || d.Empty() {
+			continue
+		}
+		if e.DB.Get(atom.Rel) == nil {
+			return nil, nil, fmt.Errorf("jointree: delta for unknown relation %q", atom.Rel)
+		}
+		changes = append(changes, out.applyNodeDelta(n, atom, d, removedIdx[atom.Rel]))
+	}
+	return out, changes, nil
+}
+
+// locateRows returns the ascending indexes of the rows carrying the given
+// keys — the one full key scan each touched relation pays per update.
+func locateRows(r *relation.Relation, keys []string) []int {
+	removed := make(map[string]struct{}, len(keys))
+	for _, k := range keys {
+		removed[k] = struct{}{}
+	}
+	var idx []int
+	var enc relation.KeyEncoder
+	n := r.Len()
+	for i := 0; i < n; i++ {
+		if _, dead := removed[string(enc.Row(r.Row(i)))]; dead {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// applyRelDelta rewrites one deduplicated database relation: removed rows
+// are dropped with survivor order preserved (segment-wise bulk copy), added
+// rows append. The result is exactly what deduplicating the mutated raw
+// relation would produce.
+func applyRelDelta(r *relation.Relation, d RelDelta, removedIdx []int) *relation.Relation {
+	var out *relation.Relation
+	if len(removedIdx) > 0 {
+		out = r.WithoutRows(removedIdx, len(d.AddedRows))
+	} else {
+		out = r.CloneCap(len(d.AddedRows))
+	}
+	for _, row := range d.AddedRows {
+		out.AppendRow(row)
+	}
+	out.MarkDistinct()
+	return out
+}
+
+// remapFrom builds the old→new index map implied by removing the sorted
+// indexes — plain arithmetic, no hashing.
+func remapFrom(oldLen int, sortedIdx []int) []int {
+	remap := make([]int, oldLen)
+	next, j := 0, 0
+	for i := 0; i < oldLen; i++ {
+		if j < len(sortedIdx) && sortedIdx[j] == i {
+			remap[i] = -1
+			j++
+			continue
+		}
+		remap[i] = next
+		next++
+	}
+	return remap
+}
+
+// applyNodeDelta rewrites one node's materialized relation and group index
+// inside the derived Exec. The projection logic mirrors materializeNode:
+// rows violating intra-atom repeated-variable equality are dropped, and the
+// projection onto the atom's distinct variables is injective on distinct
+// source rows, so node rows correspond 1:1 to source rows. Without repeated
+// variables the correspondence is index-exact and the source relation's
+// removal indexes apply verbatim (no node-level hashing at all); atoms with
+// repeated variables fall back to locating removals by projected-row key.
+func (x *Exec) applyNodeDelta(n *Node, atom query.Atom, d RelDelta, srcRemovedIdx []int) NodeChange {
+	layout := layoutFor(atom, n.Vars)
+	project := func(row []relation.Value) ([]relation.Value, bool) {
+		if !layout.ok(row) {
+			return nil, false
+		}
+		out := make([]relation.Value, len(n.Vars))
+		layout.fill(row, out)
+		return out, true
+	}
+
+	var addedNode [][]relation.Value
+	for _, row := range d.AddedRows {
+		if pr, ok := project(row); ok {
+			addedNode = append(addedNode, pr)
+		}
+	}
+
+	old := x.Rels[n.ID]
+	oldLen := old.Len()
+	ch := NodeChange{Node: n.ID, OldLen: oldLen}
+	if !layout.repeated {
+		ch.RemovedIdx = srcRemovedIdx
+	} else if len(d.RemovedRows) > 0 {
+		var enc relation.KeyEncoder
+		removedKeys := make(map[string]struct{}, len(d.RemovedRows))
+		for _, row := range d.RemovedRows {
+			if pr, ok := project(row); ok {
+				removedKeys[string(enc.Row(pr))] = struct{}{}
+			}
+		}
+		for i := 0; i < oldLen; i++ {
+			if _, dead := removedKeys[string(enc.Row(old.Row(i)))]; dead {
+				ch.RemovedIdx = append(ch.RemovedIdx, i)
+			}
+		}
+	}
+	var newRel *relation.Relation
+	if len(ch.RemovedIdx) > 0 {
+		for _, i := range ch.RemovedIdx {
+			ch.RemovedRows = append(ch.RemovedRows, append([]relation.Value(nil), old.Row(i)...))
+		}
+		ch.Remap = remapFrom(oldLen, ch.RemovedIdx)
+		newRel = old.WithoutRows(ch.RemovedIdx, len(addedNode))
+	} else {
+		newRel = old.CloneCap(len(addedNode))
+	}
+	base := newRel.Len()
+	for k, row := range addedNode {
+		ch.AddedIdx = append(ch.AddedIdx, base+k)
+		newRel.AppendRow(row)
+	}
+	newRel.MarkDistinct()
+	x.Rels[n.ID] = newRel
+	ch.NewLen = newRel.Len()
+	if n.Parent >= 0 {
+		x.Groups[n.ID] = x.Groups[n.ID].derive(ch.Remap, newRel, ch.AddedIdx, x.keyPosChild[n.ID])
+	}
+	return ch
+}
+
+// derive returns a group index over the rewritten relation: tuple lists are
+// remapped (deletions) or copy-on-write extended (insertions), keeping every
+// list in ascending tuple order. The base byKey map is shared; groups first
+// seen here land in the added overlay, which flatten folds into a fresh map
+// once it outgrows sparseness.
+func (g *GroupIndex) derive(remap []int, rel *relation.Relation, addedIdx []int, pos []int) *GroupIndex {
+	out := &GroupIndex{byKey: g.byKey}
+	if remap != nil {
+		out.Tuples = make([][]int, len(g.Tuples))
+		for gid, list := range g.Tuples {
+			var nl []int
+			for _, ti := range list {
+				if ni := remap[ti]; ni >= 0 {
+					nl = append(nl, ni)
+				}
+			}
+			out.Tuples[gid] = nl
+		}
+	} else {
+		out.Tuples = append([][]int(nil), g.Tuples...)
+	}
+	if g.added != nil {
+		out.added = make(map[string]int, len(g.added))
+		for k, v := range g.added {
+			out.added[k] = v
+		}
+	}
+	var enc relation.KeyEncoder
+	// fresh marks inner lists owned by this derivation (safe to append to);
+	// on the remap path every list is fresh already.
+	var fresh map[int]bool
+	if remap == nil {
+		fresh = make(map[int]bool, len(addedIdx))
+	}
+	for _, ni := range addedIdx {
+		key := enc.Cols(rel.Row(ni), pos)
+		gid, ok := out.lookup(key)
+		switch {
+		case !ok:
+			gid = len(out.Tuples)
+			if out.added == nil {
+				out.added = make(map[string]int)
+			}
+			out.added[string(key)] = gid
+			out.Tuples = append(out.Tuples, []int{ni})
+			if fresh != nil {
+				fresh[gid] = true
+			}
+		case fresh != nil && !fresh[gid]:
+			// The inner list is shared with the base index: copy-on-append.
+			list := out.Tuples[gid]
+			nl := make([]int, len(list), len(list)+1)
+			copy(nl, list)
+			out.Tuples[gid] = append(nl, ni)
+			fresh[gid] = true
+		default:
+			out.Tuples[gid] = append(out.Tuples[gid], ni)
+		}
+	}
+	out.flatten()
+	return out
+}
+
+// flatten folds a grown overlay into a fresh byKey map so that chains of
+// derivations keep both the two-probe lookup bound and the O(|delta|)
+// derivation cost.
+func (g *GroupIndex) flatten() {
+	if len(g.added) <= len(g.byKey)/4+16 {
+		return
+	}
+	byKey := make(map[string]int, len(g.byKey)+len(g.added))
+	for k, v := range g.byKey {
+		byKey[k] = v
+	}
+	for k, v := range g.added {
+		byKey[k] = v
+	}
+	g.byKey = byKey
+	g.added = nil
+}

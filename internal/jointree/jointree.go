@@ -200,13 +200,32 @@ type Exec struct {
 }
 
 // GroupIndex groups the tuples of a child node by their shared-variable key.
+//
+// An index derived by ApplyDelta shares the immutable byKey map of its base
+// and records incrementally created groups in the small added overlay;
+// lookups probe the overlay first. Derived indexes may also retain groups
+// whose tuple lists have become empty — every consumer treats an empty group
+// exactly like a missing key (zero count, no enumeration, dead semijoin), so
+// the retained ids are invisible in answers.
 type GroupIndex struct {
 	byKey  map[string]int
-	Tuples [][]int // group id -> tuple indexes into the child relation
+	added  map[string]int // overlay of incrementally added groups; nil unless derived
+	Tuples [][]int        // group id -> tuple indexes into the child relation
 }
 
 // NumGroups returns the number of distinct join groups.
 func (g *GroupIndex) NumGroups() int { return len(g.Tuples) }
+
+// lookup resolves a shared-variable key to its group id.
+func (g *GroupIndex) lookup(key []byte) (int, bool) {
+	if g.added != nil {
+		if id, ok := g.added[string(key)]; ok {
+			return id, true
+		}
+	}
+	id, ok := g.byKey[string(key)]
+	return id, ok
+}
 
 // NewExec materializes the per-node relations and group indexes
 // sequentially; NewExecWorkers is the data-parallel variant.
@@ -246,36 +265,73 @@ func NewExecWorkers(q *query.Query, db *relation.Database, t *Tree, workers int)
 	return e, nil
 }
 
-func materializeNode(atom query.Atom, vars []query.Var, src *relation.Relation, workers int) *relation.Relation {
-	// Column index of the first occurrence of each distinct variable.
-	firstPos := make([]int, len(vars))
+// nodeLayout is the projection of one atom's rows onto its node relation:
+// which source columns carry the node's distinct variables, and the
+// intra-atom repeated-variable equality constraint. It is THE definition of
+// how node rows derive from source rows — the fresh build (materializeNode)
+// and the incremental path (applyNodeDelta) share it, which is what keeps
+// incrementally maintained node relations byte-identical to fresh ones.
+type nodeLayout struct {
+	firstPos []int // per node column: source column of the variable's first occurrence
+	firstOcc []int // per source column: first column holding the same variable
+	repeated bool  // some variable occurs in several columns
+}
+
+func layoutFor(atom query.Atom, vars []query.Var) nodeLayout {
+	l := nodeLayout{
+		firstPos: make([]int, len(vars)),
+		firstOcc: make([]int, len(atom.Vars)),
+	}
 	for i, v := range vars {
 		for j, av := range atom.Vars {
 			if av == v {
-				firstPos[i] = j
+				l.firstPos[i] = j
 				break
 			}
 		}
 	}
-	// firstOcc[j] is the first column holding the same variable as column j.
-	firstOcc := make([]int, len(atom.Vars))
 	for j, v := range atom.Vars {
-		firstOcc[j] = firstOccurrence(atom.Vars, v)
+		l.firstOcc[j] = firstOccurrence(atom.Vars, v)
+		if l.firstOcc[j] != j {
+			l.repeated = true
+		}
 	}
+	return l
+}
+
+// ok reports whether a source row satisfies the repeated-variable equality.
+func (l nodeLayout) ok(row []relation.Value) bool {
+	for j, f := range l.firstOcc {
+		if row[j] != row[f] {
+			return false
+		}
+	}
+	return true
+}
+
+// fill writes the node-layout projection of row into dst.
+func (l nodeLayout) fill(row, dst []relation.Value) {
+	for j, p := range l.firstPos {
+		dst[j] = row[p]
+	}
+}
+
+func materializeNode(atom query.Atom, vars []query.Var, src *relation.Relation, workers int) *relation.Relation {
+	layout := layoutFor(atom, vars)
 	// Relations are sets (Section 2.1): duplicate rows are dropped so that
 	// counting and direct access see each homomorphism exactly once.
 	// Relations already marked distinct (outputs of the trim constructions
 	// and of this function) skip the hash pass, which otherwise dominates
 	// the driver's per-iteration cost.
-	repeatedVars := false
-	for j := range atom.Vars {
-		if firstOcc[j] != j {
-			repeatedVars = true
-			break
-		}
-	}
+	//
+	// Both this pass and its first-chunk-wins parallel merge are append-only:
+	// they can absorb new rows but have no notion of removing one. Mutating
+	// workloads must not reach in here with raw deletions — deletes go
+	// through Exec.ApplyDelta, which validates them against the relation's
+	// multiset refcounts (engine.ErrDeleteAbsent) before any structure is
+	// touched.
 	n := src.Len()
-	needDedup := repeatedVars || !src.IsDistinct()
+	needDedup := layout.repeated || !src.IsDistinct()
 
 	// chunk projects, filters and locally deduplicates rows [lo, hi); keys
 	// of locally-kept rows come back pre-built for the cross-chunk merge —
@@ -296,19 +352,10 @@ func materializeNode(atom query.Atom, vars []query.Var, src *relation.Relation, 
 		}
 		for i := lo; i < hi; i++ {
 			row := src.Row(i)
-			ok := true
-			for j := range atom.Vars {
-				if row[j] != row[firstOcc[j]] {
-					ok = false
-					break
-				}
-			}
-			if !ok {
+			if !layout.ok(row) {
 				continue
 			}
-			for j, p := range firstPos {
-				buf[j] = row[p]
-			}
+			layout.fill(row, buf)
 			if needDedup {
 				key := enc.Row(buf)
 				if _, dup := seen[string(key)]; dup {
@@ -447,16 +494,35 @@ func buildGroupIndex(rel *relation.Relation, pos []int, workers int) *GroupIndex
 // parent tuple, and whether such a group exists.
 func (e *Exec) GroupForParentRow(child int, parentRow []relation.Value) (int, bool) {
 	key := relation.AppendKey(nil, parentRow, e.keyPosParent[child])
-	id, ok := e.Groups[child].byKey[string(key)]
-	return id, ok
+	return e.Groups[child].lookup(key)
 }
 
 // GroupForParentRowBuf is GroupForParentRow reusing the caller's buffer;
 // hot passes call it once per tuple without allocating.
 func (e *Exec) GroupForParentRowBuf(child int, parentRow []relation.Value, buf []byte) (int, bool, []byte) {
 	buf = relation.AppendKey(buf[:0], parentRow, e.keyPosParent[child])
-	id, ok := e.Groups[child].byKey[string(buf)]
+	id, ok := e.Groups[child].lookup(buf)
 	return id, ok, buf
+}
+
+// ChildKeyAppend appends the shared-variable key of one of node's own rows
+// to buf — the key its GroupIndex groups by. Delta counting uses it to find
+// the join group a mutated tuple belongs to.
+func (e *Exec) ChildKeyAppend(buf []byte, node int, row []relation.Value) []byte {
+	return relation.AppendKey(buf, row, e.keyPosChild[node])
+}
+
+// ParentKeyAppend appends the key a parent row presents to child's group
+// index — the lookup side of GroupForParentRow, exposed for passes that need
+// the raw key (e.g. membership tests against a changed-key set).
+func (e *Exec) ParentKeyAppend(buf []byte, child int, parentRow []relation.Value) []byte {
+	return relation.AppendKey(buf, parentRow, e.keyPosParent[child])
+}
+
+// GroupByKey resolves an already-encoded shared-variable key to node's group
+// id.
+func (e *Exec) GroupByKey(node int, key []byte) (int, bool) {
+	return e.Groups[node].lookup(key)
 }
 
 // FullReduce removes all dangling tuples with one bottom-up and one top-down

@@ -201,6 +201,34 @@ func (r *Relation) Clone() *Relation {
 	return out
 }
 
+// CloneCap is Clone with spare capacity for extra more rows — one bulk copy
+// instead of per-row appends, for the append-only incremental paths.
+func (r *Relation) CloneCap(extra int) *Relation {
+	out := New(r.name, r.arity)
+	out.data = make([]Value, len(r.data), len(r.data)+extra*r.arity)
+	copy(out.data, r.data)
+	out.distinct = r.distinct
+	return out
+}
+
+// WithoutRows returns a copy of r minus the rows at the given strictly
+// ascending indexes, with spare capacity for extra more rows. The surviving
+// rows keep their relative order; the copy runs segment-wise, so the cost is
+// a handful of bulk copies rather than one hash or append per row.
+func (r *Relation) WithoutRows(sortedIdx []int, extra int) *Relation {
+	out := New(r.name, r.arity)
+	n := len(r.data) - len(sortedIdx)*r.arity
+	out.data = make([]Value, 0, n+extra*r.arity)
+	prev := 0
+	for _, i := range sortedIdx {
+		out.data = append(out.data, r.data[prev*r.arity:i*r.arity]...)
+		prev = i + 1
+	}
+	out.data = append(out.data, r.data[prev*r.arity:]...)
+	out.distinct = r.distinct
+	return out
+}
+
 // Filter returns a new relation containing the tuples for which keep returns
 // true, preserving order. A subset of a distinct relation stays distinct.
 func (r *Relation) Filter(keep func(row []Value) bool) *Relation {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/big"
 	"math/rand"
+	"sync"
 
 	"github.com/quantilejoins/qjoin/internal/anyk"
 	"github.com/quantilejoins/qjoin/internal/core"
@@ -40,9 +41,21 @@ import (
 //     may be created and consumed concurrently.
 type Prepared struct {
 	q    *Query
-	db   *DB
+	db   *DB // the compiled-against database; nil on updated plans until DB() materializes it
 	eng  *engine.Engine
 	opts Options
+
+	// Plans derived by Update materialize their database lazily: the base
+	// plan's database plus the chain of applied deltas, folded on first
+	// DB() call. Queries never need the raw database — they run on the
+	// engine — so updates stay O(|delta|). Update reuses an already
+	// materialized database as the next base and folds the chain past a
+	// fixed length, so neither memory nor DB() cost grows with the number
+	// of chained updates. dbMu guards db/baseDB/deltas (a mutex, not a
+	// sync.Once, so Update can peek at the materialized state).
+	dbMu   sync.Mutex
+	baseDB *DB
+	deltas []*Delta
 }
 
 // Prepare compiles a query against a database. The work done here —
@@ -85,8 +98,18 @@ func (p *Prepared) opt(opts []Options) Options {
 // Query returns the query this plan was compiled from.
 func (p *Prepared) Query() *Query { return p.q }
 
-// DB returns the database this plan was compiled against.
-func (p *Prepared) DB() *DB { return p.db }
+// DB returns the database this plan answers over. On a plan derived by
+// Update it reflects every applied delta; the mutated database is
+// materialized on first call and cached.
+func (p *Prepared) DB() *DB {
+	p.dbMu.Lock()
+	defer p.dbMu.Unlock()
+	if p.db == nil {
+		p.db = p.materializeDB()
+		p.baseDB, p.deltas = nil, nil // chain folded into db; drop it
+	}
+	return p.db
+}
 
 // Vars returns the answer layout: the query's variables in first-appearance
 // order.
