@@ -242,6 +242,48 @@ func BenchmarkPreparedReuse(b *testing.B) {
 	})
 }
 
+// BenchmarkQuantileAllocs — allocation regression floor for the pivot loop
+// (ISSUE 4). One prepared plan on the 32k-tuple acceptance instance answers
+// the 8-φ grid per op; the assertion pins the zero-rebuild loop's allocation
+// budget well below the PR 3 number (see the budget constant below).
+func BenchmarkQuantileAllocs(b *testing.B) {
+	rng := rand.New(rand.NewSource(13))
+	q, idb := workload.Path(rng, 2, 1<<14, 1<<18) // ≈1k answers from 32k tuples
+	db := qjoin.WrapDB(idb)
+	f := qjoin.Sum(q.Vars()...)
+	phis := []float64{0.05, 0.1, 0.25, 0.4, 0.5, 0.6, 0.75, 0.9}
+	p, err := qjoin.Prepare(q, db)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := p.Quantiles(f, phis); err != nil { // warm lazy plan state
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Quantiles(f, phis); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	// PR 3 measured 63376 allocs per 8-φ grid on this instance; the
+	// acceptance bar is a ≥40% reduction. Budget set just above the bar so a
+	// regression past it fails loudly while normal jitter does not.
+	const pr3Allocs = 63376
+	const budget = pr3Allocs * 60 / 100
+	perGrid := testing.AllocsPerRun(3, func() {
+		if _, err := p.Quantiles(f, phis); err != nil {
+			b.Fatal(err)
+		}
+	})
+	b.ReportMetric(perGrid, "allocs/grid")
+	if perGrid > budget {
+		b.Fatalf("quantile grid allocates %.0f allocs/op, budget %d (PR 3: %d) — pivot-loop allocation regression",
+			perGrid, int(budget), pr3Allocs)
+	}
+}
+
 // BenchmarkParallelCount — the data-parallel counting pass (ISSUE 2) on a
 // prepared executable tree at 1/2/4 workers. Speedup above 1× requires
 // GOMAXPROCS > 1; the counted total is identical at every worker count.

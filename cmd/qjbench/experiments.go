@@ -775,3 +775,71 @@ func runE14(c *ctx) {
 	fmt.Println("\n(the update path touches O(|delta|) keys plus a few bulk copies; re-prepare")
 	fmt.Println("re-hashes the whole database — the gap is the point of ISSUE 3)")
 }
+
+// runE15 measures the per-iteration cost of the pivot loop (ISSUE 4): the
+// pivot / trim / derive / count phase breakdown of steady-state quantile
+// answering on a prepared plan, and the cold-vs-warm effect of the plan's
+// λ-independent trim-preprocessing cache.
+func runE15(c *ctx) {
+	n := 1 << 14
+	if c.quick {
+		n = 1 << 12
+	}
+	rng := rand.New(rand.NewSource(15))
+	q, idb := workload.Path(rng, 2, n, 1<<10) // dense: |Q(D)| ≫ threshold, the loop iterates
+	db := qjoin.WrapDB(idb)
+	f := qjoin.Sum(q.Vars()...)
+	phis := []float64{0.05, 0.1, 0.25, 0.4, 0.5, 0.6, 0.75, 0.9}
+	planOpts := qjoin.Options{Parallelism: benchWorkers}
+	fmt.Printf("binary SUM join, |D| = %d, 8-φ grid per measurement, workers = %d\n\n", db.Size(), workerCount())
+
+	// Cold vs warm: the first grid on a fresh plan builds the staircase
+	// preparation (grouping + sorting both trim sides, once per direction);
+	// every later grid reuses it and pays only emission + counting.
+	p, err := qjoin.Prepare(q, db, planOpts)
+	if err != nil {
+		panic(err)
+	}
+	grid := func() {
+		for _, phi := range phis {
+			if _, err := p.Quantile(f, phi); err != nil {
+				panic(err)
+			}
+		}
+	}
+	coldStart := time.Now()
+	grid()
+	cold := time.Since(coldStart)
+	warm := timeIt(5, grid)
+	t := &table{header: []string{"grid", "time", "per quantile"}}
+	t.add("cold (prep caches empty)", dur(cold), dur(cold/time.Duration(len(phis))))
+	t.add("warm (steady state)", dur(warm), dur(warm/time.Duration(len(phis))))
+	t.print()
+
+	// Phase breakdown of one warm run per φ: where the remaining time goes.
+	fmt.Println()
+	t2 := &table{header: []string{"φ", "iterations", "pivot", "trim", "derive", "count", "total"}}
+	statOpts := qjoin.Options{Parallelism: benchWorkers, CollectPhases: true}
+	for _, phi := range phis {
+		_, stats, err := p.QuantileStats(f, phi, statOpts)
+		if err != nil {
+			panic(err)
+		}
+		var pv, tr, de, co time.Duration
+		iters := 0
+		if stats.Phases != nil {
+			iters = len(stats.Phases.Iterations)
+			for _, ph := range stats.Phases.Iterations {
+				pv += ph.Pivot
+				tr += ph.Trim
+				de += ph.Derive
+				co += ph.Count
+			}
+		}
+		t2.add(fmt.Sprint(phi), fmt.Sprint(iters), dur(pv), dur(tr), dur(de), dur(co), dur(pv+tr+de+co))
+	}
+	t2.print()
+	fmt.Println("\n(derive is executable-tree acquisition for the trimmed instances — subset")
+	fmt.Println("derivation or rebuild; the zero-rebuild loop of ISSUE 4 keeps it and count")
+	fmt.Println("proportional to the surviving rows instead of a full per-iteration rebuild)")
+}

@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -48,15 +50,47 @@ var experiments = []experiment{
 	{"E12", "Ablations: ε-budget strategy and sketch value-grouping", runE12},
 	{"E13", "Parallel execution runtime: worker sweep and determinism", runE13},
 	{"E14", "Incremental maintenance: update throughput vs full re-prepare (ISSUE 3)", runE14},
+	{"E15", "Pivot-loop iteration cost: phase breakdown and trim-prep caching (ISSUE 4)", runE15},
 }
 
 func main() {
-	expFlag := flag.String("exp", "all", "experiment id (E01..E14) or 'all'")
+	expFlag := flag.String("exp", "all", "experiment id (E01..E15) or 'all'")
 	quick := flag.Bool("quick", false, "reduced sizes for fast runs")
 	workers := flag.Int("workers", 0, "worker count pinned for all experiments (0 = GOMAXPROCS, 1 = sequential)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile (after the run) to this file")
 	flag.Parse()
 	benchWorkers = *workers
 	c := &ctx{quick: *quick}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		// No os.Exit in this deferred writer: it runs before the CPU-profile
+		// defers (LIFO), and exiting here would leave -cpuprofile truncated.
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final heap state
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
+	}
 	ran := false
 	for _, e := range experiments {
 		if *expFlag != "all" && !strings.EqualFold(*expFlag, e.id) {

@@ -61,6 +61,7 @@ func main() {
 	delta := flag.Float64("delta", 0.05, "failure probability for -sample")
 	seed := flag.Int64("seed", time.Now().UnixNano(), "random seed for -sample")
 	workers := flag.Int("workers", 0, "worker count for parallel execution (0 = GOMAXPROCS, 1 = sequential)")
+	doStats := flag.Bool("stats", false, "print per-run statistics with a per-iteration phase-timing breakdown")
 	updateFile := flag.String("update", "", "delta file (+Rel,v,... inserts / -Rel,v,... deletes) applied to the plan before answering")
 	flag.Var(rels, "rel", "NAME=FILE CSV source for a relation (repeatable)")
 	flag.Parse()
@@ -90,8 +91,9 @@ func main() {
 	}
 
 	// Answers are byte-identical for every -workers value; the knob only
-	// trades wall-clock time for cores.
-	planOpts := qjoin.Options{Parallelism: *workers}
+	// trades wall-clock time for cores. Phase timings are collected only on
+	// request — they read the clock inside the pivot loop.
+	planOpts := qjoin.Options{Parallelism: *workers, CollectPhases: *doStats}
 
 	var upd *qjoin.Delta
 	if *updateFile != "" {
@@ -146,16 +148,17 @@ func main() {
 	for _, phi := range phis {
 		start := time.Now()
 		var ans *qjoin.Answer
+		var stats *qjoin.RunStats
 		switch {
 		case *doSample:
 			if *eps <= 0 {
 				fatal(fmt.Errorf("-sample requires -eps > 0"))
 			}
 			ans, err = p.SampleQuantile(f, phi, *eps, *delta, rng)
-		case *eps > 0:
-			ans, err = p.ApproxQuantile(f, phi, *eps)
 		default:
-			ans, err = p.Quantile(f, phi)
+			// -eps > 0 selects the deterministic approximation through the
+			// same driver, so one stats path serves both.
+			ans, stats, err = p.QuantileStats(f, phi, qjoin.Options{Epsilon: *eps, CollectPhases: *doStats})
 		}
 		if err != nil {
 			fatal(fmt.Errorf("φ=%v: %w", phi, err))
@@ -165,6 +168,9 @@ func main() {
 			fmt.Printf("answer: %s\nweight: %s\ntime:   %v\n", ans, weightString(f, ans.Weight), prepTime+elapsed)
 		} else {
 			fmt.Printf("φ=%-5v answer: %s  weight: %s  (%v)\n", phi, ans, weightString(f, ans.Weight), elapsed)
+		}
+		if *doStats && stats != nil {
+			printStats(stats)
 		}
 
 		if *doBaseline {
@@ -176,6 +182,29 @@ func main() {
 			fmt.Printf("baseline weight: %s (%v)\n", weightString(f, base.Weight), time.Since(start).Round(time.Microsecond))
 		}
 	}
+}
+
+// printStats renders one run's statistics with the per-iteration phase
+// breakdown (pivot / trim / derive / count) that -stats collects.
+func printStats(s *qjoin.RunStats) {
+	fmt.Printf("  stats: iterations=%d materialized=%d pivotReturned=%v maxInstanceTuples=%d\n",
+		s.Iterations, s.Materialized, s.PivotReturned, s.MaxInstanceTuples)
+	if s.Phases == nil {
+		return
+	}
+	var tot struct{ pivot, trim, derive, count time.Duration }
+	for i, ph := range s.Phases.Iterations {
+		fmt.Printf("  iter %2d: pivot=%-10v trim=%-10v derive=%-10v count=%v\n",
+			i, ph.Pivot.Round(time.Microsecond), ph.Trim.Round(time.Microsecond),
+			ph.Derive.Round(time.Microsecond), ph.Count.Round(time.Microsecond))
+		tot.pivot += ph.Pivot
+		tot.trim += ph.Trim
+		tot.derive += ph.Derive
+		tot.count += ph.Count
+	}
+	fmt.Printf("  total:   pivot=%-10v trim=%-10v derive=%-10v count=%v\n",
+		tot.pivot.Round(time.Microsecond), tot.trim.Round(time.Microsecond),
+		tot.derive.Round(time.Microsecond), tot.count.Round(time.Microsecond))
 }
 
 // applyUpdate folds a delta into the plan via incremental maintenance (a

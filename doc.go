@@ -107,6 +107,43 @@
 // calls when the resolved worker count exceeds 1 (the default identity
 // weights always are).
 //
+// # Zero-rebuild pivot loop
+//
+// The per-iteration cost of Algorithm 1 is proportional to the surviving
+// rows, not to a rebuild of the trimmed database:
+//
+// Interned integer row keys. Every hash structure over tuples — input
+// dedup, node materialization, join-group indexes, the trim constructions'
+// group maps — keys rows through an interner that maps flat value tuples to
+// dense uint32 ids (first-appearance order). An interner is owned by the
+// structure that built it and lives exactly as long as that structure; a
+// derived structure (an updated or subset-filtered executable tree) shares
+// its parent's interner read-only and records additions in a copy-on-write
+// overlay, so group ids are stable across derivations and the parent stays
+// safe for concurrent readers. Interners are never mutated after their
+// owner is published.
+//
+// Subset-derived executable trees. Pure-filter trims (MAX ≺ λ, MIN ≻ λ,
+// single-node SUM) shrink every relation monotonically, and the driver
+// derives the trimmed instance's executable tree from the previous one by
+// filtering rows and remapping indexes instead of rebuilding from raw
+// relations. A subset derivation keeps group ids (dead groups are retained
+// empty and behave exactly like missing keys) and preserves node-relation
+// byte-identity with a fresh build, so answers and RunStats are unchanged.
+// It does NOT invalidate the parent tree, its interners, or its per-edge
+// gid arrays — they are shared — and it does not carry over any counting
+// state: counts are always recomputed (or delta-maintained) per instance.
+// The plan's cached full reduction and direct-access structure belong to
+// the engine, not to derived instances, and are untouched by the loop.
+//
+// Pooled iteration scratch and cached trim preparation. Counting arrays
+// and pivot weight buffers are drawn from a plan-owned pool, and the
+// λ-independent half of the staircase trim (grouping and sorting both
+// adjacent sides) is computed once per (ranking, direction) per plan and
+// reused by every iteration of every quantile. Options.CollectPhases
+// records a per-iteration pivot/trim/derive/count wall-clock breakdown in
+// RunStats.Phases (off by default so RunStats stay byte-comparable).
+//
 // The implementation is a faithful, fully self-contained reproduction: GYO
 // join trees, Yannakakis evaluation, linear-time c-pivot selection by
 // message passing (Algorithm 2), the four trimming constructions of

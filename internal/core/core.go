@@ -81,6 +81,11 @@ type Options struct {
 	MaxIterations int
 	// LossyOpts is forwarded to the lossy SUM trimming.
 	LossyOpts trim.LossyOpts
+	// CollectPhases records a per-iteration wall-clock phase breakdown
+	// (pivot / trim / derive / count) in RunStats.Phases. Off by default:
+	// timings are non-deterministic, and the default RunStats are byte-
+	// comparable across runs and worker counts.
+	CollectPhases bool
 }
 
 func (o Options) maxIterations() int {

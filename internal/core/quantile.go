@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"github.com/quantilejoins/qjoin/internal/counting"
 	"github.com/quantilejoins/qjoin/internal/engine"
@@ -16,6 +17,23 @@ import (
 	"github.com/quantilejoins/qjoin/internal/trim"
 	"github.com/quantilejoins/qjoin/internal/yannakakis"
 )
+
+// PhaseTimings is the wall-clock breakdown of one pivoting iteration,
+// collected only when Options.CollectPhases is set (timings are inherently
+// non-deterministic, so the default RunStats stay byte-comparable across
+// runs and worker counts).
+type PhaseTimings struct {
+	// Pivot is the pivot-selection pass (Algorithm 2) over the candidate.
+	Pivot time.Duration
+	// Trim is the construction of both trimmed instances (lt / gt),
+	// including any composed bound trims.
+	Trim time.Duration
+	// Derive is executable-tree acquisition for the trimmed instances:
+	// subset derivation when the trim emitted one, Build+NewExec otherwise.
+	Derive time.Duration
+	// Count is the counting pass over both trimmed instances.
+	Count time.Duration
+}
 
 // RunStats reports what one driver run did.
 type RunStats struct {
@@ -30,6 +48,35 @@ type RunStats struct {
 	Count counting.Count
 	// MaxInstanceTuples is the largest trimmed database seen.
 	MaxInstanceTuples int
+	// Phases holds the per-iteration timing breakdown when
+	// Options.CollectPhases was set; nil otherwise. A pointer, so RunStats
+	// values stay comparable (two default runs compare equal).
+	Phases *PhaseLog
+}
+
+// PhaseLog is the per-iteration phase-timing log of one run.
+type PhaseLog struct {
+	Iterations []PhaseTimings
+}
+
+// runScratch is the pooled per-run iteration scratch: counting buffers for
+// the two candidate instances of each iteration and the pivot pass's weight
+// arrays. One value serves one run at a time; the engine's scratch pool
+// hands it from run to run so steady-state quantile answering allocates no
+// fresh per-node arrays. Two counting slots suffice: the counts chosen by
+// iteration i are read by the pivot of iteration i+1, which completes before
+// the slots are overwritten by iteration i+1's own counting.
+type runScratch struct {
+	countA, countB yannakakis.Scratch
+	pivot          pivot.Scratch
+}
+
+// scratchFor checks a runScratch out of the engine's pool.
+func scratchFor(eng *engine.Engine) *runScratch {
+	if s, ok := eng.Scratch().Get().(*runScratch); ok {
+		return s
+	}
+	return &runScratch{}
 }
 
 // trimmer binds the ranking-specific trim constructions of Section 5/6 into
@@ -98,23 +145,17 @@ func makeTrimmer(q *query.Query, f *ranking.Func, opts Options) (*trimmer, error
 	return nil, fmt.Errorf("core: unsupported aggregate %s", f.Agg)
 }
 
-// execOf builds the executable join tree of an instance on the instance's
-// worker budget.
+// execOf returns the executable join tree of an instance: the one the trim
+// derived by subset filtering when present, a fresh Build+NewExec otherwise.
 func execOf(inst trim.Instance) (*jointree.Exec, error) {
+	if inst.Exec != nil {
+		return inst.Exec, nil
+	}
 	tree, err := jointree.Build(inst.Q)
 	if err != nil {
 		return nil, err
 	}
 	return jointree.NewExecWorkers(inst.Q, inst.DB, tree, inst.Workers)
-}
-
-// countInstance counts an instance's answers.
-func countInstance(inst trim.Instance) (counting.Count, error) {
-	e, err := execOf(inst)
-	if err != nil {
-		return counting.Zero, err
-	}
-	return yannakakis.CountAnswersWorkers(e, inst.Workers), nil
 }
 
 // Count returns |Q(D)| for an acyclic query.
@@ -185,10 +226,15 @@ func SelectPrepared(eng *engine.Engine, f *ranking.Func, k counting.Count, opts 
 
 // run is the shared driver body of Quantile and Select. All per-(Q, D)
 // preprocessing lives in the engine; a run only pays for pivoting, trimming
-// and counting of its own trimmed instances. While the candidate instance is
-// still the original one, the engine's shared executable tree serves pivot
-// selection, and its cached full reduction serves materialization — neither
-// is ever mutated here.
+// and counting of its own trimmed instances — and those are zero-rebuild:
+// the engine's cached counting state feeds the first pivot, every counted
+// instance hands its executable tree and counts to the next iteration
+// instead of being rebuilt, filter trims derive their trees by subset
+// filtering, λ-independent trim preprocessing comes from the plan's cache,
+// and the per-iteration arrays come from the plan's scratch pool. While the
+// candidate instance is still the original one, the engine's shared
+// executable tree serves pivot selection, and its cached full reduction
+// serves materialization — neither is ever mutated here.
 func run(eng *engine.Engine, f *ranking.Func, opts Options, pickIndex func(total counting.Count) (counting.Count, error)) (*Answer, *RunStats, error) {
 	if err := f.Validate(eng.Source()); err != nil {
 		return nil, nil, err
@@ -197,7 +243,7 @@ func run(eng *engine.Engine, f *ranking.Func, opts Options, pickIndex func(total
 	origVars := eng.Vars()
 
 	workers := parallel.Workers(opts.Parallelism)
-	orig := trim.Instance{Q: q, DB: db, Workers: workers}
+	orig := trim.Instance{Q: q, DB: db, Workers: workers, Exec: eng.Exec(), Cache: eng.TrimCache()}
 	total := eng.Total()
 	stats := &RunStats{Count: total}
 	if total.IsZero() {
@@ -215,13 +261,25 @@ func run(eng *engine.Engine, f *ranking.Func, opts Options, pickIndex func(total
 	threshold := counting.FromInt(opts.threshold(db.Size()))
 	low, high := ranking.NegInf(), ranking.PosInf()
 	cur, curCount := orig, total
-	onOrig := true // cur is the untrimmed instance; engine structures apply
+	curExec := eng.Exec()
+	curCounts := eng.Counts() // cached: the first pivot never recounts
+	onOrig := true            // cur is the untrimmed instance; engine structures apply
 	paperEps := 0.0
+
+	scr := scratchFor(eng)
+	defer eng.Scratch().Put(scr)
+	// now is a no-op unless phase timings were requested, so the default
+	// path never reads the clock inside the loop.
+	now := func() time.Time { return time.Time{} }
+	if opts.CollectPhases {
+		now = time.Now
+		stats.Phases = &PhaseLog{}
+	}
 
 	for iter := 0; iter < opts.maxIterations(); iter++ {
 		stats.Iterations = iter
 		if curCount.Cmp(threshold) <= 0 {
-			var e *jointree.Exec
+			e := curExec
 			if onOrig {
 				// Enumerating the cached full reduction touches only tuples
 				// that participate in answers — on selective joins this is
@@ -229,8 +287,6 @@ func run(eng *engine.Engine, f *ranking.Func, opts Options, pickIndex func(total
 				if e, err = eng.Reduced(); err != nil {
 					return nil, stats, err
 				}
-			} else if e, err = execOf(cur); err != nil {
-				return nil, stats, err
 			}
 			ans, err := materializeSelect(e, f, origVars, k)
 			if err != nil {
@@ -240,21 +296,17 @@ func run(eng *engine.Engine, f *ranking.Func, opts Options, pickIndex func(total
 			stats.Materialized = int(m)
 			return ans, stats, nil
 		}
-		var e *jointree.Exec
-		if onOrig {
-			e = eng.Exec()
-		} else if e, err = execOf(cur); err != nil {
-			return nil, stats, err
-		}
 		mu, err := f.AssignVars(cur.Q)
 		if err != nil {
 			return nil, stats, err
 		}
-		pv, err := pivot.SelectWorkers(e, f, mu, workers)
+		t0 := now()
+		pv, err := pivot.SelectPrepared(curExec, curCounts, f, mu, workers, &scr.pivot)
 		if err != nil {
 			return nil, stats, err
 		}
 		wp := pv.Weight
+		t1 := now()
 
 		epsIter := 0.0
 		if trm.lossy {
@@ -297,26 +349,43 @@ func run(eng *engine.Engine, f *ranking.Func, opts Options, pickIndex func(total
 				return nil, stats, err
 			}
 		}
-		cLt, err := countInstance(lt)
+		t2 := now()
+		ltExec, err := execOf(lt)
 		if err != nil {
 			return nil, stats, err
 		}
-		cGt, err := countInstance(gt)
+		gtExec, err := execOf(gt)
 		if err != nil {
 			return nil, stats, err
 		}
+		t3 := now()
+		ltCounts := yannakakis.CountScratch(ltExec, workers, &scr.countA)
+		gtCounts := yannakakis.CountScratch(gtExec, workers, &scr.countB)
+		cLt, cGt := ltCounts.Total, gtCounts.Total
 		stats.MaxInstanceTuples = maxInt(stats.MaxInstanceTuples, lt.DB.Size(), gt.DB.Size())
+		if opts.CollectPhases {
+			t4 := now()
+			stats.Phases.Iterations = append(stats.Phases.Iterations, PhaseTimings{
+				Pivot:  t1.Sub(t0),
+				Trim:   t2.Sub(t1),
+				Derive: t3.Sub(t2),
+				Count:  t4.Sub(t3),
+			})
+		}
 
 		// Choose the partition holding index k. The equal partition is
 		// implicit: everything not in lt or gt (lossy trims only move lost
-		// answers into it, Figure 5).
+		// answers into it, Figure 5). The chosen branch hands its executable
+		// tree and counting state to the next iteration — nothing is rebuilt.
 		switch {
 		case k.Cmp(cLt) < 0:
 			cur, curCount, high = lt, cLt, ranking.Finite(wp)
+			curExec, curCounts = ltExec, ltCounts
 			onOrig = false
 		case k.Cmp(curCount.Sub(cGt)) >= 0:
 			k = k.Sub(curCount.Sub(cGt))
 			cur, curCount, low = gt, cGt, ranking.Finite(wp)
+			curExec, curCounts = gtExec, gtCounts
 			onOrig = false
 		default:
 			stats.PivotReturned = true
@@ -354,23 +423,43 @@ func projectAnswer(fromVars []query.Var, vals []relation.Value, toVars []query.V
 // weight with a consistent value tie-break. The sort's (weight, values)
 // order is total over the distinct answers, so the selected answer does not
 // depend on the enumeration order of the executable tree passed in.
+// Projected answers are stored in one flat backing array — the projection
+// positions are resolved once, not once per answer.
 func materializeSelect(e *jointree.Exec, f *ranking.Func, origVars []query.Var, k counting.Count) (*Answer, error) {
 	fromVars := e.Q.Vars()
-	var answers [][]relation.Value
+	pos := make(map[query.Var]int, len(fromVars))
+	for i, v := range fromVars {
+		pos[v] = i
+	}
+	proj := make([]int, len(origVars))
+	for i, v := range origVars {
+		proj[i] = pos[v]
+	}
+	w := len(origVars)
+	var flat []relation.Value
 	yannakakis.Enumerate(e, func(asn []relation.Value) bool {
-		answers = append(answers, projectAnswer(fromVars, asn, origVars))
+		for _, p := range proj {
+			flat = append(flat, asn[p])
+		}
 		return true
 	})
-	if len(answers) == 0 {
+	n := len(flat) / max(w, 1)
+	if w == 0 {
+		// Boolean query: a single empty answer if enumeration produced one.
+		n = 0
+		yannakakis.Enumerate(e, func([]relation.Value) bool { n++; return false })
+	}
+	if n == 0 {
 		return nil, ErrNoAnswers
 	}
+	answer := func(i int) []relation.Value { return flat[i*w : i*w+w] }
 	aw := ranking.NewAnswerWeigher(f, origVars)
-	weights := make([]ranking.Weightv, len(answers))
-	for i, a := range answers {
-		weights[i] = aw.WeightOf(a)
+	weights := make([]ranking.Weightv, n)
+	for i := 0; i < n; i++ {
+		weights[i] = aw.WeightOf(answer(i))
 	}
 	// Sort a permutation so weights stay aligned with their answers.
-	perm := make([]int, len(answers))
+	perm := make([]int, n)
 	for i := range perm {
 		perm[i] = i
 	}
@@ -379,7 +468,7 @@ func materializeSelect(e *jointree.Exec, f *ranking.Func, origVars []query.Var, 
 		if c := f.Compare(weights[i], weights[j]); c != 0 {
 			return c < 0
 		}
-		a, b := answers[i], answers[j]
+		a, b := answer(i), answer(j)
 		for p := range a {
 			if a[p] != b[p] {
 				return a[p] < b[p]
@@ -388,10 +477,13 @@ func materializeSelect(e *jointree.Exec, f *ranking.Func, origVars []query.Var, 
 		return false
 	})
 	ki, ok := k.Uint64()
-	if !ok || ki >= uint64(len(answers)) {
+	if !ok || ki >= uint64(n) {
 		// Lossy accounting can leave k at the boundary; clamp.
-		ki = uint64(len(answers) - 1)
+		ki = uint64(n - 1)
 	}
 	sel := perm[ki]
-	return &Answer{Vars: origVars, Values: answers[sel], Weight: weights[sel]}, nil
+	// Copy out of the flat backing: a view would pin all n·w materialized
+	// values for the Answer's lifetime.
+	vals := append([]relation.Value(nil), answer(sel)...)
+	return &Answer{Vars: origVars, Values: vals, Weight: weights[sel]}, nil
 }

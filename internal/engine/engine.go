@@ -35,6 +35,7 @@ import (
 	"github.com/quantilejoins/qjoin/internal/parallel"
 	"github.com/quantilejoins/qjoin/internal/query"
 	"github.com/quantilejoins/qjoin/internal/relation"
+	"github.com/quantilejoins/qjoin/internal/trim"
 	"github.com/quantilejoins/qjoin/internal/yannakakis"
 )
 
@@ -81,7 +82,27 @@ type Engine struct {
 	reducedMu  sync.Mutex
 	reduced    *jointree.Exec
 	reducedErr error
+
+	// trimCache amortizes λ-independent trim preprocessing (grouped and
+	// staircase-sorted adjacent pairs) across pivoting iterations AND across
+	// queries on this plan. It is keyed by ranking identity and valid only
+	// for this engine's exact (q, db); engines derived by Update with a
+	// changed set view start fresh.
+	trimCache *trim.Cache
+
+	// scratch pools the per-run iteration scratch (counting arrays, pivot
+	// weight buffers) so repeated queries on one plan stop reallocating them.
+	// Race-safe: each concurrent run checks out its own scratch value.
+	scratch sync.Pool
 }
+
+// TrimCache returns the plan-owned trim-preprocessing cache.
+func (e *Engine) TrimCache() *trim.Cache { return e.trimCache }
+
+// Scratch returns the plan-owned pool of per-run iteration scratch. Callers
+// Get a value, use it for one run, and Put it back; the pool's values are
+// managed by the driver (the engine only owns their lifetime).
+func (e *Engine) Scratch() *sync.Pool { return &e.scratch }
 
 // New compiles a query against a database: validate, eliminate self-joins,
 // deduplicate the input relations, build the join tree, and materialize the
@@ -123,15 +144,16 @@ func NewWorkers(src *query.Query, db0 *relation.Database, parallelism int) (*Eng
 		pos[i] = idx[v]
 	}
 	return &Engine{
-		src:      src,
-		origVars: origVars,
-		q:        q,
-		db:       db,
-		db0:      db0,
-		tree:     tree,
-		exec:     exec,
-		pos:      pos,
-		workers:  workers,
+		src:       src,
+		origVars:  origVars,
+		q:         q,
+		db:        db,
+		db0:       db0,
+		tree:      tree,
+		exec:      exec,
+		pos:       pos,
+		workers:   workers,
+		trimCache: trim.NewCache(),
 	}, nil
 }
 

@@ -21,6 +21,7 @@ import (
 
 	"github.com/quantilejoins/qjoin/internal/jointree"
 	"github.com/quantilejoins/qjoin/internal/relation"
+	"github.com/quantilejoins/qjoin/internal/trim"
 	"github.com/quantilejoins/qjoin/internal/yannakakis"
 )
 
@@ -324,6 +325,7 @@ func (e *Engine) Update(d *Delta) (*Engine, error) {
 			exec: e.exec, pos: e.pos, workers: e.workers,
 			counts: e.peekCounts(), sets: newSets,
 			access: e.peekAccess(), reduced: e.peekReduced(),
+			trimCache: e.trimCache,
 		}, nil
 	}
 	// Fan the set-level changes out to the rewritten relation names: every
@@ -356,6 +358,7 @@ func (e *Engine) Update(d *Delta) (*Engine, error) {
 			exec: newExec, pos: e.pos, workers: e.workers,
 			counts: e.peekCounts(), sets: newSets,
 			access: e.peekAccess(), reduced: e.peekReduced(),
+			trimCache: e.trimCache,
 		}, nil
 	}
 	newCounts := yannakakis.UpdateCounts(e.Counts(), newExec, changes, e.workers)
@@ -363,5 +366,6 @@ func (e *Engine) Update(d *Delta) (*Engine, error) {
 		src: e.src, origVars: e.origVars, q: e.q, db: newExec.DB, tree: e.tree,
 		exec: newExec, pos: e.pos, workers: e.workers,
 		counts: newCounts, sets: newSets,
+		trimCache: trim.NewCache(),
 	}, nil
 }

@@ -82,6 +82,7 @@ func (e *Exec) ApplyDelta(deltas map[string]RelDelta, workers int) (*Exec, []Nod
 		Groups:       append([]*GroupIndex(nil), e.Groups...),
 		keyPosChild:  e.keyPosChild,
 		keyPosParent: e.keyPosParent,
+		parentGid:    append([][]int32(nil), e.parentGid...),
 	}
 	var changes []NodeChange
 	for _, n := range e.T.Nodes {
@@ -95,7 +96,74 @@ func (e *Exec) ApplyDelta(deltas map[string]RelDelta, workers int) (*Exec, []Nod
 		}
 		changes = append(changes, out.applyNodeDelta(n, atom, d, removedIdx[atom.Rel]))
 	}
+	out.refreshParentGids(e, changes)
 	return out, changes, nil
+}
+
+// refreshParentGids maintains the per-edge parent-row→group-id arrays of a
+// derived Exec: edges whose parent relation or child index did not change
+// keep sharing the base array; for touched edges, surviving parent rows keep
+// their (stable) gids through the remap, appended parent rows resolve
+// against the derived child index, and — when the delta created new join
+// groups — previously groupless rows are re-probed, since their key may now
+// exist.
+func (x *Exec) refreshParentGids(base *Exec, changes []NodeChange) {
+	byNode := make(map[int]*NodeChange, len(changes))
+	for i := range changes {
+		byNode[changes[i].Node] = &changes[i]
+	}
+	for _, n := range x.T.Nodes {
+		if n.Parent < 0 {
+			continue
+		}
+		pch, cch := byNode[n.Parent], byNode[n.ID]
+		if pch == nil && cch == nil {
+			continue
+		}
+		old := x.parentGid[n.ID]
+		if old == nil {
+			continue // base never materialized this edge; lookups fall back
+		}
+		newGroups := cch != nil &&
+			x.Groups[n.ID].NumGroups() > base.Groups[n.ID].NumGroups()
+		if pch == nil && !newGroups {
+			continue // child only lost tuples; gids and array are unchanged
+		}
+		prel := x.Rels[n.Parent]
+		arr := make([]int32, prel.Len())
+		if pch != nil && pch.Remap != nil {
+			for oi, ni := range pch.Remap {
+				if ni >= 0 {
+					arr[ni] = old[oi]
+				}
+			}
+		} else {
+			copy(arr, old)
+		}
+		keys := x.Groups[n.ID].keys
+		pos := x.keyPosParent[n.ID]
+		var buf [maxKeyWidth]relation.Value
+		resolve := func(i int) int32 {
+			key := gatherKey(buf[:], prel.Row(i), pos)
+			if id, ok := keys.Lookup(key); ok {
+				return int32(id)
+			}
+			return -1
+		}
+		if pch != nil {
+			for _, ni := range pch.AddedIdx {
+				arr[ni] = resolve(ni)
+			}
+		}
+		if newGroups {
+			for i := range arr {
+				if arr[i] < 0 {
+					arr[i] = resolve(i)
+				}
+			}
+		}
+		x.parentGid[n.ID] = arr
+	}
 }
 
 // locateRows returns the ascending indexes of the rows carrying the given
@@ -222,11 +290,12 @@ func (x *Exec) applyNodeDelta(n *Node, atom query.Atom, d RelDelta, srcRemovedId
 
 // derive returns a group index over the rewritten relation: tuple lists are
 // remapped (deletions) or copy-on-write extended (insertions), keeping every
-// list in ascending tuple order. The base byKey map is shared; groups first
-// seen here land in the added overlay, which flatten folds into a fresh map
-// once it outgrows sparseness.
+// list in ascending tuple order. The base key interner is shared through an
+// overlay derivation; groups first seen here extend it with the next dense
+// ids, and flatten folds the overlay into a fresh root once it outgrows
+// sparseness.
 func (g *GroupIndex) derive(remap []int, rel *relation.Relation, addedIdx []int, pos []int) *GroupIndex {
-	out := &GroupIndex{byKey: g.byKey}
+	out := &GroupIndex{keys: g.keys.Derive(), RowGid: make([]int32, rel.Len())}
 	if remap != nil {
 		out.Tuples = make([][]int, len(g.Tuples))
 		for gid, list := range g.Tuples {
@@ -234,36 +303,28 @@ func (g *GroupIndex) derive(remap []int, rel *relation.Relation, addedIdx []int,
 			for _, ti := range list {
 				if ni := remap[ti]; ni >= 0 {
 					nl = append(nl, ni)
+					out.RowGid[ni] = int32(gid)
 				}
 			}
 			out.Tuples[gid] = nl
 		}
 	} else {
 		out.Tuples = append([][]int(nil), g.Tuples...)
+		copy(out.RowGid, g.RowGid)
 	}
-	if g.added != nil {
-		out.added = make(map[string]int, len(g.added))
-		for k, v := range g.added {
-			out.added[k] = v
-		}
-	}
-	var enc relation.KeyEncoder
 	// fresh marks inner lists owned by this derivation (safe to append to);
 	// on the remap path every list is fresh already.
 	var fresh map[int]bool
 	if remap == nil {
 		fresh = make(map[int]bool, len(addedIdx))
 	}
+	var buf [maxKeyWidth]relation.Value
 	for _, ni := range addedIdx {
-		key := enc.Cols(rel.Row(ni), pos)
-		gid, ok := out.lookup(key)
+		key := gatherKey(buf[:], rel.Row(ni), pos)
+		id, isNew := out.keys.Intern(key)
+		gid := int(id)
 		switch {
-		case !ok:
-			gid = len(out.Tuples)
-			if out.added == nil {
-				out.added = make(map[string]int)
-			}
-			out.added[string(key)] = gid
+		case isNew:
 			out.Tuples = append(out.Tuples, []int{ni})
 			if fresh != nil {
 				fresh[gid] = true
@@ -278,25 +339,19 @@ func (g *GroupIndex) derive(remap []int, rel *relation.Relation, addedIdx []int,
 		default:
 			out.Tuples[gid] = append(out.Tuples[gid], ni)
 		}
+		out.RowGid[ni] = int32(id)
 	}
 	out.flatten()
 	return out
 }
 
-// flatten folds a grown overlay into a fresh byKey map so that chains of
+// flatten folds a grown interner overlay into a fresh root so that chains of
 // derivations keep both the two-probe lookup bound and the O(|delta|)
 // derivation cost.
 func (g *GroupIndex) flatten() {
-	if len(g.added) <= len(g.byKey)/4+16 {
+	own := g.keys.OverlayLen()
+	if own <= (g.keys.Len()-own)/4+16 {
 		return
 	}
-	byKey := make(map[string]int, len(g.byKey)+len(g.added))
-	for k, v := range g.byKey {
-		byKey[k] = v
-	}
-	for k, v := range g.added {
-		byKey[k] = v
-	}
-	g.byKey = byKey
-	g.added = nil
+	g.keys = g.keys.Flatten()
 }

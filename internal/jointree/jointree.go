@@ -186,7 +186,9 @@ func Binarize(t *Tree, q *query.Query, db *relation.Database) (*Tree, *query.Que
 }
 
 // Exec is the runnable form of a join tree over a concrete database: the
-// per-node relations and the per-node join-group indexes.
+// per-node relations, the per-node join-group indexes, and the per-edge
+// parent-to-group id arrays that let every message-passing pass run on
+// integers alone.
 type Exec struct {
 	Q  *query.Query
 	T  *Tree
@@ -197,34 +199,43 @@ type Exec struct {
 
 	keyPosChild  [][]int // positions of SharedWithParent within child Vars
 	keyPosParent [][]int // positions of SharedWithParent within parent Vars
+
+	// parentGid[child][i] is the group id of child's index matched by row i
+	// of the PARENT's relation, -1 when no group exists. Built once per
+	// (re)materialization, maintained by ApplyDelta/DeriveSubset, so the hot
+	// passes (counting, pivoting, reduction, enumeration) never hash a key —
+	// they read one int32 per (parent tuple, child) pair. nil means "not
+	// built"; consumers fall back to an interner lookup.
+	parentGid [][]int32
 }
 
 // GroupIndex groups the tuples of a child node by their shared-variable key.
+// Group ids are the dense interned ids of the key tuples, assigned in first-
+// appearance order over the child relation — exactly the numbering the
+// string-keyed index of earlier revisions produced.
 //
-// An index derived by ApplyDelta shares the immutable byKey map of its base
-// and records incrementally created groups in the small added overlay;
-// lookups probe the overlay first. Derived indexes may also retain groups
-// whose tuple lists have become empty — every consumer treats an empty group
-// exactly like a missing key (zero count, no enumeration, dead semijoin), so
-// the retained ids are invisible in answers.
+// An index derived by ApplyDelta shares the immutable key interner of its
+// base and records incrementally created groups in a small overlay
+// derivation. Derived indexes may also retain groups whose tuple lists have
+// become empty — every consumer treats an empty group exactly like a missing
+// key (zero count, no enumeration, dead semijoin), so the retained ids are
+// invisible in answers.
 type GroupIndex struct {
-	byKey  map[string]int
-	added  map[string]int // overlay of incrementally added groups; nil unless derived
-	Tuples [][]int        // group id -> tuple indexes into the child relation
+	keys   *relation.Interner // key tuple -> group id (dense, first appearance)
+	Tuples [][]int            // group id -> tuple indexes into the child relation
+	// RowGid[i] is the group id of tuple i of the child relation — the
+	// inverse of Tuples, materialized because the trim constructions and the
+	// delta-counting pass both need it and it falls out of the build for free.
+	RowGid []int32
 }
 
 // NumGroups returns the number of distinct join groups.
 func (g *GroupIndex) NumGroups() int { return len(g.Tuples) }
 
-// lookup resolves a shared-variable key to its group id.
-func (g *GroupIndex) lookup(key []byte) (int, bool) {
-	if g.added != nil {
-		if id, ok := g.added[string(key)]; ok {
-			return id, true
-		}
-	}
-	id, ok := g.byKey[string(key)]
-	return id, ok
+// lookup resolves a shared-variable key tuple to its group id.
+func (g *GroupIndex) lookup(key []relation.Value) (int, bool) {
+	id, ok := g.keys.Lookup(key)
+	return int(id), ok
 }
 
 // NewExec materializes the per-node relations and group indexes
@@ -333,22 +344,21 @@ func materializeNode(atom query.Atom, vars []query.Var, src *relation.Relation, 
 	n := src.Len()
 	needDedup := layout.repeated || !src.IsDistinct()
 
-	// chunk projects, filters and locally deduplicates rows [lo, hi); keys
-	// of locally-kept rows come back pre-built for the cross-chunk merge —
+	// chunk projects, filters and locally deduplicates rows [lo, hi); hashes
+	// of locally-kept rows come back pre-computed for the cross-chunk merge —
 	// collected only on the multi-chunk path, where that merge exists.
 	single := len(parallel.Ranges(workers, n)) <= 1
 	type nodeChunk struct {
-		out  *relation.Relation
-		keys []string
+		out    *relation.Relation
+		hashes []uint64
 	}
 	chunk := func(lo, hi int) nodeChunk {
 		out := relation.NewWithCapacity(atom.Rel+"@node", len(vars), hi-lo)
 		buf := make([]relation.Value, len(vars))
-		var seen map[string]struct{}
-		var enc relation.KeyEncoder
-		var keys []string
+		var seen *relation.Interner
+		var hashes []uint64
 		if needDedup {
-			seen = make(map[string]struct{}, hi-lo)
+			seen = relation.NewInterner(len(vars), hi-lo)
 		}
 		for i := lo; i < hi; i++ {
 			row := src.Row(i)
@@ -357,21 +367,17 @@ func materializeNode(atom query.Atom, vars []query.Var, src *relation.Relation, 
 			}
 			layout.fill(row, buf)
 			if needDedup {
-				key := enc.Row(buf)
-				if _, dup := seen[string(key)]; dup {
+				h := relation.HashTuple(buf)
+				if _, fresh := seen.InternHashed(buf, h); !fresh {
 					continue
 				}
-				if single {
-					seen[string(key)] = struct{}{}
-				} else {
-					k := string(key)
-					seen[k] = struct{}{}
-					keys = append(keys, k)
+				if !single {
+					hashes = append(hashes, h)
 				}
 			}
 			out.AppendRow(buf)
 		}
-		return nodeChunk{out: out, keys: keys}
+		return nodeChunk{out: out, hashes: hashes}
 	}
 
 	if single {
@@ -391,14 +397,12 @@ func materializeNode(atom query.Atom, vars []query.Var, src *relation.Relation, 
 	}
 	// Ordered merge: drop rows whose key an earlier chunk already produced.
 	out := relation.NewWithCapacity(atom.Rel+"@node", len(vars), n)
-	seen := make(map[string]struct{}, n)
+	seen := relation.NewInterner(len(vars), n)
 	for _, p := range parts {
-		for j, k := range p.keys {
-			if _, dup := seen[k]; dup {
-				continue
+		for j, h := range p.hashes {
+			if _, fresh := seen.InternHashed(p.out.Row(j), h); fresh {
+				out.AppendRow(p.out.Row(j))
 			}
-			seen[k] = struct{}{}
-			out.AppendRow(p.out.Row(j))
 		}
 	}
 	out.MarkDistinct()
@@ -430,6 +434,48 @@ func (e *Exec) rebuildGroups(workers int) {
 		}
 		e.Groups[n.ID] = buildGroupIndex(e.Rels[n.ID], e.keyPosChild[n.ID], workers)
 	}
+	e.rebuildParentGids(workers)
+}
+
+// rebuildParentGids materializes, for every edge, the group id each parent
+// row resolves to — the one hashed pass per edge that lets every subsequent
+// pass over this Exec run hash-free.
+func (e *Exec) rebuildParentGids(workers int) {
+	e.parentGid = make([][]int32, len(e.T.Nodes))
+	for _, n := range e.T.Nodes {
+		if n.Parent < 0 {
+			continue
+		}
+		prel := e.Rels[n.Parent]
+		pos := e.keyPosParent[n.ID]
+		keys := e.Groups[n.ID].keys
+		arr := make([]int32, prel.Len())
+		parallel.For(workers, prel.Len(), func(lo, hi int) {
+			var buf [maxKeyWidth]relation.Value
+			for i := lo; i < hi; i++ {
+				key := relation.Gather(buf[:0], prel.Row(i), pos)
+				if id, ok := keys.Lookup(key); ok {
+					arr[i] = int32(id)
+				} else {
+					arr[i] = -1
+				}
+			}
+		})
+		e.parentGid[n.ID] = arr
+	}
+}
+
+// maxKeyWidth bounds the stack scratch for gathered key tuples; keys wider
+// than this (queries sharing >16 variables across one edge) spill to heap.
+const maxKeyWidth = 16
+
+// gatherKey gathers the selected columns without allocating for typical
+// widths.
+func gatherKey(buf []relation.Value, row []relation.Value, pos []int) []relation.Value {
+	if len(pos) <= cap(buf) {
+		return relation.Gather(buf[:0], row, pos)
+	}
+	return relation.Gather(make([]relation.Value, 0, len(pos)), row, pos)
 }
 
 // buildGroupIndex groups a child relation's tuples by their shared-variable
@@ -439,89 +485,105 @@ func (e *Exec) rebuildGroups(workers int) {
 func buildGroupIndex(rel *relation.Relation, pos []int, workers int) *GroupIndex {
 	n := rel.Len()
 	if len(parallel.Ranges(workers, n)) <= 1 {
-		g := &GroupIndex{byKey: make(map[string]int)}
-		var enc relation.KeyEncoder
+		g := &GroupIndex{keys: relation.NewInterner(len(pos), n), RowGid: make([]int32, n)}
+		var buf [maxKeyWidth]relation.Value
 		for i := 0; i < n; i++ {
-			key := enc.Cols(rel.Row(i), pos)
-			id, ok := g.byKey[string(key)]
-			if !ok {
-				id = len(g.Tuples)
-				g.byKey[string(key)] = id
-				g.Tuples = append(g.Tuples, nil)
-			}
-			g.Tuples[id] = append(g.Tuples[id], i)
+			key := gatherKey(buf[:], rel.Row(i), pos)
+			id, _ := g.keys.Intern(key)
+			g.RowGid[i] = int32(id)
 		}
+		g.packTuples(n)
 		return g
 	}
+	// Partial index per chunk: the chunk's own interner assigns local ids in
+	// local first-appearance order; the merge re-interns each distinct local
+	// key once (pre-computed hash) in chunk order, which reproduces the
+	// sequential global numbering.
 	type partialIndex struct {
-		keyOrder []string // local first-appearance order
-		tuples   [][]int  // aligned with keyOrder
+		keys   *relation.Interner
+		lo     int
+		rowGid []int32 // per chunk row: LOCAL id
 	}
 	parts := parallel.MapRanges(workers, n, func(lo, hi int) partialIndex {
-		var enc relation.KeyEncoder
-		byKey := make(map[string]int)
-		var p partialIndex
+		p := partialIndex{keys: relation.NewInterner(len(pos), 0), lo: lo, rowGid: make([]int32, hi-lo)}
+		var buf [maxKeyWidth]relation.Value
 		for i := lo; i < hi; i++ {
-			key := enc.Cols(rel.Row(i), pos)
-			id, ok := byKey[string(key)]
-			if !ok {
-				id = len(p.tuples)
-				k := string(key)
-				byKey[k] = id
-				p.keyOrder = append(p.keyOrder, k)
-				p.tuples = append(p.tuples, nil)
-			}
-			p.tuples[id] = append(p.tuples[id], i)
+			key := gatherKey(buf[:], rel.Row(i), pos)
+			id, _ := p.keys.Intern(key)
+			p.rowGid[i-lo] = int32(id)
 		}
 		return p
 	})
-	g := &GroupIndex{byKey: make(map[string]int, len(parts[0].keyOrder))}
+	g := &GroupIndex{keys: relation.NewInterner(len(pos), parts[0].keys.Len()), RowGid: make([]int32, n)}
 	for _, p := range parts {
-		for li, key := range p.keyOrder {
-			gid, ok := g.byKey[key]
-			if !ok {
-				gid = len(g.Tuples)
-				g.byKey[key] = gid
-				g.Tuples = append(g.Tuples, nil)
-			}
-			g.Tuples[gid] = append(g.Tuples[gid], p.tuples[li]...)
+		trans := make([]int32, p.keys.Len())
+		for li := range trans {
+			gid, _ := g.keys.InternHashed(p.keys.TupleOf(uint32(li)), p.keys.HashOf(uint32(li)))
+			trans[li] = int32(gid)
+		}
+		for j, li := range p.rowGid {
+			g.RowGid[p.lo+j] = trans[li]
 		}
 	}
+	g.packTuples(n)
 	return g
 }
 
+// packTuples materializes Tuples from RowGid into one flat backing array:
+// counts per group, prefix-sum offsets, then a fill pass in row order (tuple
+// lists come out ascending). Zero-length-capped subslices keep later
+// copy-on-append derivations from writing into the shared backing.
+func (g *GroupIndex) packTuples(n int) {
+	ng := g.keys.Len()
+	counts := make([]int32, ng)
+	for _, gid := range g.RowGid {
+		counts[gid]++
+	}
+	flat := make([]int, n)
+	g.Tuples = make([][]int, ng)
+	off := 0
+	for gid := 0; gid < ng; gid++ {
+		c := int(counts[gid])
+		g.Tuples[gid] = flat[off : off : off+c]
+		off += c
+	}
+	for i, gid := range g.RowGid {
+		g.Tuples[gid] = append(g.Tuples[gid], i)
+	}
+}
+
 // GroupForParentRow returns the join-group id of child that matches the given
-// parent tuple, and whether such a group exists.
+// parent tuple, and whether such a group exists. Passes that iterate parent
+// rows by index should prefer ParentGroup, which is one array read.
 func (e *Exec) GroupForParentRow(child int, parentRow []relation.Value) (int, bool) {
-	key := relation.AppendKey(nil, parentRow, e.keyPosParent[child])
+	var buf [maxKeyWidth]relation.Value
+	key := gatherKey(buf[:], parentRow, e.keyPosParent[child])
 	return e.Groups[child].lookup(key)
 }
 
-// GroupForParentRowBuf is GroupForParentRow reusing the caller's buffer;
-// hot passes call it once per tuple without allocating.
-func (e *Exec) GroupForParentRowBuf(child int, parentRow []relation.Value, buf []byte) (int, bool, []byte) {
-	buf = relation.AppendKey(buf[:0], parentRow, e.keyPosParent[child])
-	id, ok := e.Groups[child].lookup(buf)
-	return id, ok, buf
+// ParentGroup returns the join-group id of child matched by row i of the
+// PARENT's relation — the hot-loop form of GroupForParentRow: an int32 array
+// read when the per-edge gid array is built (always, on fresh and derived
+// Execs), an interner lookup otherwise.
+func (e *Exec) ParentGroup(child, i int) (int, bool) {
+	if pg := e.parentGid[child]; pg != nil {
+		gid := pg[i]
+		return int(gid), gid >= 0
+	}
+	return e.GroupForParentRow(child, e.Rels[e.T.Nodes[child].Parent].Row(i))
 }
 
-// ChildKeyAppend appends the shared-variable key of one of node's own rows
-// to buf — the key its GroupIndex groups by. Delta counting uses it to find
-// the join group a mutated tuple belongs to.
-func (e *Exec) ChildKeyAppend(buf []byte, node int, row []relation.Value) []byte {
-	return relation.AppendKey(buf, row, e.keyPosChild[node])
-}
+// ParentGids returns the raw per-parent-row group-id array of the given edge
+// (-1 = no group), or nil when it has not been materialized. Hot passes
+// bounds-check it once and index directly.
+func (e *Exec) ParentGids(child int) []int32 { return e.parentGid[child] }
 
-// ParentKeyAppend appends the key a parent row presents to child's group
-// index — the lookup side of GroupForParentRow, exposed for passes that need
-// the raw key (e.g. membership tests against a changed-key set).
-func (e *Exec) ParentKeyAppend(buf []byte, child int, parentRow []relation.Value) []byte {
-	return relation.AppendKey(buf, parentRow, e.keyPosParent[child])
-}
-
-// GroupByKey resolves an already-encoded shared-variable key to node's group
-// id.
-func (e *Exec) GroupByKey(node int, key []byte) (int, bool) {
+// ChildGroup resolves the join group one of node's OWN rows belongs to —
+// the key its GroupIndex groups by. Delta counting uses it for removed rows
+// that no longer have an index position.
+func (e *Exec) ChildGroup(node int, row []relation.Value) (int, bool) {
+	var buf [maxKeyWidth]relation.Value
+	key := gatherKey(buf[:], row, e.keyPosChild[node])
 	return e.Groups[node].lookup(key)
 }
 
@@ -533,10 +595,12 @@ func (e *Exec) FullReduce() { e.FullReduceWorkers(1) }
 
 // FullReduceWorkers is the Yannakakis full reducer over a bounded worker
 // pool. Per-tuple survival checks are chunked over row ranges (writes to the
-// keep vectors are disjoint by index), surviving-key sets are built as
-// per-chunk sets and unioned, and the surviving relations are rebuilt from
+// keep vectors are disjoint by index), surviving-group sets are built as
+// per-chunk bitmaps and unioned, and the surviving relations are rebuilt from
 // per-chunk filters concatenated in chunk order — so the reduced tree is
-// byte-identical to the sequential reducer's for every worker count.
+// byte-identical to the sequential reducer's for every worker count. Both
+// semijoin passes run on the precomputed gid arrays; no key is hashed until
+// the final index rebuild.
 func (e *Exec) FullReduceWorkers(workers int) {
 	keep := make([][]bool, len(e.T.Nodes))
 	for id, rel := range e.Rels {
@@ -556,14 +620,10 @@ func (e *Exec) FullReduceWorkers(workers int) {
 		rel := e.Rels[id]
 		kid := keep[id]
 		parallel.For(workers, rel.Len(), func(lo, hi int) {
-			var buf []byte
 			for i := lo; i < hi; i++ {
-				row := rel.Row(i)
 				ok := true
 				for _, c := range n.Children {
-					var gid int
-					var found bool
-					gid, found, buf = e.GroupForParentRowBuf(c, row, buf)
+					gid, found := e.ParentGroup(c, i)
 					if !found {
 						ok = false
 						break
@@ -584,56 +644,52 @@ func (e *Exec) FullReduceWorkers(workers int) {
 			}
 		})
 	}
-	// Top-down: a tuple survives if its key is produced by a surviving parent
-	// tuple.
-	parentKeys := make([]map[string]bool, len(e.T.Nodes))
+	// Top-down: a tuple survives if its join group is hit by a surviving
+	// parent tuple.
+	liveGroups := make([][]bool, len(e.T.Nodes))
 	for _, id := range e.T.TopDown {
 		n := e.T.Nodes[id]
 		rel := e.Rels[id]
 		kid := keep[id]
 		if n.Parent >= 0 {
-			pk := parentKeys[id]
-			pos := e.keyPosChild[id]
+			lg := liveGroups[id]
+			rowGid := e.Groups[id].RowGid
 			parallel.For(workers, rel.Len(), func(lo, hi int) {
-				var enc relation.KeyEncoder
 				for i := lo; i < hi; i++ {
-					if !kid[i] {
-						continue
-					}
-					if !pk[string(enc.Cols(rel.Row(i), pos))] {
+					if kid[i] && !lg[rowGid[i]] {
 						kid[i] = false
 					}
 				}
 			})
 		}
-		// Publish this node's surviving keys for each child: per-chunk key
-		// sets unioned into one (set union is order-independent).
+		// Publish this node's surviving groups for each child: per-chunk
+		// bitmaps unioned into one (set union is order-independent).
 		for _, c := range n.Children {
-			pos := e.keyPosParent[c]
-			parts := parallel.MapRanges(workers, rel.Len(), func(lo, hi int) []string {
-				var enc relation.KeyEncoder
-				local := make(map[string]bool)
-				var fresh []string
+			ng := e.Groups[c].NumGroups()
+			parts := parallel.MapRanges(workers, rel.Len(), func(lo, hi int) []bool {
+				local := make([]bool, ng)
 				for i := lo; i < hi; i++ {
 					if !kid[i] {
 						continue
 					}
-					key := enc.Cols(rel.Row(i), pos)
-					if !local[string(key)] {
-						k := string(key)
-						local[k] = true
-						fresh = append(fresh, k)
+					if gid, ok := e.ParentGroup(c, i); ok {
+						local[gid] = true
 					}
 				}
-				return fresh
+				return local
 			})
-			keys := make(map[string]bool)
-			for _, part := range parts {
-				for _, k := range part {
-					keys[k] = true
+			live := make([]bool, ng)
+			if len(parts) > 0 {
+				live = parts[0]
+				for _, part := range parts[1:] {
+					for g, v := range part {
+						if v {
+							live[g] = true
+						}
+					}
 				}
 			}
-			parentKeys[c] = keys
+			liveGroups[c] = live
 		}
 	}
 	// Rebuild relations and groups.

@@ -50,6 +50,44 @@ func Select(e *jointree.Exec, f *ranking.Func, mu map[query.Var]int) (*Result, e
 	return SelectWorkers(e, f, mu, 1)
 }
 
+// Scratch holds the reusable per-node buffers of a pivot-selection pass —
+// weight arrays and per-group selections that the driver would otherwise
+// reallocate every iteration. Reuse after the pass returns; not safe for
+// concurrent passes.
+type Scratch struct {
+	weights  [][]ranking.Weightv
+	selTuple [][]int
+	cParam   []float64
+	live     []int
+}
+
+func (s *Scratch) nodes(n int) (weights [][]ranking.Weightv, selTuple [][]int, cParam []float64) {
+	if s == nil {
+		return make([][]ranking.Weightv, n), make([][]int, n), make([]float64, n)
+	}
+	if cap(s.weights) < n {
+		s.weights = make([][]ranking.Weightv, n)
+		s.selTuple = make([][]int, n)
+		s.cParam = make([]float64, n)
+	}
+	s.weights, s.selTuple, s.cParam = s.weights[:n], s.selTuple[:n], s.cParam[:n]
+	return s.weights, s.selTuple, s.cParam
+}
+
+func growWeights(buf []ranking.Weightv, n int) []ranking.Weightv {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]ranking.Weightv, n)
+}
+
+func growInts(buf []int, n int) []int {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]int, n)
+}
+
 // SelectWorkers runs Algorithm 2 over a bounded worker pool: the counting
 // pass, the per-tuple pivot-weight loops (chunked over rows) and the
 // per-group weighted medians (chunked over groups) all run data-parallel.
@@ -57,21 +95,27 @@ func Select(e *jointree.Exec, f *ranking.Func, mu map[query.Var]int) (*Result, e
 // and every write is disjoint by tuple or group index, so the selected
 // pivot is identical for every worker count.
 func SelectWorkers(e *jointree.Exec, f *ranking.Func, mu map[query.Var]int, workers int) (*Result, error) {
-	counts := yannakakis.CountWorkers(e, workers)
+	return SelectPrepared(e, yannakakis.CountWorkers(e, workers), f, mu, workers, nil)
+}
+
+// SelectPrepared is SelectWorkers against an already-computed counting state
+// (the driver counts every candidate instance anyway; the engine caches the
+// original's), drawing its per-node buffers from the given scratch (nil
+// allocates fresh). counts must be the counting state of e.
+func SelectPrepared(e *jointree.Exec, counts *yannakakis.Counts, f *ranking.Func, mu map[query.Var]int, workers int, s *Scratch) (*Result, error) {
 	if counts.Total.IsZero() {
 		return nil, ErrNoAnswers
 	}
 
 	nNodes := len(e.T.Nodes)
-	weights := make([][]ranking.Weightv, nNodes) // pivot weight per tuple
-	selTuple := make([][]int, nNodes)            // wmed-selected tuple per group
-	cParam := make([]float64, nNodes)
+	// weights: pivot weight per tuple; selTuple: wmed-selected tuple per group.
+	weights, selTuple, cParam := s.nodes(nNodes)
 
 	for _, id := range e.T.BottomUp {
 		n := e.T.Nodes[id]
 		rel := e.Rels[id]
 		tw := ranking.NewTupleWeigher(f, mu, n.Atom, n.Vars)
-		ws := make([]ranking.Weightv, rel.Len())
+		ws := growWeights(weights[id], rel.Len())
 
 		c := 1.0
 		for _, ch := range n.Children {
@@ -79,17 +123,25 @@ func SelectWorkers(e *jointree.Exec, f *ranking.Func, mu map[query.Var]int, work
 		}
 		cParam[id] = c
 
+		children := n.Children
+		gids := make([][]int32, len(children))
+		for k, ch := range children {
+			gids[k] = e.ParentGids(ch)
+		}
 		parallel.For(workers, rel.Len(), func(lo, hi int) {
-			var buf []byte
 			for i := lo; i < hi; i++ {
 				if counts.Tuple[id][i].IsZero() {
 					continue // dangling tuple; never selected
 				}
 				row := rel.Row(i)
 				w := tw.WeightOf(row)
-				for _, ch := range n.Children {
+				for k, ch := range children {
 					var gid int
-					gid, _, buf = e.GroupForParentRowBuf(ch, row, buf)
+					if pg := gids[k]; pg != nil {
+						gid = int(pg[i])
+					} else {
+						gid, _ = e.ParentGroup(ch, i)
+					}
 					st := selTuple[ch][gid]
 					w = f.Combine(w, weights[ch][st])
 				}
@@ -102,7 +154,7 @@ func SelectWorkers(e *jointree.Exec, f *ranking.Func, mu map[query.Var]int, work
 		// the group's live tuple pivots, multiplicities = subtree counts.
 		if n.Parent >= 0 {
 			groups := e.Groups[id]
-			sel := make([]int, groups.NumGroups())
+			sel := growInts(selTuple[id], groups.NumGroups())
 			parallel.For(workers, groups.NumGroups(), func(lo, hi int) {
 				for g := lo; g < hi; g++ {
 					tuples := groups.Tuples[g]
@@ -127,11 +179,20 @@ func SelectWorkers(e *jointree.Exec, f *ranking.Func, mu map[query.Var]int, work
 
 	// Artificial root: weighted median over the live root tuples.
 	root := e.T.Root
-	live := make([]int, 0, e.Rels[root].Len())
+	var live []int
+	if s != nil {
+		live = s.live[:0]
+	}
+	if cap(live) < e.Rels[root].Len() {
+		live = make([]int, 0, e.Rels[root].Len())
+	}
 	for i := range counts.Tuple[root] {
 		if !counts.Tuple[root][i].IsZero() {
 			live = append(live, i)
 		}
+	}
+	if s != nil {
+		s.live = live
 	}
 	rootSel := selection.WeightedMedian(live,
 		func(a, b int) bool { return f.Compare(weights[root][a], weights[root][b]) < 0 },
@@ -148,7 +209,7 @@ func SelectWorkers(e *jointree.Exec, f *ranking.Func, mu map[query.Var]int, work
 			asn[varIdx[v]] = row[j]
 		}
 		for _, ch := range n.Children {
-			gid, _ := e.GroupForParentRow(ch, row)
+			gid, _ := e.ParentGroup(ch, ti)
 			fill(ch, selTuple[ch][gid])
 		}
 	}

@@ -1,0 +1,107 @@
+package relation
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestInternerDenseIds(t *testing.T) {
+	it := NewInterner(2, 0)
+	tuples := [][]Value{{1, 2}, {3, 4}, {1, 2}, {5, 6}, {3, 4}}
+	wantIDs := []uint32{0, 1, 0, 2, 1}
+	wantFresh := []bool{true, true, false, true, false}
+	for i, tup := range tuples {
+		id, fresh := it.Intern(tup)
+		if id != wantIDs[i] || fresh != wantFresh[i] {
+			t.Fatalf("Intern(%v) = (%d, %v), want (%d, %v)", tup, id, fresh, wantIDs[i], wantFresh[i])
+		}
+	}
+	if it.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", it.Len())
+	}
+	if got := it.TupleOf(2); got[0] != 5 || got[1] != 6 {
+		t.Fatalf("TupleOf(2) = %v, want [5 6]", got)
+	}
+	if _, ok := it.Lookup([]Value{7, 8}); ok {
+		t.Fatal("Lookup of absent tuple succeeded")
+	}
+}
+
+// TestInternerAgainstMap fuzzes the interner against a string-keyed map —
+// identical id assignment in first-appearance order, across growth.
+func TestInternerAgainstMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, width := range []int{1, 2, 3} {
+		it := NewInterner(width, 0)
+		ref := make(map[string]uint32)
+		var enc KeyEncoder
+		tup := make([]Value, width)
+		for n := 0; n < 20000; n++ {
+			for j := range tup {
+				tup[j] = Value(rng.Intn(300) - 150)
+			}
+			key := string(enc.Row(tup))
+			wantID, seen := ref[key]
+			if !seen {
+				wantID = uint32(len(ref))
+				ref[key] = wantID
+			}
+			id, fresh := it.Intern(tup)
+			if id != wantID || fresh == seen {
+				t.Fatalf("width=%d n=%d: Intern(%v) = (%d, %v), want (%d, %v)",
+					width, n, tup, id, fresh, wantID, !seen)
+			}
+		}
+		if it.Len() != len(ref) {
+			t.Fatalf("width=%d: Len = %d, want %d", width, it.Len(), len(ref))
+		}
+	}
+}
+
+func TestInternerDerive(t *testing.T) {
+	base := NewInterner(1, 0)
+	for v := Value(0); v < 10; v++ {
+		base.Intern([]Value{v})
+	}
+	d1 := base.Derive()
+	if id, fresh := d1.Intern([]Value{5}); id != 5 || fresh {
+		t.Fatalf("derived Intern(5) = (%d, %v), want (5, false)", id, fresh)
+	}
+	if id, fresh := d1.Intern([]Value{100}); id != 10 || !fresh {
+		t.Fatalf("derived Intern(100) = (%d, %v), want (10, true)", id, fresh)
+	}
+	if base.Len() != 10 {
+		t.Fatalf("base mutated: Len = %d", base.Len())
+	}
+	// Deriving from a derivation re-seats the overlay, leaving d1 untouched.
+	d2 := d1.Derive()
+	if id, fresh := d2.Intern([]Value{200}); id != 11 || !fresh {
+		t.Fatalf("d2 Intern(200) = (%d, %v), want (11, true)", id, fresh)
+	}
+	if _, ok := d1.Lookup([]Value{200}); ok {
+		t.Fatal("d1 sees d2's addition")
+	}
+	if id, ok := d2.Lookup([]Value{100}); !ok || id != 10 {
+		t.Fatalf("d2 lost d1's overlay entry: (%d, %v)", id, ok)
+	}
+	// Flatten preserves every id.
+	flat := d2.Flatten()
+	for id := 0; id < d2.Len(); id++ {
+		got, ok := flat.Lookup(d2.TupleOf(uint32(id)))
+		if !ok || got != uint32(id) {
+			t.Fatalf("flatten moved id %d to (%d, %v)", id, got, ok)
+		}
+	}
+}
+
+func TestInternerReset(t *testing.T) {
+	it := NewInterner(2, 4)
+	it.Intern([]Value{1, 2})
+	it.Reset(3)
+	if it.Len() != 0 || it.Width() != 3 {
+		t.Fatalf("after Reset: Len=%d Width=%d", it.Len(), it.Width())
+	}
+	if id, fresh := it.Intern([]Value{1, 2, 3}); id != 0 || !fresh {
+		t.Fatalf("post-Reset Intern = (%d, %v)", id, fresh)
+	}
+}

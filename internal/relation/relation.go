@@ -72,40 +72,35 @@ func (r *Relation) DedupedWorkers(workers int) *Relation {
 	if len(parallel.Ranges(workers, n)) <= 1 {
 		return r.dedupedSeq()
 	}
-	// Parallel pass: per chunk, the locally-first rows with their key
-	// strings pre-built (the merge below reuses them, so the string
-	// allocation cost is paid on the workers, not on the merge path).
+	// Parallel pass: per chunk, the locally-first rows with their hashes
+	// pre-computed (the ordered merge below re-interns them, so the hashing
+	// cost is paid on the workers, not on the merge path).
 	type chunkFirsts struct {
-		rows []int
-		keys []string
+		rows   []int
+		hashes []uint64
 	}
 	parts := parallel.MapRanges(workers, n, func(lo, hi int) chunkFirsts {
-		var enc KeyEncoder
-		seen := make(map[string]struct{}, hi-lo)
+		seen := NewInterner(r.arity, hi-lo)
 		cf := chunkFirsts{}
 		for i := lo; i < hi; i++ {
-			key := enc.Row(r.Row(i))
-			if _, dup := seen[string(key)]; dup {
+			h := HashTuple(r.Row(i))
+			if _, fresh := seen.InternHashed(r.Row(i), h); !fresh {
 				continue
 			}
-			k := string(key)
-			seen[k] = struct{}{}
 			cf.rows = append(cf.rows, i)
-			cf.keys = append(cf.keys, k)
+			cf.hashes = append(cf.hashes, h)
 		}
 		return cf
 	})
 	// Ordered merge: a row survives iff no earlier chunk (or earlier row of
 	// its own chunk) produced its key — exactly the sequential outcome.
 	out := NewWithCapacity(r.name, r.arity, n)
-	seen := make(map[string]struct{}, n)
+	seen := NewInterner(r.arity, n)
 	for _, cf := range parts {
 		for j, i := range cf.rows {
-			if _, dup := seen[cf.keys[j]]; dup {
-				continue
+			if _, fresh := seen.InternHashed(r.Row(i), cf.hashes[j]); fresh {
+				out.AppendRow(r.Row(i))
 			}
-			seen[cf.keys[j]] = struct{}{}
-			out.AppendRow(r.Row(i))
 		}
 	}
 	out.distinct = true
@@ -113,18 +108,14 @@ func (r *Relation) DedupedWorkers(workers int) *Relation {
 }
 
 func (r *Relation) dedupedSeq() *Relation {
-	out := NewWithCapacity(r.name, r.arity, r.Len())
-	seen := make(map[string]struct{}, r.Len())
-	var enc KeyEncoder
 	n := r.Len()
+	out := NewWithCapacity(r.name, r.arity, n)
+	seen := NewInterner(r.arity, n)
 	for i := 0; i < n; i++ {
 		row := r.Row(i)
-		key := enc.Row(row)
-		if _, dup := seen[string(key)]; dup {
-			continue
+		if _, fresh := seen.Intern(row); fresh {
+			out.AppendRow(row)
 		}
-		seen[string(key)] = struct{}{}
-		out.AppendRow(row)
 	}
 	out.distinct = true
 	return out
@@ -177,6 +168,19 @@ func (r *Relation) AppendRow(row []Value) {
 
 // Append appends one tuple given as variadic values.
 func (r *Relation) Append(vals ...Value) { r.AppendRow(vals) }
+
+// AppendRows bulk-appends rows [lo, hi) of src, which must share r's arity —
+// one copy per contiguous run instead of one per row.
+func (r *Relation) AppendRows(src *Relation, lo, hi int) {
+	if src.arity != r.arity {
+		panic(fmt.Sprintf("relation %s: AppendRows from arity %d, want %d", r.name, src.arity, r.arity))
+	}
+	if r.arity == 0 {
+		r.data = append(r.data, src.data[lo:hi]...)
+		return
+	}
+	r.data = append(r.data, src.data[lo*r.arity:hi*r.arity]...)
+}
 
 // Row returns tuple i as a slice view into the backing store. Callers must
 // not retain it across mutations.

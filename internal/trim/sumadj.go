@@ -27,12 +27,21 @@ import (
 // segment identity, so each admissible pair joins on exactly one segment and
 // no inadmissible pair joins at all.
 //
+// Everything that does not depend on λ — the grouped A and B sides, the
+// per-row partial sums, the per-group staircase sort — is a *preparation*
+// that Algorithm 1 re-uses verbatim every iteration: only λ changes between
+// pivoting rounds. When the instance carries a Cache (the driver's original
+// always does), the preparation is computed once per (ranking, direction)
+// and every subsequent call pays only for the staircase emission, which is
+// proportional to the output.
+//
 // Join groups are independent, so with inst.Workers > 1 the per-group
-// staircase constructions run on the worker pool: each group allocates
-// segment ids locally in the sequential first-use order, a prefix sum over
-// the per-group id counts (taken in group order) rebases them to the global
-// sequence, and per-group outputs concatenate in group order — reproducing
-// the sequential output byte for byte at any worker count.
+// staircase constructions run on the worker pool over contiguous group
+// ranges: each group allocates segment ids locally in the sequential
+// first-use order, a prefix sum over the per-group id counts (taken in group
+// order) rebases them to the global sequence, and per-chunk outputs
+// concatenate in group order — reproducing the sequential output byte for
+// byte at any worker count.
 func SumAdjacent(inst Instance, f *ranking.Func, lambda int64, dir Dir) (Instance, error) {
 	if f.Agg != ranking.Sum {
 		return Instance{}, fmt.Errorf("trim: SumAdjacent requires SUM, got %s", f.Agg)
@@ -40,137 +49,150 @@ func SumAdjacent(inst Instance, f *ranking.Func, lambda int64, dir Dir) (Instanc
 	if err := requireSelfJoinFree(inst.Q); err != nil {
 		return Instance{}, err
 	}
-	tree, nodeA, nodeB, err := jointree.BuildAdjacentPair(inst.Q, f.Vars)
+	prep, err := sumAdjPrepFor(inst, f, dir)
 	if err != nil {
-		return Instance{}, fmt.Errorf("trim: U_w not coverable by adjacent nodes: %w", err)
-	}
-	workers := inst.workers()
-	// Tiny instances (the late iterations of Algorithm 1 shrink fast) take
-	// the sequential path outright: per-group goroutine dispatch would cost
-	// more than the work it distributes.
-	if inst.DB.Size() < parallel.SeqThreshold {
-		workers = 1
+		return Instance{}, err
 	}
 	// Work in negated weights for ≻ so that both directions are a strict
 	// less-than on the stored sums.
-	sign := int64(1)
 	lam := lambda
 	if dir == Greater {
-		sign = -1
 		lam = -lambda
 	}
+	if prep.single {
+		return sumAdjFilter(inst, f, prep, lam)
+	}
+	return sumAdjEmit(inst, prep, lam)
+}
 
-	atomA := inst.Q.Atoms[tree.Nodes[nodeA].Atom]
+// sumAdjPrep is the λ-independent preparation of one SumAdjacent direction:
+// the adjacent pair, the μ-split ranked columns, both sides grouped by their
+// shared join key (B-side whole-row deduplicated, sums sorted ascending for
+// the staircase search), and the per-row signed partial sums.
+type sumAdjPrep struct {
+	atomIdxA, atomIdxB int // atom indexes in inst.Q (== node ids)
+	atomA, atomB       query.Atom
+	single             bool
+	sign               int64
+
+	// Single-node state.
+	colsA []int
+	varsA []query.Var
+
+	// Two-node state.
+	bGroups    []bGroupPrep
+	aGroupRows [][]int // per A-group, row indexes into relA, ascending
+	aPartner   []int   // A-group -> index into bGroups, -1 when keyless
+	aSums      []int64 // per relA row: sign·partial sum
+}
+
+type bGroupPrep struct {
+	rows []int   // relB row indexes, sorted by sums
+	sums []int64 // ascending, aligned with rows
+}
+
+// sumAdjPrepFor returns the preparation, from the instance's cache when one
+// is attached (built at most once per (ranking, direction) per plan).
+func sumAdjPrepFor(inst Instance, f *ranking.Func, dir Dir) (*sumAdjPrep, error) {
+	c := inst.Cache
+	if c == nil {
+		return buildSumAdjPrep(inst, f, dir)
+	}
+	key := cacheKeyFor(f, dir)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if p, ok := c.sumAdj[key]; ok {
+		return p, nil
+	}
+	p, err := buildSumAdjPrep(inst, f, dir)
+	if err != nil {
+		return nil, err
+	}
+	if c.sumAdj == nil || len(c.sumAdj) >= cacheMaxEntries {
+		c.sumAdj = make(map[sumAdjCacheKey]*sumAdjPrep)
+	}
+	c.sumAdj[key] = p
+	return p, nil
+}
+
+func buildSumAdjPrep(inst Instance, f *ranking.Func, dir Dir) (*sumAdjPrep, error) {
+	tree, nodeA, nodeB, err := jointree.BuildAdjacentPair(inst.Q, f.Vars)
+	if err != nil {
+		return nil, fmt.Errorf("trim: U_w not coverable by adjacent nodes: %w", err)
+	}
+	workers := inst.workers()
+	if inst.DB.Size() < parallel.SeqThreshold {
+		workers = 1
+	}
+	sign := int64(1)
+	if dir == Greater {
+		sign = -1
+	}
+	p := &sumAdjPrep{
+		atomIdxA: tree.Nodes[nodeA].Atom,
+		sign:     sign,
+	}
+	p.atomA = inst.Q.Atoms[p.atomIdxA]
 	if nodeB == -1 {
 		// All ranked variables in one atom: a linear filter on its relation.
-		cols, vars := rankedColumns(atomA, f)
-		db2 := cloneAllBut(inst.DB, inst.Q, atomA.Rel)
-		src := inst.DB.Get(atomA.Rel)
-		out := src.FilterWorkers(workers, func(row []relation.Value) bool {
-			return rowSum(f, vars, cols, row, sign) < lam
-		})
-		db2.Add(out)
-		return Instance{Q: inst.Q.Clone(), DB: db2, Workers: inst.Workers}, nil
+		p.single = true
+		p.colsA, p.varsA = rankedColumns(p.atomA, f)
+		return p, nil
 	}
-	atomB := inst.Q.Atoms[tree.Nodes[nodeB].Atom]
+	p.atomIdxB = tree.Nodes[nodeB].Atom
+	p.atomB = inst.Q.Atoms[p.atomIdxB]
 
 	// μ-split the ranked variables: a variable appearing in both atoms
 	// contributes on the A side only.
 	var aVars, bVars []query.Var
 	for _, v := range f.Vars {
-		if atomA.HasVar(v) {
+		if p.atomA.HasVar(v) {
 			aVars = append(aVars, v)
 		} else {
 			bVars = append(bVars, v)
 		}
 	}
-	colsA := firstColumns(atomA, aVars)
-	colsB := firstColumns(atomB, bVars)
+	colsA := firstColumns(p.atomA, aVars)
+	colsB := firstColumns(p.atomB, bVars)
 
 	// Join key between the pair in the *current* query (includes helper
 	// variables from earlier trims automatically).
-	keyVars := sharedVars(atomA, atomB)
-	keyA := firstColumns(atomA, keyVars)
-	keyB := firstColumns(atomB, keyVars)
+	keyVars := sharedVars(p.atomA, p.atomB)
+	keyA := firstColumns(p.atomA, keyVars)
+	keyB := firstColumns(p.atomB, keyVars)
 
-	relA := inst.DB.Get(atomA.Rel)
-	relB := inst.DB.Get(atomB.Rel)
+	relA := inst.DB.Get(p.atomA.Rel)
+	relB := inst.DB.Get(p.atomB.Rel)
 
 	// Group the B side, deduplicating whole rows on the way: relations are
 	// sets, and a duplicate row would receive distinct segment memberships
-	// (positions differ) and duplicate answers downstream.
-	type bGroup struct {
-		rows []int
-		sums []int64 // sorted ascending, aligned with rows
+	// (positions differ) and duplicate answers downstream. Grouping interns
+	// the key columns — dense group ids in first-appearance order, no string
+	// keys anywhere.
+	keys := relation.NewInterner(len(keyVars), relB.Len())
+	var seenB *relation.Interner
+	if !relB.IsDistinct() {
+		seenB = relation.NewInterner(relB.Arity(), relB.Len())
 	}
-	groups := make(map[string]*bGroup)
-	var bOrder []*bGroup
-	if len(parallel.Ranges(workers, relB.Len())) <= 1 {
-		// Sequential path: one pass, group-key strings allocated only on
-		// first appearance of a group.
-		var encFull, encKey relation.KeyEncoder
-		seenB := make(map[string]struct{}, relB.Len())
-		for i := 0; i < relB.Len(); i++ {
-			row := relB.Row(i)
-			key := encFull.Row(row)
-			if _, dup := seenB[string(key)]; dup {
+	keyBuf := make([]relation.Value, 0, len(keyVars))
+	for i, n := 0, relB.Len(); i < n; i++ {
+		row := relB.Row(i)
+		if seenB != nil {
+			if _, fresh := seenB.Intern(row); !fresh {
 				continue
 			}
-			seenB[string(key)] = struct{}{}
-			gk := encKey.Cols(row, keyB)
-			g, ok := groups[string(gk)]
-			if !ok {
-				g = &bGroup{}
-				groups[string(gk)] = g
-				bOrder = append(bOrder, g)
-			}
-			g.rows = append(g.rows, i)
 		}
-	} else {
-		type bChunk struct {
-			rows      []int
-			fullKeys  []string
-			groupKeys []string
+		keyBuf = relation.Gather(keyBuf, row, keyB)
+		gid, fresh := keys.Intern(keyBuf)
+		if fresh {
+			p.bGroups = append(p.bGroups, bGroupPrep{})
 		}
-		parts := parallel.MapRanges(workers, relB.Len(), func(lo, hi int) bChunk {
-			var encFull, encKey relation.KeyEncoder
-			seen := make(map[string]struct{}, hi-lo)
-			var c bChunk
-			for i := lo; i < hi; i++ {
-				row := relB.Row(i)
-				key := encFull.Row(row)
-				if _, dup := seen[string(key)]; dup {
-					continue
-				}
-				k := string(key)
-				seen[k] = struct{}{}
-				c.rows = append(c.rows, i)
-				c.fullKeys = append(c.fullKeys, k)
-				c.groupKeys = append(c.groupKeys, string(encKey.Cols(row, keyB)))
-			}
-			return c
-		})
-		seenB := make(map[string]struct{}, relB.Len())
-		for _, c := range parts {
-			for j, i := range c.rows {
-				if _, dup := seenB[c.fullKeys[j]]; dup {
-					continue
-				}
-				seenB[c.fullKeys[j]] = struct{}{}
-				g, ok := groups[c.groupKeys[j]]
-				if !ok {
-					g = &bGroup{}
-					groups[c.groupKeys[j]] = g
-					bOrder = append(bOrder, g)
-				}
-				g.rows = append(g.rows, i)
-			}
-		}
+		p.bGroups[gid].rows = append(p.bGroups[gid].rows, i)
 	}
 	// Partial sums and the per-group staircase sort: groups are independent,
 	// and each group's sort sees the same input regardless of worker count.
-	parallel.Do(workers, len(bOrder), func(k int) {
-		g := bOrder[k]
+	parallel.Do(workers, len(p.bGroups), func(k int) {
+		g := &p.bGroups[k]
 		g.sums = make([]int64, len(g.rows))
 		for j, ri := range g.rows {
 			g.sums[j] = rowSum(f, bVars, colsB, relB.Row(ri), sign)
@@ -178,110 +200,205 @@ func SumAdjacent(inst Instance, f *ranking.Func, lambda int64, dir Dir) (Instanc
 		sort.Sort(&sumRowSorter{sums: g.sums, rows: g.rows})
 	})
 
+	// Group the A side by the same key, in first-appearance order — map
+	// order would make the output row order (and with it downstream pivot
+	// tie-breaks) vary between runs, breaking the engine's repeatable-answer
+	// guarantee. Each A-group resolves its B partner once, here.
+	aKeys := relation.NewInterner(len(keyVars), relA.Len())
+	for i, n := 0, relA.Len(); i < n; i++ {
+		keyBuf = relation.Gather(keyBuf, relA.Row(i), keyA)
+		gid, fresh := aKeys.Intern(keyBuf)
+		if fresh {
+			p.aGroupRows = append(p.aGroupRows, nil)
+			if b, ok := keys.Lookup(keyBuf); ok {
+				p.aPartner = append(p.aPartner, int(b))
+			} else {
+				p.aPartner = append(p.aPartner, -1)
+			}
+		}
+		p.aGroupRows[gid] = append(p.aGroupRows[gid], i)
+	}
+	p.aSums = make([]int64, relA.Len())
+	parallel.For(workers, relA.Len(), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			p.aSums[i] = rowSum(f, aVars, colsA, relA.Row(i), sign)
+		}
+	})
+	return p, nil
+}
+
+// sumAdjFilter handles the single-node case: a pure row filter, so the
+// output instance is a subset instance and inherits a derived Exec when the
+// input carries one.
+func sumAdjFilter(inst Instance, f *ranking.Func, p *sumAdjPrep, lam int64) (Instance, error) {
+	workers := inst.workers()
+	db2 := relation.NewDatabase()
+	src := inst.DB.Get(p.atomA.Rel)
+	out := src.FilterWorkers(workers, func(row []relation.Value) bool {
+		return rowSum(f, p.varsA, p.colsA, row, p.sign) < lam
+	})
+	for _, atom := range inst.Q.Atoms {
+		if atom.Rel == p.atomA.Rel {
+			db2.Add(out)
+		} else if !db2.Has(atom.Rel) {
+			db2.Add(inst.DB.Get(atom.Rel)) // read-only; shared, not cloned
+		}
+	}
+	res := Instance{Q: inst.Q.Clone(), DB: db2, Workers: inst.Workers}
+	if e := inst.Exec; e != nil {
+		keep := make([][]bool, len(e.T.Nodes))
+		for _, n := range e.T.Nodes {
+			if n.Atom != p.atomIdxA {
+				continue
+			}
+			cols := firstColumns(queryAtomOver(n.Vars, p.atomA.Rel), p.varsA)
+			rel := e.NodeRelation(n.ID)
+			k := make([]bool, rel.Len())
+			parallel.For(workers, rel.Len(), func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					k[i] = rowSum(f, p.varsA, cols, rel.Row(i), p.sign) < lam
+				}
+			})
+			keep[n.ID] = k
+		}
+		res.Exec = e.DeriveSubset(res.Q, db2, keep, workers)
+	}
+	return res, nil
+}
+
+// queryAtomOver builds a synthetic atom over a node's distinct variables so
+// the shared column-position helpers apply to node-relation layouts.
+func queryAtomOver(vars []query.Var, rel string) query.Atom {
+	return query.Atom{Rel: rel, Vars: vars}
+}
+
+// sumAdjEmit is the per-λ staircase emission over a two-node preparation.
+func sumAdjEmit(inst Instance, p *sumAdjPrep, lam int64) (Instance, error) {
+	workers := inst.workers()
+	if inst.DB.Size() < parallel.SeqThreshold {
+		workers = 1
+	}
+	relA := inst.DB.Get(p.atomA.Rel)
+	relB := inst.DB.Get(p.atomB.Rel)
 	v := freshHelperVar(inst.Q, "s")
 	arityA, arityB := relA.Arity()+1, relB.Arity()+1
 
-	// Group the A side by the same key and process pairs of groups. Groups
-	// are visited in first-appearance order — map order would make the
-	// output row order (and with it downstream pivot tie-breaks) vary
-	// between runs, breaking the engine's repeatable-answer guarantee.
-	aGroups, aOrder := groupRowsByKey(relA, keyA, workers)
-
-	// Per-group construction with locally allocated segment ids.
+	// Per contiguous chunk of A-groups: one output relation pair, per-group
+	// locally allocated segment ids (sequential first-use order) and the
+	// bookkeeping to rebase them globally afterwards.
 	type segKey struct {
 		lvl, start int
 	}
-	type groupOut struct {
-		outA, outB *relation.Relation // segment-id column holds local ids
-		nSegs      relation.Value     // local ids used: 1..nSegs
+	type chunkOut struct {
+		outA, outB *relation.Relation
+		groups     []int            // group indexes processed (those with a partner)
+		nSegs      []relation.Value // per processed group: local ids used
+		aEnds      []int            // per processed group: outA row count after it
+		bEnds      []int            // per processed group: outB row count after it
 	}
-	outs := make([]groupOut, len(aOrder))
-	parallel.Do(workers, len(aOrder), func(k int) {
-		aRows := aGroups[aOrder[k]]
-		g, ok := groups[aOrder[k]]
-		if !ok {
-			return // A-rows with no B partner participate in no answer
+	nGroups := len(p.aGroupRows)
+	chunks := parallel.MapRanges(workers, nGroups, func(glo, ghi int) chunkOut {
+		c := chunkOut{
+			outA: relation.New(p.atomA.Rel, arityA),
+			outB: relation.New(p.atomB.Rel, arityB),
 		}
-		m := len(g.rows)
-		outA := relation.New(atomA.Rel, arityA)
-		outB := relation.New(atomB.Rel, arityB)
 		bufA := make([]relation.Value, arityA)
 		bufB := make([]relation.Value, arityB)
 		segIDs := make(map[segKey]relation.Value)
 		var usedOrder []segKey // allocation order, for deterministic emission
-		var nextLocal relation.Value = 1
-		idOf := func(lvl, start int) relation.Value {
-			sk := segKey{lvl, start}
-			id, ok := segIDs[sk]
-			if !ok {
-				id = nextLocal
-				nextLocal++
-				segIDs[sk] = id
-				usedOrder = append(usedOrder, sk)
+		for gk := glo; gk < ghi; gk++ {
+			bi := p.aPartner[gk]
+			if bi < 0 {
+				continue // A-rows with no B partner participate in no answer
 			}
-			return id
-		}
-		for _, ai := range aRows {
-			rowA := relA.Row(ai)
-			s := rowSum(f, aVars, colsA, rowA, sign)
-			// Admissible prefix: B-sums strictly below lam - s.
-			p := sort.Search(m, func(j int) bool { return g.sums[j] >= lam-s })
-			// Canonical dyadic decomposition of [0, p).
-			pos := 0
-			for lvl := bitsFor(m); lvl >= 0; lvl-- {
-				size := 1 << uint(lvl)
-				if pos+size <= p {
-					copy(bufA, rowA)
-					bufA[len(bufA)-1] = idOf(lvl, pos)
-					outA.AppendRow(bufA)
-					pos += size
+			g := &p.bGroups[bi]
+			m := len(g.rows)
+			clear(segIDs)
+			usedOrder = usedOrder[:0]
+			var nextLocal relation.Value = 1
+			idOf := func(lvl, start int) relation.Value {
+				sk := segKey{lvl, start}
+				id, ok := segIDs[sk]
+				if !ok {
+					id = nextLocal
+					nextLocal++
+					segIDs[sk] = id
+					usedOrder = append(usedOrder, sk)
+				}
+				return id
+			}
+			maxLvl := bitsFor(m)
+			for _, ai := range p.aGroupRows[gk] {
+				s := p.aSums[ai]
+				// Admissible prefix: B-sums strictly below lam - s.
+				pfx := sort.Search(m, func(j int) bool { return g.sums[j] >= lam-s })
+				// Canonical dyadic decomposition of [0, pfx).
+				pos := 0
+				rowA := relA.Row(ai)
+				for lvl := maxLvl; lvl >= 0; lvl-- {
+					size := 1 << uint(lvl)
+					if pos+size <= pfx {
+						copy(bufA, rowA)
+						bufA[len(bufA)-1] = idOf(lvl, pos)
+						c.outA.AppendRow(bufA)
+						pos += size
+					}
 				}
 			}
-		}
-		// Emit B-side memberships for the segments actually used.
-		for _, sk := range usedOrder {
-			size := 1 << uint(sk.lvl)
-			hi := sk.start + size
-			if hi > m {
-				hi = m
+			// Emit B-side memberships for the segments actually used.
+			for _, sk := range usedOrder {
+				size := 1 << uint(sk.lvl)
+				hi := sk.start + size
+				if hi > m {
+					hi = m
+				}
+				id := segIDs[sk]
+				for pos := sk.start; pos < hi; pos++ {
+					copy(bufB, relB.Row(g.rows[pos]))
+					bufB[len(bufB)-1] = id
+					c.outB.AppendRow(bufB)
+				}
 			}
-			id := segIDs[sk]
-			for p := sk.start; p < hi; p++ {
-				copy(bufB, relB.Row(g.rows[p]))
-				bufB[len(bufB)-1] = id
-				outB.AppendRow(bufB)
-			}
+			c.groups = append(c.groups, gk)
+			c.nSegs = append(c.nSegs, nextLocal-1)
+			c.aEnds = append(c.aEnds, c.outA.Len())
+			c.bEnds = append(c.bEnds, c.outB.Len())
 		}
-		outs[k] = groupOut{outA: outA, outB: outB, nSegs: nextLocal - 1}
+		return c
 	})
 	// Rebase local segment ids onto the global sequence: a prefix sum over
 	// per-group id counts in group order reproduces the sequential
-	// allocation (ids are contiguous per group, groups in aOrder).
-	offsets := make([]relation.Value, len(outs))
+	// allocation (ids are contiguous per group, groups in first-appearance
+	// order).
+	offsets := make([][]relation.Value, len(chunks))
 	var nextID relation.Value
-	for k, o := range outs {
-		offsets[k] = nextID
-		nextID += o.nSegs
-	}
-	parallel.Do(workers, len(outs), func(k int) {
-		off := offsets[k]
-		if off == 0 || outs[k].outA == nil {
-			return
+	for ci := range chunks {
+		c := &chunks[ci]
+		offsets[ci] = make([]relation.Value, len(c.groups))
+		for k, n := range c.nSegs {
+			offsets[ci][k] = nextID
+			nextID += n
 		}
-		shiftColumn(outs[k].outA, arityA-1, off)
-		shiftColumn(outs[k].outB, arityB-1, off)
+	}
+	parallel.Do(workers, len(chunks), func(ci int) {
+		c := &chunks[ci]
+		aStart, bStart := 0, 0
+		for k := range c.groups {
+			if off := offsets[ci][k]; off != 0 {
+				shiftColumnRange(c.outA, arityA-1, aStart, c.aEnds[k], off)
+				shiftColumnRange(c.outB, arityB-1, bStart, c.bEnds[k], off)
+			}
+			aStart, bStart = c.aEnds[k], c.bEnds[k]
+		}
 	})
-	partsA := make([]*relation.Relation, 0, len(outs))
-	partsB := make([]*relation.Relation, 0, len(outs))
-	for _, o := range outs {
-		if o.outA == nil {
-			continue
-		}
-		partsA = append(partsA, o.outA)
-		partsB = append(partsB, o.outB)
+	partsA := make([]*relation.Relation, len(chunks))
+	partsB := make([]*relation.Relation, len(chunks))
+	for ci := range chunks {
+		partsA[ci] = chunks[ci].outA
+		partsB[ci] = chunks[ci].outB
 	}
-	outA := relation.Concat(atomA.Rel, arityA, false, partsA)
-	outB := relation.Concat(atomB.Rel, arityB, false, partsB)
+	outA := relation.Concat(p.atomA.Rel, arityA, false, partsA)
+	outB := relation.Concat(p.atomB.Rel, arityB, false, partsB)
 
 	// Segment membership emits each (B-row, segment) pair once, and A-copies
 	// carry pairwise-distinct segment ids per row, so distinctness of the
@@ -291,68 +408,25 @@ func SumAdjacent(inst Instance, f *ranking.Func, lambda int64, dir Dir) (Instanc
 		outA.MarkDistinct()
 	}
 	q2 := inst.Q.Clone()
-	q2.Atoms[tree.Nodes[nodeA].Atom].Vars = append(q2.Atoms[tree.Nodes[nodeA].Atom].Vars, v)
-	q2.Atoms[tree.Nodes[nodeB].Atom].Vars = append(q2.Atoms[tree.Nodes[nodeB].Atom].Vars, v)
+	q2.Atoms[p.atomIdxA].Vars = append(q2.Atoms[p.atomIdxA].Vars, v)
+	q2.Atoms[p.atomIdxB].Vars = append(q2.Atoms[p.atomIdxB].Vars, v)
 	db2 := relation.NewDatabase()
 	for _, atom := range inst.Q.Atoms {
 		switch atom.Rel {
-		case atomA.Rel:
+		case p.atomA.Rel:
 			db2.Add(outA)
-		case atomB.Rel:
+		case p.atomB.Rel:
 			db2.Add(outB)
 		default:
-			db2.Add(inst.DB.Get(atom.Rel).Clone())
+			db2.Add(inst.DB.Get(atom.Rel)) // read-only; shared, not cloned
 		}
 	}
 	return Instance{Q: q2, DB: db2, Workers: inst.Workers}, nil
 }
 
-// groupRowsByKey groups row indexes by their key-column values, returning
-// the groups keyed by encoded key plus the keys in first-appearance order.
-// The parallel path merges per-chunk partial groupings in chunk order, which
-// reproduces the sequential first-appearance order and ascending row lists.
-func groupRowsByKey(rel *relation.Relation, cols []int, workers int) (map[string][]int, []string) {
-	type partial struct {
-		keyOrder []string
-		rows     [][]int
-	}
-	parts := parallel.MapRanges(workers, rel.Len(), func(lo, hi int) partial {
-		var enc relation.KeyEncoder
-		local := make(map[string]int)
-		var p partial
-		for i := lo; i < hi; i++ {
-			key := enc.Cols(rel.Row(i), cols)
-			id, ok := local[string(key)]
-			if !ok {
-				id = len(p.rows)
-				k := string(key)
-				local[k] = id
-				p.keyOrder = append(p.keyOrder, k)
-				p.rows = append(p.rows, nil)
-			}
-			p.rows[id] = append(p.rows[id], i)
-		}
-		return p
-	})
-	if len(parts) == 0 {
-		return map[string][]int{}, nil
-	}
-	out := make(map[string][]int, len(parts[0].keyOrder))
-	var order []string
-	for _, p := range parts {
-		for li, key := range p.keyOrder {
-			if _, ok := out[key]; !ok {
-				order = append(order, key)
-			}
-			out[key] = append(out[key], p.rows[li]...)
-		}
-	}
-	return out, order
-}
-
-// shiftColumn adds off to column col of every row.
-func shiftColumn(rel *relation.Relation, col int, off relation.Value) {
-	for i := 0; i < rel.Len(); i++ {
+// shiftColumnRange adds off to column col of rows [lo, hi).
+func shiftColumnRange(rel *relation.Relation, col, lo, hi int, off relation.Value) {
+	for i := lo; i < hi; i++ {
 		rel.Set(i, col, rel.Get(i, col)+off)
 	}
 }
@@ -426,16 +500,4 @@ func rowSum(f *ranking.Func, vars []query.Var, cols []int, row []relation.Value,
 		s += f.W(vars[k], row[c])
 	}
 	return sign * s
-}
-
-// cloneAllBut copies every relation used by q except the named one.
-func cloneAllBut(db *relation.Database, q *query.Query, except string) *relation.Database {
-	out := relation.NewDatabase()
-	for _, atom := range q.Atoms {
-		if atom.Rel == except || out.Has(atom.Rel) {
-			continue
-		}
-		out.Add(db.Get(atom.Rel).Clone())
-	}
-	return out
 }

@@ -109,21 +109,6 @@ func SumLossy(inst Instance, f *ranking.Func, lambda int64, dir Dir, eps float64
 	}
 	stats := &LossyStats{EpsPrime: epsPrime}
 
-	// rowGroup[node][rowIdx] = join-group id of the row w.r.t. its parent.
-	rowGroup := make([][]int, len(tree.Nodes))
-	for _, n := range tree.Nodes {
-		if n.Parent < 0 {
-			continue
-		}
-		rg := make([]int, e.Rels[n.ID].Len())
-		for gid, tuples := range e.Groups[n.ID].Tuples {
-			for _, ti := range tuples {
-				rg[ti] = gid
-			}
-		}
-		rowGroup[n.ID] = rg
-	}
-
 	copies := make([][]copyRec, len(tree.Nodes))
 	for _, id := range tree.BottomUp {
 		n := tree.Nodes[id]
@@ -136,13 +121,17 @@ func SumLossy(inst Instance, f *ranking.Func, lambda int64, dir Dir, eps float64
 			}
 		})
 		for _, ch := range n.Children {
-			// Bucket the child's copies per join group.
+			// Bucket the child's copies per join group, indexed by the dense
+			// group ids of the child's index (no per-key hashing: RowGid is
+			// materialized by the build).
 			childCopies := copies[ch]
-			groupItems := make(map[int][]int) // gid -> indexes into childCopies
-			var gidOrder []int                // first-appearance order: bucket ids must not depend on map order
+			rowGid := e.Groups[ch].RowGid
+			ng := e.Groups[ch].NumGroups()
+			groupItems := make([][]int, ng) // gid -> indexes into childCopies
+			var gidOrder []int              // first-appearance order: bucket ids must not depend on visit order
 			for ci := range childCopies {
-				gid := rowGroup[ch][childCopies[ci].rowIdx]
-				if _, ok := groupItems[gid]; !ok {
+				gid := int(rowGid[childCopies[ci].rowIdx])
+				if groupItems[gid] == nil {
 					gidOrder = append(gidOrder, gid)
 				}
 				groupItems[gid] = append(groupItems[gid], ci)
@@ -164,7 +153,7 @@ func SumLossy(inst Instance, f *ranking.Func, lambda int64, dir Dir, eps float64
 				rep  int64
 				mult float64
 			}
-			groupBuckets := make(map[int][]bucketRef, len(gidOrder))
+			groupBuckets := make([][]bucketRef, ng)
 			nextBucket := relation.Value(1)
 			for k, gid := range gidOrder {
 				sk := sketches[k]
@@ -188,13 +177,10 @@ func SumLossy(inst Instance, f *ranking.Func, lambda int64, dir Dir, eps float64
 			// Expand this node's copies: one per (copy, matching bucket).
 			// Chunks concatenate in chunk order — the sequential order.
 			parts := parallel.MapRanges(workers, len(cur), func(lo, hi int) []copyRec {
-				var buf []byte
 				var expanded []copyRec
 				for x := lo; x < hi; x++ {
 					c := cur[x]
-					var gid int
-					var ok bool
-					gid, ok, buf = e.GroupForParentRowBuf(ch, rel.Row(c.rowIdx), buf)
+					gid, ok := e.ParentGroup(ch, c.rowIdx)
 					if !ok {
 						continue // dead after reduction; defensive
 					}

@@ -20,7 +20,10 @@ package trim
 
 import (
 	"fmt"
+	"strings"
+	"sync"
 
+	"github.com/quantilejoins/qjoin/internal/jointree"
 	"github.com/quantilejoins/qjoin/internal/parallel"
 	"github.com/quantilejoins/qjoin/internal/query"
 	"github.com/quantilejoins/qjoin/internal/ranking"
@@ -55,7 +58,61 @@ type Instance struct {
 	// the driver sets it once on the original instance. Custom ranking
 	// Weight functions must be safe for concurrent calls when Workers > 1.
 	Workers int
+	// Exec is the optional executable tree of (Q, DB), attached by the
+	// driver. Pure-filter trims (MAX ≺ λ, MIN ≻ λ, single-node SUM) derive
+	// their output's Exec from it by subset filtering — integer work
+	// proportional to the surviving rows — so the driver never rebuilds the
+	// tree from raw relations for those outputs. Trims that change the query
+	// shape (partition identifiers, staircase segments, sketch embeddings)
+	// ignore it. Read-only.
+	Exec *jointree.Exec
+	// Cache amortizes trim preprocessing across pivoting iterations (and, on
+	// a prepared plan, across quantile calls). Only the driver's reused
+	// original instance carries one — a cache is keyed by the identity of
+	// (Q, DB, ranking), so it must never be attached to an instance whose
+	// data can differ. Trims do not propagate it to their outputs.
+	Cache *Cache
 }
+
+// Cache holds trim preprocessing keyed by ranking identity. Safe for
+// concurrent use; see Instance.Cache for the ownership contract.
+type Cache struct {
+	mu     sync.Mutex
+	sumAdj map[sumAdjCacheKey]*sumAdjPrep
+}
+
+// NewCache returns an empty trim-preprocessing cache.
+func NewCache() *Cache { return &Cache{} }
+
+type sumAdjCacheKey struct {
+	// Default-weight rankings (Weight == nil) key by value identity — Agg
+	// plus the NUL-joined variable list — so a service that builds a fresh
+	// Ranking per request still hits the cache. Rankings with a custom
+	// Weight func cannot be compared by value and fall back to pointer
+	// identity (f non-nil, sig empty).
+	f   *ranking.Func
+	sig string
+	dir Dir
+}
+
+func cacheKeyFor(f *ranking.Func, dir Dir) sumAdjCacheKey {
+	if f.Weight != nil {
+		return sumAdjCacheKey{f: f, dir: dir}
+	}
+	var sb strings.Builder
+	sb.WriteByte(byte(f.Agg))
+	for _, v := range f.Vars {
+		sb.WriteByte(0)
+		sb.WriteString(string(v))
+	}
+	return sumAdjCacheKey{sig: sb.String(), dir: dir}
+}
+
+// cacheMaxEntries bounds the prep cache: distinct rankings on one plan are
+// normally a handful, but pointer-keyed custom-weight rankings built per
+// call would otherwise accumulate one O(|D|) preparation each. On overflow
+// the whole map is dropped — the next call simply rebuilds its prep.
+const cacheMaxEntries = 64
 
 // workers resolves the instance's worker count for the parallel runtime.
 func (inst Instance) workers() int {
@@ -162,6 +219,8 @@ func applyPartitions(inst Instance, f *ranking.Func, partitions [][]varCond) (In
 
 // filterByVarPred keeps only tuples whose every occurrence of a ranked
 // variable satisfies the predicate. Used for the filter side of MIN/MAX.
+// When the input instance carries an Exec, the output carries one too,
+// derived by subset filtering instead of a rebuild.
 func filterByVarPred(inst Instance, f *ranking.Func, pred func(v query.Var, w int64) bool) (Instance, error) {
 	if err := requireSelfJoinFree(inst.Q); err != nil {
 		return Instance{}, err
@@ -171,6 +230,7 @@ func filterByVarPred(inst Instance, f *ranking.Func, pred func(v query.Var, w in
 		ranked[v] = true
 	}
 	db2 := relation.NewDatabase()
+	touched := false
 	for _, atom := range inst.Q.Atoms {
 		src := inst.DB.Get(atom.Rel)
 		var cols []int
@@ -182,9 +242,10 @@ func filterByVarPred(inst Instance, f *ranking.Func, pred func(v query.Var, w in
 			}
 		}
 		if len(cols) == 0 {
-			db2.Add(src.Clone())
+			db2.Add(src) // relations are read-only; untouched ones are shared
 			continue
 		}
+		touched = true
 		out := src.FilterWorkers(inst.workers(), func(row []relation.Value) bool {
 			for k, c := range cols {
 				if !pred(vars[k], f.W(vars[k], row[c])) {
@@ -195,5 +256,44 @@ func filterByVarPred(inst Instance, f *ranking.Func, pred func(v query.Var, w in
 		})
 		db2.Add(out)
 	}
-	return Instance{Q: inst.Q.Clone(), DB: db2, Workers: inst.Workers}, nil
+	out := Instance{Q: inst.Q.Clone(), DB: db2, Workers: inst.Workers}
+	if e := inst.Exec; e != nil && touched {
+		// Node-level survivors: a node row dies exactly when its source rows
+		// do (the predicate reads only projected values), so the subset
+		// derivation reproduces a fresh build on (Q, db2) byte for byte.
+		keep := make([][]bool, len(e.T.Nodes))
+		for _, n := range e.T.Nodes {
+			var cols []int
+			var vars []query.Var
+			for j, v := range n.Vars {
+				if ranked[v] {
+					cols = append(cols, j)
+					vars = append(vars, v)
+				}
+			}
+			if len(cols) == 0 {
+				continue
+			}
+			rel := e.NodeRelation(n.ID)
+			k := make([]bool, rel.Len())
+			parallel.For(inst.workers(), rel.Len(), func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					row := rel.Row(i)
+					ok := true
+					for c, col := range cols {
+						if !pred(vars[c], f.W(vars[c], row[col])) {
+							ok = false
+							break
+						}
+					}
+					k[i] = ok
+				}
+			})
+			keep[n.ID] = k
+		}
+		out.Exec = e.DeriveSubset(out.Q, db2, keep, inst.workers())
+	} else if e != nil {
+		out.Exec = e.DeriveSubset(out.Q, db2, make([][]bool, len(e.T.Nodes)), inst.workers())
+	}
+	return out, nil
 }

@@ -64,21 +64,21 @@ func UpdateCounts(old *Counts, e *jointree.Exec, changes []jointree.NodeChange, 
 			}
 		}
 
-		// Group-sum adjustments toward the parent, keyed by the group's
-		// shared-variable key. Sub aggregates old contributions leaving the
-		// sum, Add new ones entering it; both are sums of disjoint per-tuple
-		// counts that were (resp. become) part of the group sum, so the
-		// final oldSum−Sub+Add never underflows.
+		// Group-sum adjustments toward the parent, keyed by group id (group
+		// ids are the interned key ids, stable across derivations). Sub
+		// aggregates old contributions leaving the sum, Add new ones entering
+		// it; both are sums of disjoint per-tuple counts that were (resp.
+		// become) part of the group sum, so the final oldSum−Sub+Add never
+		// underflows.
 		type acc struct {
-			gid      int
 			sub, add counting.Count
 		}
-		var accs map[string]*acc
+		var accs map[int]*acc
 		isRoot := n.Parent < 0
 		if !isRoot {
-			accs = make(map[string]*acc)
+			accs = make(map[int]*acc)
 		}
-		contribute := func(key []byte, gid int, oldV, newV counting.Count) {
+		contribute := func(gid int, oldV, newV counting.Count) {
 			if oldV.Cmp(newV) == 0 {
 				return
 			}
@@ -87,10 +87,10 @@ func UpdateCounts(old *Counts, e *jointree.Exec, changes []jointree.NodeChange, 
 				totAdd = totAdd.Add(newV)
 				return
 			}
-			a := accs[string(key)]
+			a := accs[gid]
 			if a == nil {
-				a = &acc{gid: gid}
-				accs[string(key)] = a
+				a = &acc{}
+				accs[gid] = a
 			}
 			a.sub = a.sub.Add(oldV)
 			a.add = a.add.Add(newV)
@@ -99,7 +99,10 @@ func UpdateCounts(old *Counts, e *jointree.Exec, changes []jointree.NodeChange, 
 			rootTouched = true
 		}
 
-		var buf []byte
+		rowGid := []int32(nil)
+		if !isRoot {
+			rowGid = e.Groups[id].RowGid
+		}
 		// Removed tuples leave their old counts' contribution behind.
 		if ch != nil {
 			for j, oi := range ch.RemovedIdx {
@@ -107,15 +110,14 @@ func UpdateCounts(old *Counts, e *jointree.Exec, changes []jointree.NodeChange, 
 				if oldV.IsZero() {
 					continue
 				}
-				row := ch.RemovedRows[j]
 				if isRoot {
 					totSub = totSub.Add(oldV)
 					continue
 				}
-				buf = e.ChildKeyAppend(buf[:0], id, row)
-				gid, ok := e.GroupByKey(id, buf)
-				if ok {
-					contribute(buf, gid, oldV, counting.Zero)
+				// A removed row has no index position anymore; resolve its
+				// group by key (it may have vanished with its last tuple).
+				if gid, ok := e.ChildGroup(id, ch.RemovedRows[j]); ok {
+					contribute(gid, oldV, counting.Zero)
 				}
 			}
 		}
@@ -127,13 +129,10 @@ func UpdateCounts(old *Counts, e *jointree.Exec, changes []jointree.NodeChange, 
 					continue
 				}
 				oldV := newT[i]
-				row := rel.Row(i)
 				v := counting.One
 				dead := false
 				for _, c := range n.Children {
-					var gid int
-					var ok bool
-					gid, ok, buf = e.GroupForParentRowBuf(c, row, buf)
+					gid, ok := e.ParentGroup(c, i)
 					if !ok || out.Group[c][gid].IsZero() {
 						dead = true
 						break
@@ -151,11 +150,7 @@ func UpdateCounts(old *Counts, e *jointree.Exec, changes []jointree.NodeChange, 
 					}
 					continue
 				}
-				buf = e.ChildKeyAppend(buf[:0], id, row)
-				gid, ok := e.GroupByKey(id, buf)
-				if ok {
-					contribute(buf, gid, oldV, v)
-				}
+				contribute(int(rowGid[i]), oldV, v)
 			}
 		}
 		out.Tuple[id] = newT
@@ -164,22 +159,24 @@ func UpdateCounts(old *Counts, e *jointree.Exec, changes []jointree.NodeChange, 
 			continue
 		}
 		// Rewrite the group sums (extended for groups created by the delta)
-		// and propagate: parent tuples whose key hits a changed sum go dirty.
+		// and propagate: parent tuples whose gid hits a changed sum go dirty.
 		oldG := out.Group[id]
 		ng := e.Groups[id].NumGroups()
 		newG := make([]counting.Count, ng)
 		copy(newG, oldG)
-		changedKeys := make(map[string]struct{}, len(accs))
-		for key, a := range accs {
-			oldSum := newG[a.gid]
+		changedGids := make([]bool, ng)
+		anyChanged := false
+		for gid, a := range accs {
+			oldSum := newG[gid]
 			newSum := oldSum.Sub(a.sub).Add(a.add)
 			if newSum.Cmp(oldSum) != 0 {
-				newG[a.gid] = newSum
-				changedKeys[key] = struct{}{}
+				newG[gid] = newSum
+				changedGids[gid] = true
+				anyChanged = true
 			}
 		}
 		out.Group[id] = newG
-		if len(changedKeys) == 0 {
+		if !anyChanged {
 			continue
 		}
 		parent := n.Parent
@@ -190,10 +187,8 @@ func UpdateCounts(old *Counts, e *jointree.Exec, changes []jointree.NodeChange, 
 			dirty[parent] = pmask
 		}
 		parallel.For(workers, prel.Len(), func(lo, hi int) {
-			var kb []byte
 			for i := lo; i < hi; i++ {
-				kb = e.ParentKeyAppend(kb[:0], id, prel.Row(i))
-				if _, hot := changedKeys[string(kb)]; hot {
+				if gid, ok := e.ParentGroup(id, i); ok && changedGids[gid] {
 					pmask[i] = true
 				}
 			}

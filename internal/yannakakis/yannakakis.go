@@ -31,6 +31,38 @@ type Counts struct {
 // CountWorkers is the data-parallel variant.
 func Count(e *jointree.Exec) *Counts { return CountWorkers(e, 1) }
 
+// Scratch holds the reusable buffers of a counting pass. The pivot loop runs
+// one pass per candidate instance per iteration; pooling the per-node count
+// arrays across iterations removes the largest per-iteration allocations.
+// A Scratch may be reused after the *Counts returned from its pass is no
+// longer read; it is not safe for concurrent passes.
+type Scratch struct {
+	tuple [][]counting.Count
+	group [][]counting.Count
+}
+
+// buffers returns per-node buffer slices of exactly n entries, reusing the
+// scratch arrays when they are large enough.
+func (s *Scratch) buffers(nNodes int) (tuple, group [][]counting.Count) {
+	if s == nil {
+		return make([][]counting.Count, nNodes), make([][]counting.Count, nNodes)
+	}
+	if cap(s.tuple) < nNodes {
+		s.tuple = make([][]counting.Count, nNodes)
+		s.group = make([][]counting.Count, nNodes)
+	}
+	s.tuple = s.tuple[:nNodes]
+	s.group = s.group[:nNodes]
+	return s.tuple, s.group
+}
+
+func growCounts(buf []counting.Count, n int) []counting.Count {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]counting.Count, n)
+}
+
 // CountWorkers runs the counting pass over a bounded worker pool: per-node
 // tuple loops are chunked over row ranges and per-group sums over group
 // ranges, with all writes disjoint by index. The node order stays the
@@ -38,30 +70,46 @@ func Count(e *jointree.Exec) *Counts { return CountWorkers(e, 1) }
 // counts), and the final total folds per-chunk partial sums in chunk order,
 // so the result is identical for every worker count.
 func CountWorkers(e *jointree.Exec, workers int) *Counts {
+	return CountScratch(e, workers, nil)
+}
+
+// CountScratch is CountWorkers drawing its count arrays from the given
+// scratch (nil allocates fresh, which is what long-lived results — e.g. the
+// engine's cached counting state — must use). Every written entry is fully
+// assigned, so stale scratch contents never leak into the result.
+func CountScratch(e *jointree.Exec, workers int, s *Scratch) *Counts {
 	nNodes := len(e.T.Nodes)
-	c := &Counts{
-		Tuple: make([][]counting.Count, nNodes),
-		Group: make([][]counting.Count, nNodes),
-	}
+	tuple, group := s.buffers(nNodes)
+	c := &Counts{Tuple: tuple, Group: group}
 	for _, id := range e.T.BottomUp {
 		n := e.T.Nodes[id]
 		rel := e.Rels[id]
-		cnt := make([]counting.Count, rel.Len())
+		cnt := growCounts(c.Tuple[id], rel.Len())
+		children := n.Children
+		gids := make([][]int32, len(children))
+		gcnt := make([][]counting.Count, len(children))
+		for k, ch := range children {
+			gids[k] = e.ParentGids(ch)
+			gcnt[k] = c.Group[ch]
+		}
 		parallel.For(workers, rel.Len(), func(lo, hi int) {
-			var buf []byte
 			for i := lo; i < hi; i++ {
 				v := counting.One
-				row := rel.Row(i)
 				dead := false
-				for _, ch := range n.Children {
+				for k := range children {
 					var gid int
 					var ok bool
-					gid, ok, buf = e.GroupForParentRowBuf(ch, row, buf)
-					if !ok || c.Group[ch][gid].IsZero() {
+					if pg := gids[k]; pg != nil {
+						gid = int(pg[i])
+						ok = pg[i] >= 0
+					} else {
+						gid, ok = e.ParentGroup(children[k], i)
+					}
+					if !ok || gcnt[k][gid].IsZero() {
 						dead = true
 						break
 					}
-					v = v.Mul(c.Group[ch][gid])
+					v = v.Mul(gcnt[k][gid])
 				}
 				if dead {
 					v = counting.Zero
@@ -72,7 +120,7 @@ func CountWorkers(e *jointree.Exec, workers int) *Counts {
 		c.Tuple[id] = cnt
 		if n.Parent >= 0 {
 			groups := e.Groups[id]
-			g := make([]counting.Count, groups.NumGroups())
+			g := growCounts(c.Group[id], groups.NumGroups())
 			parallel.For(workers, groups.NumGroups(), func(lo, hi int) {
 				for gi := lo; gi < hi; gi++ {
 					sum := counting.Zero
@@ -113,6 +161,12 @@ func CountAnswersWorkers(e *jointree.Exec, workers int) counting.Count {
 // e.Q.Vars(). The callback must not retain the slice; it may return false to
 // stop enumeration early. Dangling tuples are skipped on the fly, so a prior
 // FullReduce is not required for correctness (only for speed guarantees).
+//
+// The walk is an explicit odometer over the tree's pre-order (children in
+// declaration order, later positions varying faster) — the exact nesting the
+// natural recursion produces, without its per-visit closure allocations: the
+// whole enumeration allocates a handful of per-call slices, nothing per
+// answer.
 func Enumerate(e *jointree.Exec, fn func(asn []relation.Value) bool) {
 	vars := e.Q.Vars()
 	varIdx := e.Q.VarIndex()
@@ -126,38 +180,65 @@ func Enumerate(e *jointree.Exec, fn func(asn []relation.Value) bool) {
 	}
 	asn := make([]relation.Value, len(vars))
 
-	var visit func(id, ti int, cont func() bool) bool
-	visit = func(id, ti int, cont func() bool) bool {
-		row := e.Rels[id].Row(ti)
-		for j, p := range nodePos[id] {
+	// Pre-order with children in declaration order.
+	pre := make([]int, 0, len(e.T.Nodes))
+	var push func(id int)
+	push = func(id int) {
+		pre = append(pre, id)
+		for _, ch := range e.T.Nodes[id].Children {
+			push(ch)
+		}
+	}
+	push(e.T.Root)
+
+	m := len(pre)
+	lists := make([][]int, m) // candidate tuples at depth d (nil at the root)
+	pos := make([]int, m)     // odometer position per depth
+	curTi := make([]int, len(e.T.Nodes))
+	rootN := e.Rels[e.T.Root].Len()
+
+	d := 0
+	for {
+		// Resolve the candidate at pos[d], or backtrack when exhausted.
+		var ti int
+		if d == 0 {
+			if pos[0] >= rootN {
+				return
+			}
+			ti = pos[0]
+		} else {
+			if pos[d] >= len(lists[d]) {
+				d--
+				pos[d]++
+				continue
+			}
+			ti = lists[d][pos[d]]
+		}
+		node := pre[d]
+		row := e.Rels[node].Row(ti)
+		for j, p := range nodePos[node] {
 			asn[p] = row[j]
 		}
-		n := e.T.Nodes[id]
-		var loop func(ci int) bool
-		loop = func(ci int) bool {
-			if ci == len(n.Children) {
-				return cont()
+		curTi[node] = ti
+		if d == m-1 {
+			if !fn(asn) {
+				return
 			}
-			ch := n.Children[ci]
-			gid, ok := e.GroupForParentRow(ch, row)
-			if !ok {
-				return true // no answers under this tuple on this branch
-			}
-			for _, cti := range e.Groups[ch].Tuples[gid] {
-				if !visit(ch, cti, func() bool { return loop(ci + 1) }) {
-					return false
-				}
-			}
-			return true
+			pos[d]++
+			continue
 		}
-		return loop(0)
-	}
-
-	root := e.T.Root
-	for ti := 0; ti < e.Rels[root].Len(); ti++ {
-		if !visit(root, ti, func() bool { return fn(asn) }) {
-			return
+		// Descend: the next pre-order node's candidates are the join group
+		// matched by its parent's just-chosen tuple. A missing group empties
+		// the list, which backtracks — exactly the recursion's "no answers
+		// under this tuple on this branch".
+		d++
+		nd := pre[d]
+		if gid, ok := e.ParentGroup(nd, curTi[e.T.Nodes[nd].Parent]); ok {
+			lists[d] = e.Groups[nd].Tuples[gid]
+		} else {
+			lists[d] = nil
 		}
+		pos[d] = 0
 	}
 }
 

@@ -43,6 +43,14 @@ type Options = core.Options
 // RunStats reports what a driver run did.
 type RunStats = core.RunStats
 
+// PhaseLog is the per-iteration phase-timing log collected when
+// Options.CollectPhases is set.
+type PhaseLog = core.PhaseLog
+
+// PhaseTimings is one iteration's wall-clock breakdown (pivot / trim /
+// derive / count).
+type PhaseTimings = core.PhaseTimings
+
 // SumClassification is the dichotomy verdict of Theorem 5.6.
 type SumClassification = core.SumClassification
 
