@@ -24,7 +24,6 @@
 package main
 
 import (
-	"encoding/csv"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -34,6 +33,7 @@ import (
 	"time"
 
 	"github.com/quantilejoins/qjoin"
+	"github.com/quantilejoins/qjoin/internal/loadfmt"
 )
 
 type relFlags map[string]string
@@ -66,7 +66,7 @@ func main() {
 	flag.Var(rels, "rel", "NAME=FILE CSV source for a relation (repeatable)")
 	flag.Parse()
 
-	q, err := parseQuery(*queryStr)
+	q, err := qjoin.ParseQuery(*queryStr)
 	if err != nil {
 		fatal(err)
 	}
@@ -76,7 +76,7 @@ func main() {
 		if !ok {
 			fatal(fmt.Errorf("no -rel source for relation %s", atom.Rel))
 		}
-		rows, err := loadCSV(file, len(atom.Vars))
+		rows, err := loadfmt.ReadCSVFile(file, len(atom.Vars))
 		if err != nil {
 			fatal(fmt.Errorf("%s: %w", file, err))
 		}
@@ -85,9 +85,16 @@ func main() {
 		}
 	}
 
-	phis, err := parsePhis(*phiStr)
+	phis, err := qjoin.ParsePhis(*phiStr)
 	if err != nil {
 		fatal(err)
+	}
+	// ε is validated here, at the boundary, through the same check the
+	// qjserve HTTP layer uses — the engine itself never sees a bad value.
+	if *eps != 0 {
+		if err := qjoin.ValidateEpsilon(*eps); err != nil {
+			fatal(err)
+		}
 	}
 
 	// Answers are byte-identical for every -workers value; the knob only
@@ -98,7 +105,7 @@ func main() {
 	var upd *qjoin.Delta
 	if *updateFile != "" {
 		var err error
-		if upd, err = parseDeltaFile(*updateFile); err != nil {
+		if upd, err = loadfmt.ParseDeltaFile(*updateFile); err != nil {
 			fatal(fmt.Errorf("%s: %w", *updateFile, err))
 		}
 	}
@@ -115,7 +122,7 @@ func main() {
 		return
 	}
 
-	f, err := parseRanking(*rankStr)
+	f, err := qjoin.ParseRanking(*rankStr)
 	if err != nil {
 		fatal(err)
 	}
@@ -224,72 +231,6 @@ func applyUpdate(p *qjoin.Prepared, delta *qjoin.Delta, verbose bool) (*qjoin.Pr
 	return up, nil
 }
 
-// parseDeltaFile reads a +Rel,v,.../-Rel,v,... delta file. Blank lines and
-// '#' comments are skipped.
-func parseDeltaFile(path string) (*qjoin.Delta, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	d := qjoin.NewDelta()
-	for ln, line := range strings.Split(string(data), "\n") {
-		line = strings.TrimSpace(line)
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		if len(line) < 2 || (line[0] != '+' && line[0] != '-') {
-			return nil, fmt.Errorf("line %d: want +Rel,v,... or -Rel,v,..., got %q", ln+1, line)
-		}
-		del := line[0] == '-'
-		parts := strings.Split(line[1:], ",")
-		if len(parts) < 2 {
-			return nil, fmt.Errorf("line %d: no values in %q", ln+1, line)
-		}
-		rel := strings.TrimSpace(parts[0])
-		if rel == "" {
-			return nil, fmt.Errorf("line %d: empty relation name", ln+1)
-		}
-		row := make([]int64, 0, len(parts)-1)
-		for _, field := range parts[1:] {
-			v, err := strconv.ParseInt(strings.TrimSpace(field), 10, 64)
-			if err != nil {
-				return nil, fmt.Errorf("line %d: %w", ln+1, err)
-			}
-			row = append(row, v)
-		}
-		if del {
-			d.Delete(rel, row)
-		} else {
-			d.Insert(rel, row)
-		}
-	}
-	return d, nil
-}
-
-// parsePhis parses a comma-separated list of quantile fractions.
-func parsePhis(s string) ([]float64, error) {
-	parts := strings.Split(s, ",")
-	out := make([]float64, 0, len(parts))
-	for _, part := range parts {
-		part = strings.TrimSpace(part)
-		if part == "" {
-			continue
-		}
-		phi, err := strconv.ParseFloat(part, 64)
-		if err != nil {
-			return nil, fmt.Errorf("bad -phi value %q: %w", part, err)
-		}
-		if phi < 0 || phi > 1 {
-			return nil, fmt.Errorf("-phi value %v outside [0,1]", phi)
-		}
-		out = append(out, phi)
-	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("empty -phi list")
-	}
-	return out, nil
-}
-
 func weightString(f *qjoin.Ranking, w qjoin.Weight) string {
 	if len(w.Vec) > 0 {
 		return fmt.Sprint(w.Vec)
@@ -300,98 +241,4 @@ func weightString(f *qjoin.Ranking, w qjoin.Weight) string {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "qjq:", err)
 	os.Exit(1)
-}
-
-// parseQuery parses 'R(x,y),S(y,z)' into a Query.
-func parseQuery(s string) (*qjoin.Query, error) {
-	s = strings.TrimSpace(s)
-	if s == "" {
-		return nil, fmt.Errorf("missing -query")
-	}
-	var atoms []qjoin.Atom
-	rest := s
-	for rest != "" {
-		open := strings.IndexByte(rest, '(')
-		if open <= 0 {
-			return nil, fmt.Errorf("bad query syntax near %q", rest)
-		}
-		closeIdx := strings.IndexByte(rest, ')')
-		if closeIdx < open {
-			return nil, fmt.Errorf("unbalanced parentheses near %q", rest)
-		}
-		name := strings.TrimSpace(rest[:open])
-		var vars []qjoin.Var
-		for _, v := range strings.Split(rest[open+1:closeIdx], ",") {
-			v = strings.TrimSpace(v)
-			if v == "" {
-				return nil, fmt.Errorf("empty variable in atom %s", name)
-			}
-			vars = append(vars, qjoin.Var(v))
-		}
-		atoms = append(atoms, qjoin.NewAtom(name, vars...))
-		rest = strings.TrimSpace(rest[closeIdx+1:])
-		rest = strings.TrimPrefix(rest, ",")
-		rest = strings.TrimSpace(rest)
-	}
-	return qjoin.NewQuery(atoms...), nil
-}
-
-// parseRanking parses 'sum(x,y)' / 'min(x)' / 'max(x,y)' / 'lex(x,y)'.
-func parseRanking(s string) (*qjoin.Ranking, error) {
-	s = strings.TrimSpace(s)
-	if s == "" {
-		return nil, fmt.Errorf("missing -rank")
-	}
-	open := strings.IndexByte(s, '(')
-	closeIdx := strings.LastIndexByte(s, ')')
-	if open <= 0 || closeIdx != len(s)-1 {
-		return nil, fmt.Errorf("bad ranking syntax %q", s)
-	}
-	var vars []qjoin.Var
-	for _, v := range strings.Split(s[open+1:closeIdx], ",") {
-		v = strings.TrimSpace(v)
-		if v == "" {
-			return nil, fmt.Errorf("empty variable in ranking %q", s)
-		}
-		vars = append(vars, qjoin.Var(v))
-	}
-	switch strings.ToLower(strings.TrimSpace(s[:open])) {
-	case "sum":
-		return qjoin.Sum(vars...), nil
-	case "min":
-		return qjoin.Min(vars...), nil
-	case "max":
-		return qjoin.Max(vars...), nil
-	case "lex":
-		return qjoin.Lex(vars...), nil
-	}
-	return nil, fmt.Errorf("unknown aggregate in %q (want sum/min/max/lex)", s)
-}
-
-// loadCSV reads an integer CSV with the given arity.
-func loadCSV(path string, arity int) ([][]int64, error) {
-	file, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer file.Close()
-	r := csv.NewReader(file)
-	r.FieldsPerRecord = arity
-	records, err := r.ReadAll()
-	if err != nil {
-		return nil, err
-	}
-	rows := make([][]int64, 0, len(records))
-	for ln, rec := range records {
-		row := make([]int64, arity)
-		for i, field := range rec {
-			v, err := strconv.ParseInt(strings.TrimSpace(field), 10, 64)
-			if err != nil {
-				return nil, fmt.Errorf("line %d column %d: %w", ln+1, i+1, err)
-			}
-			row[i] = v
-		}
-		rows = append(rows, row)
-	}
-	return rows, nil
 }

@@ -6,85 +6,13 @@ import (
 	"testing"
 
 	"github.com/quantilejoins/qjoin"
+	"github.com/quantilejoins/qjoin/internal/loadfmt"
 )
 
-func TestParseQuery(t *testing.T) {
-	q, err := parseQuery("R(x,y), S(y,z)")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(q.Atoms) != 2 || q.Atoms[0].Rel != "R" || q.Atoms[1].Rel != "S" {
-		t.Fatalf("parsed %v", q)
-	}
-	if len(q.Atoms[0].Vars) != 2 || q.Atoms[0].Vars[1] != "y" {
-		t.Fatalf("vars = %v", q.Atoms[0].Vars)
-	}
-	// Whitespace tolerance.
-	q, err = parseQuery("  R( x , y )  ,S(y,z)")
-	if err != nil || len(q.Atoms) != 2 {
-		t.Fatalf("whitespace parse: %v, %v", q, err)
-	}
-}
-
-func TestParseQueryErrors(t *testing.T) {
-	for _, bad := range []string{"", "R", "R(x", "R(x,)", "(x,y)"} {
-		if _, err := parseQuery(bad); err == nil {
-			t.Fatalf("accepted %q", bad)
-		}
-	}
-}
-
-func TestParseRanking(t *testing.T) {
-	cases := map[string]string{
-		"sum(x,y)": "SUM",
-		"min(x)":   "MIN",
-		"MAX(a,b)": "MAX",
-		"lex(x,y)": "LEX",
-	}
-	for in, want := range cases {
-		f, err := parseRanking(in)
-		if err != nil {
-			t.Fatalf("%q: %v", in, err)
-		}
-		if f.Agg.String() != want {
-			t.Fatalf("%q -> %s, want %s", in, f.Agg, want)
-		}
-	}
-	for _, bad := range []string{"", "avg(x)", "sum", "sum()", "sum(x"} {
-		if _, err := parseRanking(bad); err == nil {
-			t.Fatalf("accepted %q", bad)
-		}
-	}
-}
-
-func TestLoadCSV(t *testing.T) {
-	dir := t.TempDir()
-	path := filepath.Join(dir, "r.csv")
-	if err := os.WriteFile(path, []byte("1,2\n3, 4\n"), 0o644); err != nil {
-		t.Fatal(err)
-	}
-	rows, err := loadCSV(path, 2)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(rows) != 2 || rows[0][0] != 1 || rows[1][1] != 4 {
-		t.Fatalf("rows = %v", rows)
-	}
-	// Wrong arity must fail.
-	if _, err := loadCSV(path, 3); err == nil {
-		t.Fatal("arity mismatch accepted")
-	}
-	// Non-integer must fail.
-	bad := filepath.Join(dir, "bad.csv")
-	os.WriteFile(bad, []byte("a,b\n"), 0o644)
-	if _, err := loadCSV(bad, 2); err == nil {
-		t.Fatal("non-integer accepted")
-	}
-	// Missing file must fail.
-	if _, err := loadCSV(filepath.Join(dir, "nope.csv"), 2); err == nil {
-		t.Fatal("missing file accepted")
-	}
-}
+// Parsing and validation are the shared library implementations
+// (qjoin.ParseQuery / ParseRanking / ParsePhis, internal/loadfmt), tested
+// in wire_test.go and loadfmt_test.go; here only the qjq-specific glue is
+// covered.
 
 func TestRelFlags(t *testing.T) {
 	r := relFlags{}
@@ -102,34 +30,9 @@ func TestRelFlags(t *testing.T) {
 	}
 }
 
-func TestParseDeltaFile(t *testing.T) {
-	dir := t.TempDir()
-	path := filepath.Join(dir, "delta.txt")
-	content := "# comment\n+R,1,2\n\n-S, 3 ,4\n+R,5,6\n"
-	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
-		t.Fatal(err)
-	}
-	d, err := parseDeltaFile(path)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if d.Len() != 3 {
-		t.Fatalf("ops = %d, want 3", d.Len())
-	}
-	for _, bad := range []string{"R,1,2\n", "+R\n", "+,1\n", "+R,x\n"} {
-		os.WriteFile(path, []byte(bad), 0o644)
-		if _, err := parseDeltaFile(path); err == nil {
-			t.Fatalf("accepted %q", bad)
-		}
-	}
-	if _, err := parseDeltaFile(filepath.Join(dir, "nope.txt")); err == nil {
-		t.Fatal("missing file accepted")
-	}
-}
-
 func TestApplyUpdateEndToEnd(t *testing.T) {
 	// A tiny end-to-end pass of the -update path: compile, apply, answer.
-	q, err := parseQuery("R(x,y),S(y,z)")
+	q, err := qjoin.ParseQuery("R(x,y),S(y,z)")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +46,7 @@ func TestApplyUpdateEndToEnd(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "delta.txt")
 	os.WriteFile(path, []byte("-R,3,4\n+R,5,2\n"), 0o644)
-	delta, err := parseDeltaFile(path)
+	delta, err := loadfmt.ParseDeltaFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,20 +62,13 @@ func TestApplyUpdateEndToEnd(t *testing.T) {
 	}
 }
 
-func TestParsePhis(t *testing.T) {
-	got, err := parsePhis("0.25, 0.5,0.75")
-	if err != nil {
-		t.Fatal(err)
+func TestWeightString(t *testing.T) {
+	f := qjoin.Sum("x")
+	if got := weightString(f, qjoin.Weight{K: 42}); got != "42" {
+		t.Fatalf("scalar weight = %q", got)
 	}
-	if len(got) != 3 || got[0] != 0.25 || got[1] != 0.5 || got[2] != 0.75 {
-		t.Fatalf("parsed %v", got)
-	}
-	if got, err := parsePhis("0.5"); err != nil || len(got) != 1 || got[0] != 0.5 {
-		t.Fatalf("single: %v, %v", got, err)
-	}
-	for _, bad := range []string{"", ",", "x", "1.5", "-0.1", "0.5;0.7"} {
-		if _, err := parsePhis(bad); err == nil {
-			t.Fatalf("accepted %q", bad)
-		}
+	lex := qjoin.Lex("x", "y")
+	if got := weightString(lex, qjoin.Weight{Vec: []int64{1, 2}}); got != "[1 2]" {
+		t.Fatalf("lex weight = %q", got)
 	}
 }

@@ -1,0 +1,93 @@
+// Command qjserve is the quantile-join serving daemon: a long-lived HTTP
+// process over the prepared-query engine, with a named-dataset registry, a
+// migrating plan cache and bounded-concurrency admission.
+//
+// Usage:
+//
+//	qjserve -addr :8080 -workers 0 -cache 64 -inflight 0 -timeout 30s
+//
+// Endpoints (JSON; see the README "Serving" section for a full table):
+//
+//	PUT    /datasets/{name}        bulk-load (or replace) a dataset
+//	POST   /datasets/{name}/delta  apply an insert/delete batch
+//	POST   /query                  quantile / quantiles / median / approx / topk / count
+//	GET    /datasets               list datasets
+//	GET    /datasets/{name}        one dataset's relations and generation
+//	DELETE /datasets/{name}        drop a dataset
+//	GET    /stats                  registry, cache and latency statistics
+//	GET    /metrics                expvar counters (includes the qjserve var)
+//	GET    /healthz                liveness probe
+//
+// The daemon prints "qjserve: listening on HOST:PORT" once the socket is
+// bound (with -addr :0 the printed port is the kernel-assigned one), and
+// shuts down gracefully on SIGINT/SIGTERM: the listener closes, in-flight
+// requests get -grace to finish, then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/quantilejoins/qjoin/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address (use :0 for a kernel-assigned port)")
+	workers := flag.Int("workers", 0, "default plan parallelism (0 = GOMAXPROCS, 1 = sequential)")
+	inflight := flag.Int("inflight", 0, "max concurrently admitted requests (0 = 4x worker count)")
+	cacheCap := flag.Int("cache", 64, "max cached plans (LRU)")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout, admission wait included")
+	grace := flag.Duration("grace", 10*time.Second, "shutdown grace period for in-flight requests")
+	maxBody := flag.Int64("max-body", 0, "max request body bytes (0 = 1 GiB)")
+	flag.Parse()
+
+	s := server.New(server.Config{
+		Parallelism:    *workers,
+		MaxInflight:    *inflight,
+		CacheCap:       *cacheCap,
+		RequestTimeout: *timeout,
+		MaxBodyBytes:   *maxBody,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qjserve:", err)
+		os.Exit(1)
+	}
+	// Printed on stdout so supervisors (and the CI integration script) can
+	// scrape the bound address even with -addr :0.
+	fmt.Printf("qjserve: listening on %s\n", ln.Addr())
+
+	srv := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	select {
+	case err := <-done:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "qjserve:", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		stop()
+		fmt.Println("qjserve: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "qjserve: forced shutdown:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -144,6 +144,33 @@
 // records a per-iteration pivot/trim/derive/count wall-clock breakdown in
 // RunStats.Phases (off by default so RunStats stay byte-comparable).
 //
+// # Serving and plan sharing
+//
+// The qjserve daemon (cmd/qjserve, built on internal/server) holds plans in
+// a cache shared by many concurrent HTTP requests. The sharing rules it
+// relies on are part of this package's contract:
+//
+//   - One *Prepared may serve any number of concurrent readers, and any
+//     number of distinct Ranking values: a plan depends only on the
+//     (Query, DB) pair, so queries under different rankings share it.
+//   - The engine memoizes its trim preparation per Ranking pointer. A
+//     caller that re-creates an equal Ranking per query is correct but
+//     repeats that preparation; long-lived callers should intern one
+//     Ranking instance per ranking spec and reuse it (the server's plan
+//     cache does exactly this).
+//   - Update may run concurrently with reads of the receiver and returns a
+//     new plan; old and new plans are independently usable, so a cache can
+//     migrate entries to the post-delta plan while in-flight requests
+//     finish on the pre-delta one. Answers of the migrated plan are
+//     byte-identical to a fresh Prepare on the mutated database.
+//
+// Queries and rankings have canonical textual forms for the wire:
+// ParseQuery/FormatQuery, ParseRanking/FormatRanking and the QuerySpec
+// JSON codec round-trip losslessly (rankings with custom Weight functions
+// have no wire form). ValidatePhi, ValidateEpsilon and ValidateTopK are
+// the shared boundary checks — cmd/qjq and qjserve reject bad arguments
+// identically, with *ArgError naming the offending field.
+//
 // The implementation is a faithful, fully self-contained reproduction: GYO
 // join trees, Yannakakis evaluation, linear-time c-pivot selection by
 // message passing (Algorithm 2), the four trimming constructions of

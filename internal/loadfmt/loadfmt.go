@@ -1,0 +1,109 @@
+// Package loadfmt parses the two on-the-wire data formats shared by every
+// front end — the qjq command line, the qjserve HTTP daemon and the tests:
+//
+//   - relation CSV: one tuple per record, integer columns matching the
+//     relation's arity ("1,2\n3,4\n");
+//   - delta text: one mutation per line, +Rel,v1,v2,... inserts and
+//     -Rel,v1,v2,... deletes, with blank lines and '#' comments skipped.
+//
+// Both formats existed first as private helpers of cmd/qjq; they live here
+// so qjserve bulk loads, qjq file loads and test fixtures go through one
+// parser instead of drifting copies.
+package loadfmt
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/quantilejoins/qjoin/internal/engine"
+	"github.com/quantilejoins/qjoin/internal/relation"
+)
+
+// ReadCSV reads an integer CSV with the given arity.
+func ReadCSV(src io.Reader, arity int) ([][]relation.Value, error) {
+	r := csv.NewReader(src)
+	r.FieldsPerRecord = arity
+	records, err := r.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	rows := make([][]relation.Value, 0, len(records))
+	for ln, rec := range records {
+		row := make([]relation.Value, arity)
+		for i, field := range rec {
+			v, err := strconv.ParseInt(strings.TrimSpace(field), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %d column %d: %w", ln+1, i+1, err)
+			}
+			row[i] = v
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// ReadCSVFile is ReadCSV over a file.
+func ReadCSVFile(path string, arity int) ([][]relation.Value, error) {
+	file, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer file.Close()
+	return ReadCSV(file, arity)
+}
+
+// ParseDelta parses delta text: +Rel,v,... inserts and -Rel,v,... deletes,
+// one per line, applied in order. Blank lines and '#' comments are skipped.
+func ParseDelta(src io.Reader) (*engine.Delta, error) {
+	data, err := io.ReadAll(src)
+	if err != nil {
+		return nil, err
+	}
+	d := engine.NewDelta()
+	for ln, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if len(line) < 2 || (line[0] != '+' && line[0] != '-') {
+			return nil, fmt.Errorf("line %d: want +Rel,v,... or -Rel,v,..., got %q", ln+1, line)
+		}
+		del := line[0] == '-'
+		parts := strings.Split(line[1:], ",")
+		if len(parts) < 2 {
+			return nil, fmt.Errorf("line %d: no values in %q", ln+1, line)
+		}
+		rel := strings.TrimSpace(parts[0])
+		if rel == "" {
+			return nil, fmt.Errorf("line %d: empty relation name", ln+1)
+		}
+		row := make([]relation.Value, 0, len(parts)-1)
+		for _, field := range parts[1:] {
+			v, err := strconv.ParseInt(strings.TrimSpace(field), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", ln+1, err)
+			}
+			row = append(row, v)
+		}
+		if del {
+			d.Delete(rel, row)
+		} else {
+			d.Insert(rel, row)
+		}
+	}
+	return d, nil
+}
+
+// ParseDeltaFile is ParseDelta over a file.
+func ParseDeltaFile(path string) (*engine.Delta, error) {
+	file, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer file.Close()
+	return ParseDelta(file)
+}

@@ -1,0 +1,72 @@
+package loadfmt
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReadCSV(t *testing.T) {
+	rows, err := ReadCSV(strings.NewReader("1,2\n3, 4\n"), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0][0] != 1 || rows[1][1] != 4 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if _, err := ReadCSV(strings.NewReader("1,2\n"), 3); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,b\n"), 2); err == nil {
+		t.Fatal("non-integer accepted")
+	}
+	if rows, err := ReadCSV(strings.NewReader(""), 2); err != nil || len(rows) != 0 {
+		t.Fatalf("empty input: %v %v", rows, err)
+	}
+}
+
+func TestReadCSVFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "r.csv")
+	if err := os.WriteFile(path, []byte("7,8\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := ReadCSVFile(path, 2)
+	if err != nil || len(rows) != 1 || rows[0][1] != 8 {
+		t.Fatalf("rows = %v, err = %v", rows, err)
+	}
+	if _, err := ReadCSVFile(filepath.Join(dir, "nope.csv"), 2); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestParseDelta(t *testing.T) {
+	d, err := ParseDelta(strings.NewReader("# comment\n+R,1,2\n\n-S, 3 ,4\n+R,5,6\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 3 {
+		t.Fatalf("ops = %d, want 3", d.Len())
+	}
+	for _, bad := range []string{"R,1,2\n", "+R\n", "+,1\n", "+R,x\n"} {
+		if _, err := ParseDelta(strings.NewReader(bad)); err == nil {
+			t.Fatalf("accepted %q", bad)
+		}
+	}
+}
+
+func TestParseDeltaFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "delta.txt")
+	if err := os.WriteFile(path, []byte("+R,1,2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d, err := ParseDeltaFile(path)
+	if err != nil || d.Len() != 1 {
+		t.Fatalf("delta = %v, err = %v", d, err)
+	}
+	if _, err := ParseDeltaFile(filepath.Join(dir, "nope.txt")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

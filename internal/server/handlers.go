@@ -1,0 +1,542 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"github.com/quantilejoins/qjoin"
+	"github.com/quantilejoins/qjoin/internal/parallel"
+)
+
+// Config tunes a Server. The zero value is usable: GOMAXPROCS-parallel
+// plans, an admission gate of 4× the worker count, 64 cached plans and a
+// 30s request timeout.
+type Config struct {
+	// Parallelism is the default Options.Parallelism of every compiled plan
+	// (0 = GOMAXPROCS, 1 = sequential). A query's workers field overrides
+	// it per request.
+	Parallelism int
+	// MaxInflight bounds concurrently admitted load/delta/query requests.
+	// 0 sizes the gate from Parallelism: 4× the resolved worker count, so
+	// a few requests queue behind the cores while the rest wait at
+	// admission instead of thrashing.
+	MaxInflight int
+	// CacheCap bounds the plan cache (0 = 64 plans).
+	CacheCap int
+	// RequestTimeout bounds each request end to end, admission wait
+	// included (0 = 30s).
+	RequestTimeout time.Duration
+	// MaxBodyBytes bounds request bodies (0 = 1 GiB). Bulk loads of big
+	// datasets dominate; query bodies are tiny.
+	MaxBodyBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 4 * parallel.Workers(c.Parallelism)
+	}
+	if c.CacheCap <= 0 {
+		c.CacheCap = 64
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 30
+	}
+	return c
+}
+
+// Server is the serving layer: registry + plan cache + request execution.
+// Create one with New and mount Handler on an http.Server.
+type Server struct {
+	cfg     Config
+	reg     *Registry
+	cache   *PlanCache
+	gate    chan struct{}
+	metrics Metrics
+	start   time.Time
+}
+
+// New returns a Server with the given configuration.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		reg:   NewRegistry(),
+		cache: NewPlanCache(cfg.CacheCap),
+		gate:  make(chan struct{}, cfg.MaxInflight),
+		start: time.Now(),
+	}
+	expvarServer.Store(s)
+	return s
+}
+
+// Registry exposes the dataset registry (tests and embedders).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Cache exposes the plan cache (tests and embedders).
+func (s *Server) Cache() *PlanCache { return s.cache }
+
+// Handler returns the HTTP handler serving the full API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("PUT /datasets/{name}", s.gated(&s.metrics.Requests.Load, &s.metrics.LoadLatency, s.handleLoad))
+	mux.HandleFunc("POST /datasets/{name}/delta", s.gated(&s.metrics.Requests.Delta, &s.metrics.DeltaLatency, s.handleDelta))
+	mux.HandleFunc("POST /query", s.gated(&s.metrics.Requests.Query, &s.metrics.QueryLatency, s.handleQuery))
+	mux.HandleFunc("GET /datasets", s.handleListDatasets)
+	mux.HandleFunc("GET /datasets/{name}", s.handleGetDataset)
+	mux.HandleFunc("DELETE /datasets/{name}", s.handleDeleteDataset)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.Handle("GET /metrics", expvar.Handler())
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// admitToken is one request's hold on an admission-gate slot. Detached
+// work spawned on the request's behalf (a plan compile, a query that
+// outlives its deadline) takes an extra hold; the slot frees only when the
+// request AND all its detached work are done. That makes MaxInflight a
+// bound on total concurrent engine work, not merely on open connections —
+// a storm of timeouts cannot pile unbounded background joins.
+type admitToken struct {
+	n    atomic.Int32
+	gate chan struct{}
+}
+
+// hold charges one more unit of work to the slot and returns its release.
+func (t *admitToken) hold() func() {
+	t.n.Add(1)
+	return t.release
+}
+
+func (t *admitToken) release() {
+	if t.n.Add(-1) == 0 {
+		<-t.gate
+	}
+}
+
+type admitKey struct{}
+
+// admitFrom returns the request's admission token (nil outside gated).
+func admitFrom(ctx context.Context) *admitToken {
+	t, _ := ctx.Value(admitKey{}).(*admitToken)
+	return t
+}
+
+// gated wraps a mutating/executing handler with the request deadline, the
+// bounded-concurrency admission gate, the body-size bound, per-endpoint
+// counters and the latency histogram. The histogram observes admitted
+// requests end to end (execution, not gate wait), so it measures serving
+// latency rather than queueing under overload.
+func (s *Server) gated(counter interface{ Add(int64) int64 }, hist *Histogram, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		counter.Add(1)
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		select {
+		case s.gate <- struct{}{}:
+		case <-ctx.Done():
+			s.metrics.Timeouts.Add(1)
+			s.writeError(w, http.StatusServiceUnavailable, fmt.Errorf("server saturated: admission wait exceeded %v", s.cfg.RequestTimeout), "")
+			return
+		}
+		tok := &admitToken{gate: s.gate}
+		tok.n.Store(1)
+		defer tok.release()
+		ctx = context.WithValue(ctx, admitKey{}, tok)
+		s.metrics.Inflight.Add(1)
+		defer s.metrics.Inflight.Add(-1)
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		start := time.Now()
+		h(w, r.WithContext(ctx))
+		hist.Observe(time.Since(start))
+	}
+}
+
+// writeJSON writes a 200 JSON response.
+func (s *Server) writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+// writeError writes a JSON error body with the given status.
+func (s *Server) writeError(w http.ResponseWriter, status int, err error, field string) {
+	s.metrics.Errors.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(ErrorResponse{Error: err.Error(), Field: field})
+}
+
+// fail maps an error to its HTTP status: typed validation errors are 400s
+// naming the field, oversized bodies are 413s, ErrDeleteAbsent is a 409
+// (the delta conflicts with the dataset's state), missing datasets and
+// empty answer sets are 404s, and anything else is a 400 (the request was
+// executable but ill-formed — the engine has no internal failure modes
+// that are the server's fault).
+func (s *Server) fail(w http.ResponseWriter, err error) {
+	var ae *qjoin.ArgError
+	var tooBig *http.MaxBytesError
+	switch {
+	case errors.As(err, &ae):
+		s.writeError(w, http.StatusBadRequest, err, ae.Field)
+	case errors.As(err, &tooBig):
+		s.writeError(w, http.StatusRequestEntityTooLarge, err, "")
+	case errors.Is(err, qjoin.ErrDeleteAbsent):
+		s.writeError(w, http.StatusConflict, err, "")
+	case errors.Is(err, qjoin.ErrNoAnswers), errors.Is(err, errNotFound):
+		s.writeError(w, http.StatusNotFound, err, "")
+	default:
+		s.writeError(w, http.StatusBadRequest, err, "")
+	}
+}
+
+// decode reads a JSON request body.
+func decode(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}
+
+// handleLoad is PUT /datasets/{name}: bulk-load (or replace) a dataset.
+// Replacing drops the previous lineage's cached plans — a reload is a new
+// world, not a delta.
+func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req LoadRequest
+	if err := decode(r, &req); err != nil {
+		s.fail(w, err)
+		return
+	}
+	db, err := buildDB(&req)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	snap := s.reg.Load(name, db)
+	s.cache.DropDataset(name)
+	s.writeJSON(w, LoadResponse{
+		Dataset: name, Generation: snap.Gen,
+		Relations: len(db.Relations()), Tuples: db.Size(),
+	})
+}
+
+// handleDelta is POST /datasets/{name}/delta: apply an insert/delete batch,
+// migrating every cached plan of the dataset to the new generation inside
+// the registry's writer critical section (see the package comment for the
+// consistency model).
+func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req DeltaRequest
+	if err := decode(r, &req); err != nil {
+		s.fail(w, err)
+		return
+	}
+	delta, err := buildDelta(&req)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	migrated := 0
+	_, now, err := s.reg.Mutate(name, func(cur Snapshot, nextGen uint64) (*qjoin.DB, error) {
+		ndb, err := cur.DB.Apply(delta)
+		if err != nil {
+			return nil, err
+		}
+		migrated = s.cache.Migrate(name, cur.Gen, nextGen, delta)
+		return ndb, nil
+	})
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	s.writeJSON(w, DeltaResponse{
+		Dataset: name, Generation: now.Gen, Ops: delta.Len(), PlansMigrated: migrated,
+	})
+}
+
+// handleQuery is POST /query.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if err := decode(r, &req); err != nil {
+		s.fail(w, err)
+		return
+	}
+	start := time.Now()
+	resp, err := s.execQuery(r.Context(), &req)
+	if err != nil {
+		// Classify by the returned error, not the context's current state:
+		// a genuine 400/404 that happened to finish near the deadline must
+		// not be relabeled as a timeout.
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			s.metrics.Timeouts.Add(1)
+			s.writeError(w, http.StatusServiceUnavailable, fmt.Errorf("query timed out after %v", s.cfg.RequestTimeout), "")
+			return
+		case errors.Is(err, context.Canceled):
+			// The client went away; nobody reads this response and it is
+			// not a server timeout.
+			s.writeError(w, http.StatusServiceUnavailable, errors.New("request canceled"), "")
+			return
+		}
+		s.fail(w, err)
+		return
+	}
+	if req.Timing {
+		resp.ElapsedUS = time.Since(start).Microseconds()
+	}
+	s.writeJSON(w, resp)
+}
+
+// execQuery validates, resolves the dataset snapshot, acquires the plan
+// (cache hit, coalesced flight, or fresh Prepare) and dispatches the
+// operation. The context deadline covers the Prepare: a compile that
+// outlives the request keeps running in its flight (latecomers may still
+// use it) but this request returns a timeout.
+func (s *Server) execQuery(ctx context.Context, req *QueryRequest) (*QueryResponse, error) {
+	if req.Dataset == "" {
+		return nil, &qjoin.ArgError{Field: "dataset", Reason: "missing dataset name"}
+	}
+	if req.Workers < 0 {
+		return nil, &qjoin.ArgError{Field: "workers", Reason: "negative worker count"}
+	}
+	q, f, err := qjoin.ParseQuerySpec(qjoin.QuerySpec{Query: req.Query, Rank: req.Rank})
+	if err != nil {
+		return nil, err
+	}
+	op := req.Op
+	if op == "" {
+		op = "quantile"
+	}
+	if op != "count" && f == nil {
+		return nil, &qjoin.ArgError{Field: "rank", Reason: "operation " + op + " needs a ranking"}
+	}
+	// Validate the per-op arguments before touching any state, so a bad
+	// request never costs a Prepare.
+	phis := []float64{req.Phi}
+	switch op {
+	case "count":
+	case "quantile":
+		if err := qjoin.ValidatePhi(req.Phi); err != nil {
+			return nil, err
+		}
+	case "median":
+		phis = []float64{0.5}
+	case "approx":
+		if err := qjoin.ValidatePhi(req.Phi); err != nil {
+			return nil, err
+		}
+		if err := qjoin.ValidateEpsilon(req.Eps); err != nil {
+			return nil, err
+		}
+	case "quantiles":
+		if len(req.Phis) == 0 {
+			return nil, &qjoin.ArgError{Field: "phis", Reason: "empty φ grid"}
+		}
+		for _, phi := range req.Phis {
+			if err := qjoin.ValidatePhi(phi); err != nil {
+				return nil, err
+			}
+		}
+		phis = req.Phis
+	case "topk":
+		if err := qjoin.ValidateTopK(req.K); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, &qjoin.ArgError{Field: "op", Reason: "unknown operation " + op + " (want quantile/quantiles/median/approx/topk/count)"}
+	}
+
+	snap, ok := s.reg.Get(req.Dataset)
+	if !ok {
+		return nil, fmt.Errorf("dataset %q: %w", req.Dataset, errNotFound)
+	}
+	workers := req.Workers
+	if workers == 0 {
+		workers = s.cfg.Parallelism
+	}
+	// Cache keys use the canonical wire forms, so spelling variants of the
+	// same query/ranking collide on one entry (and one interned ranking).
+	qstr := qjoin.FormatQuery(q)
+	rankStr := ""
+	if f != nil {
+		// Cannot fail: f came from ParseRanking, which never sets Weight.
+		rankStr, err = qjoin.FormatRanking(f)
+		if err != nil {
+			return nil, err
+		}
+	}
+	plan, f, cached, err := s.getPlan(ctx, req.Dataset, snap, q, qstr, rankStr, workers, f)
+	if err != nil {
+		return nil, err
+	}
+
+	resp := &QueryResponse{Dataset: req.Dataset, Generation: snap.Gen, Op: op, Cached: cached}
+	switch op {
+	case "count":
+		resp.Count = plan.Count().String()
+		return resp, nil
+	case "topk":
+		answers, err := runCtx(ctx, func() ([]*qjoin.Answer, error) { return plan.TopK(f, req.K) })
+		if err != nil {
+			return nil, err
+		}
+		resp.Vars = varNames(plan.Vars())
+		for _, a := range answers {
+			resp.Answers = append(resp.Answers, wireAnswer(a))
+		}
+		return resp, nil
+	}
+	resp.Vars = varNames(plan.Vars())
+	answers, err := runCtx(ctx, func() ([]*qjoin.Answer, error) {
+		out := make([]*qjoin.Answer, 0, len(phis))
+		for _, phi := range phis {
+			var a *qjoin.Answer
+			var err error
+			if op == "approx" {
+				a, err = plan.ApproxQuantile(f, phi, req.Eps)
+			} else {
+				a, err = plan.Quantile(f, phi)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("φ=%v: %w", phi, err)
+			}
+			out = append(out, a)
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, a := range answers {
+		resp.Answers = append(resp.Answers, wireAnswer(a))
+	}
+	return resp, nil
+}
+
+// getPlan resolves the plan through the cache. A miss compiles in a
+// cache-owned flight (see PlanCache.Get): this request waits under its own
+// deadline while the compile — charged to this request's admission slot —
+// always runs to completion and lands in the cache.
+func (s *Server) getPlan(ctx context.Context, dataset string, snap Snapshot, q *qjoin.Query, qstr, rankStr string,
+	workers int, f *qjoin.Ranking) (*qjoin.Prepared, *qjoin.Ranking, bool, error) {
+	var hold func() func()
+	if tok := admitFrom(ctx); tok != nil {
+		hold = tok.hold
+	}
+	plan, f, cached, err := s.cache.Get(ctx, dataset, snap.Gen, qstr, rankStr, workers, f, hold,
+		func() (*qjoin.Prepared, error) {
+			return qjoin.Prepare(q, snap.DB, qjoin.Options{Parallelism: workers})
+		})
+	if err != nil {
+		return nil, nil, false, err
+	}
+	return plan, f, cached, nil
+}
+
+// runCtx runs fn, bounding the caller's wait by the context. The engine's
+// passes are not interruptible mid-flight, so on timeout the goroutine
+// finishes in the background and its result is discarded; the work keeps
+// holding the request's admission slot until it finishes, so MaxInflight
+// bounds total concurrent engine work, stragglers included.
+func runCtx[T any](ctx context.Context, fn func() (T, error)) (T, error) {
+	var release func()
+	if tok := admitFrom(ctx); tok != nil {
+		release = tok.hold()
+	}
+	type result struct {
+		v   T
+		err error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		if release != nil {
+			defer release()
+		}
+		v, err := fn()
+		ch <- result{v, err}
+	}()
+	select {
+	case r := <-ch:
+		return r.v, r.err
+	case <-ctx.Done():
+		var zero T
+		return zero, ctx.Err()
+	}
+}
+
+func varNames(vars []qjoin.Var) []string {
+	out := make([]string, len(vars))
+	for i, v := range vars {
+		out[i] = string(v)
+	}
+	return out
+}
+
+// handleListDatasets is GET /datasets.
+func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
+	infos := make([]DatasetInfo, 0)
+	for _, name := range s.reg.Names() {
+		if snap, ok := s.reg.Get(name); ok {
+			infos = append(infos, datasetInfo(name, snap))
+		}
+	}
+	s.writeJSON(w, infos)
+}
+
+// handleGetDataset is GET /datasets/{name}.
+func (s *Server) handleGetDataset(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	snap, ok := s.reg.Get(name)
+	if !ok {
+		s.fail(w, fmt.Errorf("dataset %q: %w", name, errNotFound))
+		return
+	}
+	s.writeJSON(w, datasetInfo(name, snap))
+}
+
+// handleDeleteDataset is DELETE /datasets/{name}.
+func (s *Server) handleDeleteDataset(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !s.reg.Delete(name) {
+		s.fail(w, fmt.Errorf("dataset %q: %w", name, errNotFound))
+		return
+	}
+	s.cache.DropDataset(name)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleStats is GET /stats.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.metrics.Requests.Stats.Add(1)
+	s.writeJSON(w, s.StatsSnapshot())
+}
+
+// StatsSnapshot builds the /stats (and expvar) view.
+func (s *Server) StatsSnapshot() StatsResponse {
+	resp := StatsResponse{
+		UptimeSeconds: int64(time.Since(s.start).Seconds()),
+		Datasets:      make([]DatasetInfo, 0),
+		Cache:         s.cache.Stats(),
+		Metrics:       s.metrics.Snapshot(),
+	}
+	for _, name := range s.reg.Names() {
+		if snap, ok := s.reg.Get(name); ok {
+			resp.Datasets = append(resp.Datasets, datasetInfo(name, snap))
+		}
+	}
+	return resp
+}

@@ -1,0 +1,67 @@
+// Command gen-testdata regenerates scripts/testdata/{load,delta}.json — the
+// deterministic socialnetwork instance the server-integration CI job loads
+// into qjserve. Run from the repo root:
+//
+//	go run ./scripts/gen-testdata
+//
+// then regenerate the golden transcript with:
+//
+//	REGEN=1 scripts/server-integration.sh
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"github.com/quantilejoins/qjoin/internal/workload"
+)
+
+type relData struct {
+	Name  string    `json:"name"`
+	Arity int       `json:"arity"`
+	Rows  [][]int64 `json:"rows"`
+}
+
+func main() {
+	// The examples/socialnetwork schema at a CI-friendly size; the fixed
+	// seed makes load.json (and the golden answers) reproducible.
+	sn := workload.NewSocialNetwork(rand.New(rand.NewSource(42)), 40, 8, 50)
+	var load struct {
+		Relations []relData `json:"relations"`
+	}
+	for _, name := range sn.DB.Names() {
+		r := sn.DB.Get(name)
+		rows := make([][]int64, r.Len())
+		for i := range rows {
+			rows[i] = r.Row(i)
+		}
+		load.Relations = append(load.Relations, relData{Name: name, Arity: r.Arity(), Rows: rows})
+	}
+	write("load.json", load)
+
+	// Delta: two joining inserts plus a delete of an existing Share row.
+	share := sn.DB.Get("Share")
+	var delta struct {
+		Ops []map[string]any `json:"ops"`
+	}
+	delta.Ops = []map[string]any{
+		{"op": "insert", "rel": "Share", "row": []int64{99, 3, 45}},
+		{"op": "insert", "rel": "Attend", "row": []int64{98, 3, 44}},
+		{"op": "delete", "rel": "Share", "row": share.Row(0)},
+	}
+	write("delta.json", delta)
+	fmt.Println("wrote scripts/testdata/load.json scripts/testdata/delta.json")
+}
+
+func write(name string, v any) {
+	f, err := os.Create("scripts/testdata/" + name)
+	if err != nil {
+		panic(err)
+	}
+	defer f.Close()
+	if err := json.NewEncoder(f).Encode(v); err != nil {
+		panic(err)
+	}
+}

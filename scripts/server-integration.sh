@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# server-integration.sh — end-to-end smoke of the qjserve daemon, run by the
+# CI server-integration job and locally from the repo root:
+#
+#   scripts/server-integration.sh          # diff against the golden transcript
+#   REGEN=1 scripts/server-integration.sh  # regenerate the golden transcript
+#
+# It builds qjserve, starts it on a kernel-assigned port, loads the
+# deterministic socialnetwork instance (scripts/testdata/load.json, see
+# scripts/gen-testdata), runs a scripted curl sequence — count, a φ-grid, a
+# cache-hit repeat, a delta, the post-delta grid, top-k, dataset listing —
+# and byte-compares the concatenated responses against
+# scripts/testdata/golden.txt. Responses carry no timestamps (timing is
+# opt-in per request), so the transcript is deterministic.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"; [ -n "${server_pid:-}" ] && kill "$server_pid" 2>/dev/null || true' EXIT
+
+go build -o "$workdir/qjserve" ./cmd/qjserve
+"$workdir/qjserve" -addr 127.0.0.1:0 -workers 1 > "$workdir/server.out" 2>&1 &
+server_pid=$!
+
+addr=""
+for _ in $(seq 1 100); do
+  addr=$(sed -n 's/^qjserve: listening on //p' "$workdir/server.out")
+  [ -n "$addr" ] && break
+  kill -0 "$server_pid" 2>/dev/null || { echo "qjserve died:"; cat "$workdir/server.out"; exit 1; }
+  sleep 0.1
+done
+[ -n "$addr" ] || { echo "qjserve did not report its address"; cat "$workdir/server.out"; exit 1; }
+base="http://$addr"
+
+actual="$workdir/actual.txt"
+step() { # step NAME METHOD PATH [BODYFILE]
+  local name=$1 method=$2 path=$3 body=${4:-}
+  echo "== $name" >> "$actual"
+  if [ -n "$body" ]; then
+    curl -fsS -X "$method" -H 'Content-Type: application/json' \
+      --data-binary "@$body" "$base$path" >> "$actual"
+  else
+    curl -fsS -X "$method" "$base$path" >> "$actual"
+  fi
+}
+
+step healthz        GET  /healthz
+step load           PUT  /datasets/social scripts/testdata/load.json
+step count          POST /query           scripts/testdata/query-count.json
+# The grid shares the count request's compiled plan (same query, new
+# ranking), so even the first grid is served from the cache.
+step grid-shared    POST /query           scripts/testdata/query-grid.json
+step grid-cached    POST /query           scripts/testdata/query-grid.json
+step topk           POST /query           scripts/testdata/query-topk.json
+step delta          POST /datasets/social/delta scripts/testdata/delta.json
+step grid-postdelta POST /query           scripts/testdata/query-grid.json
+step count-postdelta POST /query          scripts/testdata/query-count.json
+step datasets       GET  /datasets
+
+# Bad inputs must be typed 400s; capture status + field, not the message.
+bad() { # bad NAME JSON
+  local name=$1 json=$2
+  echo "== $name" >> "$actual"
+  curl -sS -o "$workdir/err.json" -w '%{http_code}' -X POST \
+    -H 'Content-Type: application/json' --data-binary "$json" "$base/query" >> "$actual"
+  echo -n ' field=' >> "$actual"
+  sed -n 's/.*"field":"\([^"]*\)".*/\1/p' "$workdir/err.json" >> "$actual"
+  echo >> "$actual"
+}
+bad bad-phi '{"dataset":"social","query":"Admin(u1,e),Share(u2,e,l2),Attend(u3,e,l3)","rank":"sum(l2,l3)","op":"quantile","phi":1.5}'
+bad bad-eps '{"dataset":"social","query":"Admin(u1,e),Share(u2,e,l2),Attend(u3,e,l3)","rank":"sum(l2,l3)","op":"approx","phi":0.5,"eps":0}'
+bad bad-k   '{"dataset":"social","query":"Admin(u1,e),Share(u2,e,l2),Attend(u3,e,l3)","rank":"sum(l2,l3)","op":"topk","k":-1}'
+
+kill "$server_pid"
+wait "$server_pid" 2>/dev/null || true
+server_pid=""
+
+golden=scripts/testdata/golden.txt
+if [ "${REGEN:-0}" = "1" ]; then
+  cp "$actual" "$golden"
+  echo "regenerated $golden"
+  exit 0
+fi
+if ! diff -u "$golden" "$actual"; then
+  echo "server responses diverge from $golden (regenerate with REGEN=1 if intended)"
+  exit 1
+fi
+echo "server integration OK ($(grep -c '^== ' "$golden") steps)"

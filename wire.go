@@ -1,0 +1,250 @@
+package qjoin
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/quantilejoins/qjoin/internal/ranking"
+)
+
+// This file is the wire codec: the textual form of queries and rankings
+// ("R(x,y),S(y,z)", "sum(x,z)") plus the argument validation every API
+// boundary shares. cmd/qjq and the qjserve HTTP daemon parse and validate
+// through these exact functions, so a bad input is rejected identically —
+// with a typed *ArgError — no matter which front end it arrives through.
+//
+// The textual form is canonical: FormatQuery(ParseQuery(s)) normalizes
+// whitespace and nothing else, and ParseQuery(FormatQuery(q)) reproduces q
+// exactly. The serving layer keys its plan cache on the formatted strings.
+
+// ArgError reports a request argument that failed validation at the API
+// boundary. Field names the offending argument ("phi", "eps", "k", "query",
+// "rank"); Reason says what was wrong. HTTP front ends map an ArgError to a
+// 400 response.
+type ArgError struct {
+	Field  string
+	Reason string
+}
+
+func (e *ArgError) Error() string { return "qjoin: bad " + e.Field + ": " + e.Reason }
+
+func argErrorf(field, format string, args ...any) *ArgError {
+	return &ArgError{Field: field, Reason: fmt.Sprintf(format, args...)}
+}
+
+// ValidatePhi checks a quantile fraction: φ must be a real number in [0,1].
+func ValidatePhi(phi float64) error {
+	if phi != phi { // NaN
+		return argErrorf("phi", "NaN is not a quantile fraction")
+	}
+	if phi < 0 || phi > 1 {
+		return argErrorf("phi", "%v outside [0,1]", phi)
+	}
+	return nil
+}
+
+// ValidateEpsilon checks an approximation error: ε must be a real number
+// in (0,1) — the domain the (φ±ε)-approximation is defined on, and the
+// range the trimming constructions accept. An exact computation passes no
+// ε at all, not ε = 0.
+func ValidateEpsilon(eps float64) error {
+	if eps != eps {
+		return argErrorf("eps", "NaN is not an approximation error")
+	}
+	if eps <= 0 || eps >= 1 {
+		return argErrorf("eps", "%v outside (0,1)", eps)
+	}
+	return nil
+}
+
+// ValidateTopK checks a top-k count: k must be ≥ 0.
+func ValidateTopK(k int) error {
+	if k < 0 {
+		return argErrorf("k", "%d is negative", k)
+	}
+	return nil
+}
+
+// QuerySpec is the wire form of a (query, ranking) pair. It marshals to
+//
+//	{"query": "R(x,y),S(y,z)", "rank": "sum(x,z)"}
+//
+// and round-trips through JSON losslessly: the strings are the canonical
+// textual forms produced by FormatQuery and FormatRanking.
+type QuerySpec struct {
+	Query string `json:"query"`
+	Rank  string `json:"rank,omitempty"`
+}
+
+// ParseQuerySpec decodes a wire spec into a compiled query and ranking. The
+// ranking is nil when the spec's Rank is empty (count-only requests need no
+// ranking). Errors are *ArgError values naming the bad field.
+func ParseQuerySpec(spec QuerySpec) (*Query, *Ranking, error) {
+	q, err := ParseQuery(spec.Query)
+	if err != nil {
+		return nil, nil, err
+	}
+	if strings.TrimSpace(spec.Rank) == "" {
+		return q, nil, nil
+	}
+	f, err := ParseRanking(spec.Rank)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, v := range f.Vars {
+		if !q.HasVar(v) {
+			return nil, nil, argErrorf("rank", "ranked variable %s does not occur in the query", v)
+		}
+	}
+	return q, f, nil
+}
+
+// FormatQuerySpec is the inverse of ParseQuerySpec. A nil ranking formats
+// to an empty Rank. It fails only on a ranking that has no textual form
+// (a custom Weight function).
+func FormatQuerySpec(q *Query, f *Ranking) (QuerySpec, error) {
+	spec := QuerySpec{Query: FormatQuery(q)}
+	if f != nil {
+		r, err := FormatRanking(f)
+		if err != nil {
+			return QuerySpec{}, err
+		}
+		spec.Rank = r
+	}
+	return spec, nil
+}
+
+// ParseQuery parses the textual query form 'R(x,y),S(y,z)' into a Query.
+// Whitespace around names, variables and commas is ignored.
+func ParseQuery(s string) (*Query, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, argErrorf("query", "empty query")
+	}
+	var atoms []Atom
+	rest := s
+	for rest != "" {
+		open := strings.IndexByte(rest, '(')
+		if open <= 0 {
+			return nil, argErrorf("query", "bad syntax near %q", rest)
+		}
+		closeIdx := strings.IndexByte(rest, ')')
+		if closeIdx < open {
+			return nil, argErrorf("query", "unbalanced parentheses near %q", rest)
+		}
+		name := strings.TrimSpace(rest[:open])
+		if strings.ContainsAny(name, ",()") || name == "" {
+			return nil, argErrorf("query", "bad relation name %q", name)
+		}
+		var vars []Var
+		for _, v := range strings.Split(rest[open+1:closeIdx], ",") {
+			v = strings.TrimSpace(v)
+			if v == "" {
+				return nil, argErrorf("query", "empty variable in atom %s", name)
+			}
+			vars = append(vars, Var(v))
+		}
+		atoms = append(atoms, NewAtom(name, vars...))
+		rest = strings.TrimSpace(rest[closeIdx+1:])
+		rest = strings.TrimPrefix(rest, ",")
+		rest = strings.TrimSpace(rest)
+	}
+	return NewQuery(atoms...), nil
+}
+
+// FormatQuery renders a query in the canonical textual form parsed by
+// ParseQuery: atoms joined by commas, no whitespace.
+func FormatQuery(q *Query) string {
+	parts := make([]string, len(q.Atoms))
+	for i, a := range q.Atoms {
+		parts[i] = a.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseRanking parses 'sum(x,y)' / 'min(x)' / 'max(x,y)' / 'lex(x,y)' (the
+// aggregate name is case-insensitive). The resulting ranking uses the
+// default identity weights.
+func ParseRanking(s string) (*Ranking, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, argErrorf("rank", "empty ranking")
+	}
+	open := strings.IndexByte(s, '(')
+	closeIdx := strings.LastIndexByte(s, ')')
+	if open <= 0 || closeIdx != len(s)-1 {
+		return nil, argErrorf("rank", "bad syntax %q", s)
+	}
+	var vars []Var
+	for _, v := range strings.Split(s[open+1:closeIdx], ",") {
+		v = strings.TrimSpace(v)
+		if v == "" {
+			return nil, argErrorf("rank", "empty variable in %q", s)
+		}
+		vars = append(vars, Var(v))
+	}
+	switch strings.ToLower(strings.TrimSpace(s[:open])) {
+	case "sum":
+		return Sum(vars...), nil
+	case "min":
+		return Min(vars...), nil
+	case "max":
+		return Max(vars...), nil
+	case "lex":
+		return Lex(vars...), nil
+	}
+	return nil, argErrorf("rank", "unknown aggregate in %q (want sum/min/max/lex)", s)
+}
+
+// FormatRanking renders a ranking in the canonical textual form parsed by
+// ParseRanking. It fails on a ranking with a custom Weight function — those
+// exist only in-process and have no wire form.
+func FormatRanking(f *Ranking) (string, error) {
+	if f.Weight != nil {
+		return "", argErrorf("rank", "custom Weight functions have no wire form")
+	}
+	var agg string
+	switch f.Agg {
+	case ranking.Sum:
+		agg = "sum"
+	case ranking.Min:
+		agg = "min"
+	case ranking.Max:
+		agg = "max"
+	case ranking.Lex:
+		agg = "lex"
+	default:
+		return "", argErrorf("rank", "unknown aggregate %v", f.Agg)
+	}
+	parts := make([]string, len(f.Vars))
+	for i, v := range f.Vars {
+		parts[i] = string(v)
+	}
+	return agg + "(" + strings.Join(parts, ",") + ")", nil
+}
+
+// ParsePhis parses a comma-separated list of quantile fractions, validating
+// each with ValidatePhi.
+func ParsePhis(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, part := range parts {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		phi, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return nil, argErrorf("phi", "bad value %q", part)
+		}
+		if err := ValidatePhi(phi); err != nil {
+			return nil, err
+		}
+		out = append(out, phi)
+	}
+	if len(out) == 0 {
+		return nil, argErrorf("phi", "empty list")
+	}
+	return out, nil
+}
