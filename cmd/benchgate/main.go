@@ -9,13 +9,19 @@
 // Usage:
 //
 //	go test -run '^$' -bench 'Prepared|Parallel|Incremental' -benchtime=3x -count=3 ./... | tee bench.txt
-//	benchgate -in bench.txt -json BENCH_PR3.json -baseline .github/bench-baseline.json -threshold 1.30
+//	benchgate -in bench.txt -json BENCH_PR6.json -baseline .github/bench-baseline.json -threshold 1.30 \
+//	  -scaling 'BenchmarkParallelQuantile/workers=4:BenchmarkParallelQuantile/workers=1:1.08'
 //
 // With -count > 1 the minimum ns/op per benchmark is compared — the least
 // noise-sensitive point estimate on shared CI runners. Benchmarks missing
 // from the baseline are reported but never fail the gate (new benchmarks
 // land before their baseline does); regenerate the baseline with
 // -write-baseline.
+//
+// -scaling adds intra-run ratio checks (NUM:DEN:MAX, comma-separated):
+// they compare two benchmarks of the same run, so they hold regardless of
+// runner hardware — the forced multi-worker overhead bound of the parallel
+// runtime is enforced this way.
 package main
 
 import (
@@ -55,6 +61,7 @@ func main() {
 	baseline := flag.String("baseline", "", "baseline JSON report to gate against")
 	threshold := flag.Float64("threshold", 1.30, "fail when min ns/op exceeds baseline by this factor")
 	writeBaseline := flag.String("write-baseline", "", "write (regenerate) the baseline JSON here and exit")
+	scaling := flag.String("scaling", "", "scaling check NUM:DEN:MAX — fail when min ns/op of benchmark NUM exceeds MAX × min ns/op of benchmark DEN in this run (repeatable via comma separation)")
 	flag.Parse()
 
 	r := os.Stdin
@@ -85,17 +92,64 @@ func main() {
 			fatal(err)
 		}
 	}
-	if *baseline == "" {
+	code := 0
+	if *scaling != "" {
+		code = scalingGate(report, *scaling)
+	}
+	if *baseline != "" {
+		base, err := readBaseline(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		if c := gate(report, base, *threshold); c != 0 {
+			code = c
+		}
+	} else if *scaling == "" {
 		fmt.Println("benchgate: no -baseline given; report only")
-		return
 	}
-	base, err := readBaseline(*baseline)
-	if err != nil {
-		fatal(err)
-	}
-	if code := gate(report, base, *threshold); code != 0 {
+	if code != 0 {
 		os.Exit(code)
 	}
+}
+
+// scalingGate enforces intra-run ratio bounds: each comma-separated
+// NUM:DEN:MAX spec fails when min(NUM) > MAX × min(DEN). Unlike the
+// baseline gate it compares two benchmarks of the same run, so it is
+// immune to hardware drift — its canonical use is the parallel-runtime
+// overhead bound, ParallelQuantile/workers=4 vs workers=1 under forced
+// multi-worker chunking. A spec naming a benchmark absent from the run
+// fails too: a crashed sweep must not gate green.
+func scalingGate(report *Report, specs string) int {
+	failed := 0
+	for _, spec := range strings.Split(specs, ",") {
+		parts := strings.Split(spec, ":")
+		if len(parts) != 3 {
+			fatal(fmt.Errorf("bad -scaling spec %q (want NUM:DEN:MAX)", spec))
+		}
+		max, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil || max <= 0 {
+			fatal(fmt.Errorf("bad -scaling ratio in %q", spec))
+		}
+		num, okN := report.Benchmarks[parts[0]]
+		den, okD := report.Benchmarks[parts[1]]
+		if !okN || !okD || den.MinNsPerOp == 0 {
+			fmt.Printf("SCALING MISSING %s: benchmark(s) absent from this run\n", spec)
+			failed++
+			continue
+		}
+		ratio := num.MinNsPerOp / den.MinNsPerOp
+		verdict := "ok"
+		if ratio > max {
+			verdict = "FAIL"
+			failed++
+		}
+		fmt.Printf("SCALING %-4s %s / %s = %.2f (max %.2f)\n", verdict, parts[0], parts[1], ratio, max)
+	}
+	if failed > 0 {
+		fmt.Printf("benchgate: %d scaling check(s) failed\n", failed)
+		return 1
+	}
+	return 0
 }
 
 func parse(sc *bufio.Scanner) (*Report, error) {

@@ -74,3 +74,29 @@ func TestGate(t *testing.T) {
 		t.Fatalf("gate used a noisy sample instead of the min (code %d)", code)
 	}
 }
+
+func TestScalingGate(t *testing.T) {
+	run := parseSample(t,
+		"BenchmarkParallelQuantile/workers=1-4 5 100000 ns/op\n"+
+			"BenchmarkParallelQuantile/workers=4-4 5 105000 ns/op\n")
+	spec := "BenchmarkParallelQuantile/workers=4:BenchmarkParallelQuantile/workers=1:1.08"
+	if code := scalingGate(run, spec); code != 0 {
+		t.Fatalf("scaling gate failed a 5%% overhead under an 8%% bound (code %d)", code)
+	}
+	slow := parseSample(t,
+		"BenchmarkParallelQuantile/workers=1-4 5 100000 ns/op\n"+
+			"BenchmarkParallelQuantile/workers=4-4 5 120000 ns/op\n")
+	if code := scalingGate(slow, spec); code != 1 {
+		t.Fatalf("scaling gate passed a 20%% overhead (code %d)", code)
+	}
+	// A benchmark missing from the run (crashed sweep) must fail, not pass.
+	partial := parseSample(t, "BenchmarkParallelQuantile/workers=1-4 5 100000 ns/op\n")
+	if code := scalingGate(partial, spec); code != 1 {
+		t.Fatalf("scaling gate passed with the numerator missing (code %d)", code)
+	}
+	// Multiple comma-separated specs: one failure fails the gate.
+	two := spec + ",BenchmarkParallelQuantile/workers=1:BenchmarkParallelQuantile/workers=4:2.0"
+	if code := scalingGate(slow, two); code != 1 {
+		t.Fatalf("one failing spec of two must fail (code %d)", code)
+	}
+}

@@ -88,7 +88,7 @@ func runE16(c *ctx) {
 			r := db.Unwrap().Get(name)
 			rows := make([][]int64, r.Len())
 			for i := range rows {
-				rows[i] = r.Row(i)
+				rows[i] = r.RowValues(i)
 			}
 			load.Relations = append(load.Relations, server.RelationData{Name: name, Arity: r.Arity(), Rows: rows})
 		}

@@ -100,6 +100,9 @@ func main() {
 	// Answers are byte-identical for every -workers value; the knob only
 	// trades wall-clock time for cores. Phase timings are collected only on
 	// request — they read the clock inside the pivot loop.
+	if err := qjoin.ValidateWorkers(*workers); err != nil {
+		fatal(err)
+	}
 	planOpts := qjoin.Options{Parallelism: *workers, CollectPhases: *doStats}
 
 	var upd *qjoin.Delta

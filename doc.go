@@ -107,6 +107,38 @@
 // calls when the resolved worker count exceeds 1 (the default identity
 // weights always are).
 //
+// # Columnar storage
+//
+// Relations are stored column-major: one flat int64 column vector per
+// attribute, not a slice of per-row slices. The hot passes — interning,
+// per-edge gid construction, counting, pivot weight evaluation, the trim
+// constructions — are sequential scans over those vectors. Three
+// consequences are part of the package contract:
+//
+// Values are int64 everywhere. String data enters through a per-database
+// string dictionary that interns strings to dense ids in first-appearance
+// order. The dictionary is append-only and shared, not copied, by every
+// derived database (clones, trims, incremental updates): an id once
+// assigned never changes and is never reused, so ids in answers remain
+// decodable for as long as any database derived from the original is
+// alive. The dictionary's lifetime is the lifetime of that family of
+// databases — it is never rebuilt or compacted behind a caller's back.
+//
+// Derivation copies columns, never aliases them. A derived relation —
+// subset filtering in the pivot loop's trims, the surviving rows of an
+// incremental update, projections and row gathers — owns freshly gathered
+// column vectors. What derived executable trees share with their parent is
+// index structure (interners read-only plus copy-on-write overlays, group
+// ids, gid arrays), not column storage; a published relation is immutable,
+// so concurrent readers of an old plan never observe a derivation.
+//
+// Update follows the same copy semantics: Prepared.Update writes the
+// touched relations' surviving rows into fresh columns and shares every
+// untouched structure with the receiver. The cost of a delta is
+// proportional to the touched relations' sizes, not to |D|, and the
+// receiver remains fully usable (and byte-identical in its answers)
+// afterwards.
+//
 // # Zero-rebuild pivot loop
 //
 // The per-iteration cost of Algorithm 1 is proportional to the surviving

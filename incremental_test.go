@@ -37,7 +37,7 @@ func randomDelta(rng *rand.Rand, db *relation.Database, names []string, nOps int
 		r := db.Get(name)
 		st := &relState{arity: r.Arity(), avail: map[string]int{}, rows: map[string][]relation.Value{}}
 		for i := 0; i < r.Len(); i++ {
-			row := append([]relation.Value(nil), r.Row(i)...)
+			row := r.RowValues(i)
 			k := rowKey(row)
 			if st.avail[k] == 0 {
 				st.keys = append(st.keys, k)
@@ -125,7 +125,7 @@ func TestUpdateMatchesReprepare(t *testing.T) {
 		// Inject raw duplicates so refcounts start above 1.
 		r1 := idb.Get("R1")
 		for i := 0; i < 10; i++ {
-			r1.AppendRow(r1.Row(rng.Intn(100)))
+			r1.AppendRow(r1.RowValues(rng.Intn(100)))
 		}
 		vars := q.Vars()
 		cases = append(cases, tc{"path2-dups", q, qjoin.WrapDB(idb), []*qjoin.Ranking{

@@ -127,14 +127,16 @@ func searchPrefix(prefix []counting.Count, i counting.Count) (int, counting.Coun
 }
 
 func (d *Direct) decode(node, ti int, r counting.Count, asn []relation.Value) {
-	row := d.e.Rels[node].Row(ti)
+	rel := d.e.Rels[node]
+	cols := rel.Cols()
 	for j, p := range d.nodePos[node] {
-		asn[p] = row[j]
+		asn[p] = cols[j][ti]
 	}
 	n := d.e.T.Nodes[node]
 	if len(n.Children) == 0 {
 		return
 	}
+	row := rel.RowValues(ti)
 	// Group counts of each child for this tuple.
 	gids := make([]int, len(n.Children))
 	counts := make([]counting.Count, len(n.Children))

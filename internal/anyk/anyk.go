@@ -155,7 +155,7 @@ func (en *Enumerator) stream(node, gid int) *groupStream {
 func (gs *groupStream) bestOf(ti int) (candidate, bool) {
 	en := gs.e
 	n := en.exec.T.Nodes[gs.node]
-	row := en.exec.Rels[gs.node].Row(gs.tuples[ti])
+	row := en.exec.Rels[gs.node].RowValues(gs.tuples[ti])
 	w := en.weighers[gs.node].WeightOf(row)
 	childSol := make([]int, len(n.Children))
 	for ci, ch := range n.Children {
@@ -179,7 +179,7 @@ func (gs *groupStream) bestOf(ti int) (candidate, bool) {
 func (gs *groupStream) weightOf(ti int, childSol []int) (ranking.Weightv, bool) {
 	en := gs.e
 	n := en.exec.T.Nodes[gs.node]
-	row := en.exec.Rels[gs.node].Row(gs.tuples[ti])
+	row := en.exec.Rels[gs.node].RowValues(gs.tuples[ti])
 	w := en.weighers[gs.node].WeightOf(row)
 	for ci, ch := range n.Children {
 		gid, _ := en.exec.GroupForParentRow(ch, row)
@@ -261,7 +261,7 @@ func (en *Enumerator) Next(asn []relation.Value) (ranking.Weightv, error) {
 func (en *Enumerator) fill(gs *groupStream, idx int, asn []relation.Value) {
 	sol, _ := gs.get(idx)
 	node := gs.node
-	row := en.exec.Rels[node].Row(gs.tuples[sol.tupleIdx])
+	row := en.exec.Rels[node].RowValues(gs.tuples[sol.tupleIdx])
 	for j, p := range en.nodePos[node] {
 		asn[p] = row[j]
 	}

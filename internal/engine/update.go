@@ -226,17 +226,18 @@ func ApplyDelta(db *relation.Database, d *Delta) (*relation.Database, error) {
 		nr := relation.NewWithCapacity(r.Name(), r.Arity(), r.Len()+len(eff.appends))
 		var enc relation.KeyEncoder
 		seen := make(map[string]int, len(eff.keepOrig))
+		cols := r.Cols()
 		n := r.Len()
+		row := make([]relation.Value, r.Arity())
 		for i := 0; i < n; i++ {
-			row := r.Row(i)
-			key := enc.Row(row)
+			key := enc.RowAt(cols, i)
 			if limit, touched := eff.keepOrig[string(key)]; touched {
 				if seen[string(key)] >= limit {
 					continue // one of the trailing occurrences a delete removed
 				}
 				seen[string(key)]++
 			}
-			nr.AppendRow(row)
+			nr.AppendRow(r.CopyRow(row, i))
 		}
 		for _, tok := range eff.appends {
 			if tok.live {

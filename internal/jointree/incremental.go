@@ -142,9 +142,10 @@ func (x *Exec) refreshParentGids(base *Exec, changes []NodeChange) {
 		}
 		keys := x.Groups[n.ID].keys
 		pos := x.keyPosParent[n.ID]
+		pcols := prel.Cols()
 		var buf [maxKeyWidth]relation.Value
 		resolve := func(i int) int32 {
-			key := gatherKey(buf[:], prel.Row(i), pos)
+			key := relation.GatherAt(buf[:0], pcols, pos, i)
 			if id, ok := keys.Lookup(key); ok {
 				return int32(id)
 			}
@@ -175,9 +176,10 @@ func locateRows(r *relation.Relation, keys []string) []int {
 	}
 	var idx []int
 	var enc relation.KeyEncoder
+	cols := r.Cols()
 	n := r.Len()
 	for i := 0; i < n; i++ {
-		if _, dead := removed[string(enc.Row(r.Row(i)))]; dead {
+		if _, dead := removed[string(enc.RowAt(cols, i))]; dead {
 			idx = append(idx, i)
 		}
 	}
@@ -230,7 +232,7 @@ func remapFrom(oldLen int, sortedIdx []int) []int {
 func (x *Exec) applyNodeDelta(n *Node, atom query.Atom, d RelDelta, srcRemovedIdx []int) NodeChange {
 	layout := layoutFor(atom, n.Vars)
 	project := func(row []relation.Value) ([]relation.Value, bool) {
-		if !layout.ok(row) {
+		if !layout.okRow(row) {
 			return nil, false
 		}
 		out := make([]relation.Value, len(n.Vars))
@@ -258,8 +260,9 @@ func (x *Exec) applyNodeDelta(n *Node, atom query.Atom, d RelDelta, srcRemovedId
 				removedKeys[string(enc.Row(pr))] = struct{}{}
 			}
 		}
+		oldCols := old.Cols()
 		for i := 0; i < oldLen; i++ {
-			if _, dead := removedKeys[string(enc.Row(old.Row(i)))]; dead {
+			if _, dead := removedKeys[string(enc.RowAt(oldCols, i))]; dead {
 				ch.RemovedIdx = append(ch.RemovedIdx, i)
 			}
 		}
@@ -267,7 +270,7 @@ func (x *Exec) applyNodeDelta(n *Node, atom query.Atom, d RelDelta, srcRemovedId
 	var newRel *relation.Relation
 	if len(ch.RemovedIdx) > 0 {
 		for _, i := range ch.RemovedIdx {
-			ch.RemovedRows = append(ch.RemovedRows, append([]relation.Value(nil), old.Row(i)...))
+			ch.RemovedRows = append(ch.RemovedRows, old.RowValues(i))
 		}
 		ch.Remap = remapFrom(oldLen, ch.RemovedIdx)
 		newRel = old.WithoutRows(ch.RemovedIdx, len(addedNode))
@@ -318,9 +321,10 @@ func (g *GroupIndex) derive(remap []int, rel *relation.Relation, addedIdx []int,
 	if remap == nil {
 		fresh = make(map[int]bool, len(addedIdx))
 	}
+	relCols := rel.Cols()
 	var buf [maxKeyWidth]relation.Value
 	for _, ni := range addedIdx {
-		key := gatherKey(buf[:], rel.Row(ni), pos)
+		key := relation.GatherAt(buf[:0], relCols, pos, ni)
 		id, isNew := out.keys.Intern(key)
 		gid := int(id)
 		switch {

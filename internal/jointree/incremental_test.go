@@ -27,8 +27,9 @@ func mutate(r *relation.Relation, d RelDelta) *relation.Relation {
 		removed[k] = struct{}{}
 	}
 	var enc relation.KeyEncoder
-	out := r.Filter(func(row []relation.Value) bool {
-		_, dead := removed[string(enc.Row(row))]
+	cols := r.Cols()
+	out := r.Filter(func(i int) bool {
+		_, dead := removed[string(enc.RowAt(cols, i))]
 		return !dead
 	})
 	for _, row := range d.AddedRows {
@@ -42,9 +43,10 @@ func mutate(r *relation.Relation, d RelDelta) *relation.Relation {
 // fresh rows with values in [lo, hi) guaranteed absent from r.
 func randomRelDelta(rng *rand.Rand, r *relation.Relation, nDel, nAdd int, hi int64) RelDelta {
 	var enc relation.KeyEncoder
+	rcols := r.Cols()
 	present := make(map[string]struct{}, r.Len())
 	for i := 0; i < r.Len(); i++ {
-		present[string(enc.Row(r.Row(i)))] = struct{}{}
+		present[string(enc.RowAt(rcols, i))] = struct{}{}
 	}
 	var d RelDelta
 	picked := make(map[int]bool)
@@ -54,7 +56,7 @@ func randomRelDelta(rng *rand.Rand, r *relation.Relation, nDel, nAdd int, hi int
 			continue
 		}
 		picked[i] = true
-		row := append([]relation.Value(nil), r.Row(i)...)
+		row := r.RowValues(i)
 		d.RemovedRows = append(d.RemovedRows, row)
 		d.RemovedKeys = append(d.RemovedKeys, string(enc.Row(row)))
 	}
@@ -81,7 +83,7 @@ func materializeAll(e *Exec) [][]relation.Value {
 	var visit func(id, ti int, cont func())
 	visit = func(id, ti int, cont func()) {
 		n := e.T.Nodes[id]
-		row := e.Rels[id].Row(ti)
+		row := e.Rels[id].RowValues(ti)
 		for j, v := range n.Vars {
 			asn[varIdx[v]] = row[j]
 		}

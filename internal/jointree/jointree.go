@@ -310,8 +310,18 @@ func layoutFor(atom query.Atom, vars []query.Var) nodeLayout {
 	return l
 }
 
-// ok reports whether a source row satisfies the repeated-variable equality.
-func (l nodeLayout) ok(row []relation.Value) bool {
+// okAt reports whether source row i satisfies the repeated-variable equality.
+func (l nodeLayout) okAt(cols [][]relation.Value, i int) bool {
+	for j, f := range l.firstOcc {
+		if j != f && cols[j][i] != cols[f][i] {
+			return false
+		}
+	}
+	return true
+}
+
+// okRow is okAt over a gathered row slice (incremental paths hold raw rows).
+func (l nodeLayout) okRow(row []relation.Value) bool {
 	for j, f := range l.firstOcc {
 		if row[j] != row[f] {
 			return false
@@ -343,68 +353,65 @@ func materializeNode(atom query.Atom, vars []query.Var, src *relation.Relation, 
 	// touched.
 	n := src.Len()
 	needDedup := layout.repeated || !src.IsDistinct()
+	cols := src.Cols()
 
-	// chunk projects, filters and locally deduplicates rows [lo, hi); hashes
-	// of locally-kept rows come back pre-computed for the cross-chunk merge —
-	// collected only on the multi-chunk path, where that merge exists.
+	if !needDedup {
+		// No repeated variables, input known distinct: the node relation is a
+		// pure column projection — one bulk copy per node column, no row loop.
+		out := src.Project(atom.Rel+"@node", layout.firstPos)
+		out.MarkDistinct()
+		return out
+	}
+
+	// chunk filters and locally deduplicates rows [lo, hi), returning the
+	// surviving source row indexes; hashes of locally-kept rows come back
+	// pre-computed for the cross-chunk merge — collected only on the
+	// multi-chunk path, where that merge exists.
 	single := len(parallel.Ranges(workers, n)) <= 1
 	type nodeChunk struct {
-		out    *relation.Relation
+		rows   []int
 		hashes []uint64
 	}
 	chunk := func(lo, hi int) nodeChunk {
-		out := relation.NewWithCapacity(atom.Rel+"@node", len(vars), hi-lo)
 		buf := make([]relation.Value, len(vars))
-		var seen *relation.Interner
-		var hashes []uint64
-		if needDedup {
-			seen = relation.NewInterner(len(vars), hi-lo)
-		}
+		seen := relation.NewInterner(len(vars), hi-lo)
+		c := nodeChunk{}
 		for i := lo; i < hi; i++ {
-			row := src.Row(i)
-			if !layout.ok(row) {
+			if layout.repeated && !layout.okAt(cols, i) {
 				continue
 			}
-			layout.fill(row, buf)
-			if needDedup {
-				h := relation.HashTuple(buf)
-				if _, fresh := seen.InternHashed(buf, h); !fresh {
-					continue
-				}
-				if !single {
-					hashes = append(hashes, h)
-				}
+			buf = relation.GatherAt(buf, cols, layout.firstPos, i)
+			h := relation.HashTuple(buf)
+			if _, fresh := seen.InternHashed(buf, h); !fresh {
+				continue
 			}
-			out.AppendRow(buf)
+			c.rows = append(c.rows, i)
+			if !single {
+				c.hashes = append(c.hashes, h)
+			}
 		}
-		return nodeChunk{out: out, hashes: hashes}
+		return c
 	}
 
 	if single {
-		out := chunk(0, n).out
+		out := src.GatherRowsCols(atom.Rel+"@node", chunk(0, n).rows, layout.firstPos)
 		out.MarkDistinct()
 		return out
 	}
 	parts := parallel.MapRanges(workers, n, chunk)
-	rels := make([]*relation.Relation, len(parts))
-	for i, p := range parts {
-		rels[i] = p.out
-	}
-	if !needDedup {
-		out := relation.Concat(atom.Rel+"@node", len(vars), false, rels)
-		out.MarkDistinct()
-		return out
-	}
 	// Ordered merge: drop rows whose key an earlier chunk already produced.
-	out := relation.NewWithCapacity(atom.Rel+"@node", len(vars), n)
 	seen := relation.NewInterner(len(vars), n)
+	var rows []int
+	buf := make([]relation.Value, len(vars))
 	for _, p := range parts {
-		for j, h := range p.hashes {
-			if _, fresh := seen.InternHashed(p.out.Row(j), h); fresh {
-				out.AppendRow(p.out.Row(j))
+		for j, i := range p.rows {
+			buf = relation.GatherAt(buf, cols, layout.firstPos, i)
+			if _, fresh := seen.InternHashed(buf, p.hashes[j]); fresh {
+				rows = append(rows, i)
 			}
 		}
 	}
+	out := src.GatherRowsCols(atom.Rel+"@node", rows, layout.firstPos)
 	out.MarkDistinct()
 	return out
 }
@@ -447,13 +454,14 @@ func (e *Exec) rebuildParentGids(workers int) {
 			continue
 		}
 		prel := e.Rels[n.Parent]
+		pcols := prel.Cols()
 		pos := e.keyPosParent[n.ID]
 		keys := e.Groups[n.ID].keys
 		arr := make([]int32, prel.Len())
 		parallel.For(workers, prel.Len(), func(lo, hi int) {
 			var buf [maxKeyWidth]relation.Value
 			for i := lo; i < hi; i++ {
-				key := relation.Gather(buf[:0], prel.Row(i), pos)
+				key := relation.GatherAt(buf[:0], pcols, pos, i)
 				if id, ok := keys.Lookup(key); ok {
 					arr[i] = int32(id)
 				} else {
@@ -469,8 +477,8 @@ func (e *Exec) rebuildParentGids(workers int) {
 // than this (queries sharing >16 variables across one edge) spill to heap.
 const maxKeyWidth = 16
 
-// gatherKey gathers the selected columns without allocating for typical
-// widths.
+// gatherKey gathers the selected columns of a row slice without allocating
+// for typical widths.
 func gatherKey(buf []relation.Value, row []relation.Value, pos []int) []relation.Value {
 	if len(pos) <= cap(buf) {
 		return relation.Gather(buf[:0], row, pos)
@@ -484,11 +492,12 @@ func gatherKey(buf []relation.Value, row []relation.Value, pos []int) []relation
 // tuple lists stay ascending, exactly as in the sequential build.
 func buildGroupIndex(rel *relation.Relation, pos []int, workers int) *GroupIndex {
 	n := rel.Len()
+	cols := rel.Cols()
 	if len(parallel.Ranges(workers, n)) <= 1 {
 		g := &GroupIndex{keys: relation.NewInterner(len(pos), n), RowGid: make([]int32, n)}
 		var buf [maxKeyWidth]relation.Value
 		for i := 0; i < n; i++ {
-			key := gatherKey(buf[:], rel.Row(i), pos)
+			key := relation.GatherAt(buf[:0], cols, pos, i)
 			id, _ := g.keys.Intern(key)
 			g.RowGid[i] = int32(id)
 		}
@@ -505,17 +514,27 @@ func buildGroupIndex(rel *relation.Relation, pos []int, workers int) *GroupIndex
 		rowGid []int32 // per chunk row: LOCAL id
 	}
 	parts := parallel.MapRanges(workers, n, func(lo, hi int) partialIndex {
-		p := partialIndex{keys: relation.NewInterner(len(pos), 0), lo: lo, rowGid: make([]int32, hi-lo)}
+		p := partialIndex{keys: relation.NewInterner(len(pos), hi-lo), lo: lo, rowGid: make([]int32, hi-lo)}
 		var buf [maxKeyWidth]relation.Value
 		for i := lo; i < hi; i++ {
-			key := gatherKey(buf[:], rel.Row(i), pos)
+			key := relation.GatherAt(buf[:0], cols, pos, i)
 			id, _ := p.keys.Intern(key)
 			p.rowGid[i-lo] = int32(id)
 		}
 		return p
 	})
-	g := &GroupIndex{keys: relation.NewInterner(len(pos), parts[0].keys.Len()), RowGid: make([]int32, n)}
+	// Chunk 0's local ids are already the sequential global ids of its
+	// prefix (first-appearance order), so its interner seeds the merged
+	// index as-is and only later chunks re-intern; reserving the summed
+	// distinct count up front avoids intermediate rehashes.
+	total := 0
 	for _, p := range parts {
+		total += p.keys.Len()
+	}
+	g := &GroupIndex{keys: parts[0].keys, RowGid: make([]int32, n)}
+	g.keys.Reserve(total)
+	copy(g.RowGid, parts[0].rowGid)
+	for _, p := range parts[1:] {
 		trans := make([]int32, p.keys.Len())
 		for li := range trans {
 			gid, _ := g.keys.InternHashed(p.keys.TupleOf(uint32(li)), p.keys.HashOf(uint32(li)))
@@ -570,7 +589,10 @@ func (e *Exec) ParentGroup(child, i int) (int, bool) {
 		gid := pg[i]
 		return int(gid), gid >= 0
 	}
-	return e.GroupForParentRow(child, e.Rels[e.T.Nodes[child].Parent].Row(i))
+	prel := e.Rels[e.T.Nodes[child].Parent]
+	var buf [maxKeyWidth]relation.Value
+	key := relation.GatherAt(buf[:0], prel.Cols(), e.keyPosParent[child], i)
+	return e.Groups[child].lookup(key)
 }
 
 // ParentGids returns the raw per-parent-row group-id array of the given edge
@@ -692,19 +714,28 @@ func (e *Exec) FullReduceWorkers(workers int) {
 			liveGroups[c] = live
 		}
 	}
-	// Rebuild relations and groups.
+	// Rebuild relations and groups: per-chunk survivor lists concatenated in
+	// chunk order, one column gather per relation.
 	for id, rel := range e.Rels {
 		kid := keep[id]
-		parts := parallel.MapRanges(workers, rel.Len(), func(lo, hi int) *relation.Relation {
-			out := relation.New(rel.Name(), rel.Arity())
+		parts := parallel.MapRanges(workers, rel.Len(), func(lo, hi int) []int {
+			var rows []int
 			for i := lo; i < hi; i++ {
 				if kid[i] {
-					out.AppendRow(rel.Row(i))
+					rows = append(rows, i)
 				}
 			}
-			return out
+			return rows
 		})
-		e.Rels[id] = relation.Concat(rel.Name(), rel.Arity(), false, parts)
+		total := 0
+		for _, p := range parts {
+			total += len(p)
+		}
+		rows := make([]int, 0, total)
+		for _, p := range parts {
+			rows = append(rows, p...)
+		}
+		e.Rels[id] = rel.GatherRows(rel.Name(), rows)
 	}
 	e.rebuildGroups(workers)
 }

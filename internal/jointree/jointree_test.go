@@ -123,7 +123,7 @@ func TestGroupForParentRow(t *testing.T) {
 		t.Skip("tree rooted differently than expected")
 	}
 	parentRel := e.Rels[sNode.Parent]
-	gid, ok := e.GroupForParentRow(sNode.ID, parentRel.Row(0))
+	gid, ok := e.GroupForParentRow(sNode.ID, parentRel.RowValues(0))
 	if !ok {
 		t.Fatal("no group for first parent tuple")
 	}
@@ -214,7 +214,7 @@ func TestFullReduceProperty(t *testing.T) {
 		for _, n := range tree.Nodes {
 			rel := e.Rels[n.ID]
 			for i := 0; i < rel.Len(); i++ {
-				row := rel.Row(i)
+				row := rel.RowValues(i)
 				for _, ch := range n.Children {
 					gid, ok := e.GroupForParentRow(ch, row)
 					if !ok || len(e.Groups[ch].Tuples[gid]) == 0 {
@@ -226,7 +226,7 @@ func TestFullReduceProperty(t *testing.T) {
 					matched := false
 					prel := e.Rels[n.Parent]
 					for j := 0; j < prel.Len() && !matched; j++ {
-						gid, ok := e.GroupForParentRow(n.ID, prel.Row(j))
+						gid, ok := e.GroupForParentRow(n.ID, prel.RowValues(j))
 						if ok {
 							for _, ti := range e.Groups[n.ID].Tuples[gid] {
 								if ti == i {

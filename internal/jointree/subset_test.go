@@ -38,7 +38,8 @@ func subsetInstance(t *testing.T, seed int64, cutoff relation.Value) (*query.Que
 	// untouched (nil keep: the share path).
 	db2 := relation.NewDatabase()
 	db2.Add(db.Get("R"))
-	db2.Add(db.Get("S").Filter(func(row []relation.Value) bool { return row[0] < cutoff }))
+	sCol := db.Get("S").Col(0)
+	db2.Add(db.Get("S").Filter(func(i int) bool { return sCol[i] < cutoff }))
 	db2.Add(db.Get("T"))
 	keep := make([][]bool, len(e.T.Nodes))
 	for _, n := range e.T.Nodes {
@@ -49,8 +50,9 @@ func subsetInstance(t *testing.T, seed int64, cutoff relation.Value) (*query.Que
 		k := make([]bool, rel.Len())
 		// Node vars are (y, z) in atom order; column 0 carries y = source
 		// column 0, matching the source-level filter.
+		relCol := rel.Col(0)
 		for i := range k {
-			k[i] = rel.Row(i)[0] < cutoff
+			k[i] = relCol[i] < cutoff
 		}
 		keep[n.ID] = k
 	}

@@ -128,13 +128,13 @@ func SelectPrepared(e *jointree.Exec, counts *yannakakis.Counts, f *ranking.Func
 		for k, ch := range children {
 			gids[k] = e.ParentGids(ch)
 		}
+		relCols := rel.Cols()
 		parallel.For(workers, rel.Len(), func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				if counts.Tuple[id][i].IsZero() {
 					continue // dangling tuple; never selected
 				}
-				row := rel.Row(i)
-				w := tw.WeightOf(row)
+				w := tw.WeightAt(relCols, i)
 				for k, ch := range children {
 					var gid int
 					if pg := gids[k]; pg != nil {
@@ -156,9 +156,13 @@ func SelectPrepared(e *jointree.Exec, counts *yannakakis.Counts, f *ranking.Func
 			groups := e.Groups[id]
 			sel := growInts(selTuple[id], groups.NumGroups())
 			parallel.For(workers, groups.NumGroups(), func(lo, hi int) {
+				var live []int // reused across the chunk's groups
 				for g := lo; g < hi; g++ {
 					tuples := groups.Tuples[g]
-					live := make([]int, 0, len(tuples))
+					if cap(live) < len(tuples) {
+						live = make([]int, 0, len(tuples))
+					}
+					live = live[:0]
 					for _, ti := range tuples {
 						if !counts.Tuple[id][ti].IsZero() {
 							live = append(live, ti)
@@ -204,9 +208,9 @@ func SelectPrepared(e *jointree.Exec, counts *yannakakis.Counts, f *ranking.Func
 	var fill func(id, ti int)
 	fill = func(id, ti int) {
 		n := e.T.Nodes[id]
-		row := e.Rels[id].Row(ti)
+		cols := e.Rels[id].Cols()
 		for j, v := range n.Vars {
-			asn[varIdx[v]] = row[j]
+			asn[varIdx[v]] = cols[j][ti]
 		}
 		for _, ch := range n.Children {
 			gid, _ := e.ParentGroup(ch, ti)

@@ -280,12 +280,32 @@ func (tw *TupleWeigher) WeightOf(row []relation.Value) Weightv {
 	return w
 }
 
+// WeightAt returns the tuple weight of row i of a columnar node relation —
+// the hot-loop form of WeightOf: one contiguous column read per μ-assigned
+// variable, no row gathering.
+func (tw *TupleWeigher) WeightAt(cols [][]relation.Value, i int) Weightv {
+	w := tw.identity
+	for k, col := range tw.cols {
+		w = tw.f.Combine(w, tw.f.VarWeight(tw.vars[k], cols[col][i]))
+	}
+	return w
+}
+
 // ScalarSum returns the int64 partial sum of row's μ-assigned weights.
 // Valid only for Agg == Sum; it avoids Weightv boxing in trimming hot loops.
 func (tw *TupleWeigher) ScalarSum(row []relation.Value) int64 {
 	var s int64
 	for i, col := range tw.cols {
 		s += tw.f.W(tw.vars[i], row[col])
+	}
+	return s
+}
+
+// ScalarSumAt is ScalarSum over row i of a columnar node relation.
+func (tw *TupleWeigher) ScalarSumAt(cols [][]relation.Value, i int) int64 {
+	var s int64
+	for k, col := range tw.cols {
+		s += tw.f.W(tw.vars[k], cols[col][i])
 	}
 	return s
 }

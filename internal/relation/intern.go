@@ -197,6 +197,25 @@ func (it *Interner) TupleOf(id uint32) []Value {
 	return it.tupleAt(id - it.baseLen)
 }
 
+// Reserve grows the receiver's own probe table and storage so about capHint
+// distinct tuples fit without intermediate rehashes — chunk-merge paths know
+// an upper bound (the sum of the per-chunk distinct counts) up front.
+func (it *Interner) Reserve(capHint int) {
+	if size := tableSizeFor(capHint); size > int(it.mask+1) {
+		it.grow(size)
+	}
+	if cap(it.hashes) < capHint {
+		h := make([]uint64, len(it.hashes), capHint)
+		copy(h, it.hashes)
+		it.hashes = h
+	}
+	if it.width > 0 && cap(it.vals) < capHint*it.width {
+		v := make([]Value, len(it.vals), capHint*it.width)
+		copy(v, it.vals)
+		it.vals = v
+	}
+}
+
 // Reset empties the interner for reuse, keeping its capacity. width may be
 // changed; the probe table is cleared, not reallocated. Derived interners
 // cannot be reset.
@@ -258,6 +277,17 @@ func Gather(dst []Value, row []Value, cols []int) []Value {
 	dst = dst[:0]
 	for _, c := range cols {
 		dst = append(dst, row[c])
+	}
+	return dst
+}
+
+// GatherAt copies row i of the selected column vectors into dst[:0] and
+// returns it — the column-major form of Gather, used by every key-building
+// loop over columnar relations.
+func GatherAt(dst []Value, cols [][]Value, pos []int, i int) []Value {
+	dst = dst[:0]
+	for _, c := range pos {
+		dst = append(dst, cols[c][i])
 	}
 	return dst
 }

@@ -49,3 +49,25 @@ func (e *KeyEncoder) Row(row []Value) []byte {
 	e.buf = AppendKey(e.buf[:0], row, nil)
 	return e.buf
 }
+
+// RowAt returns the whole-row key of row i of the given column vectors —
+// the column-major form of Row, one value read per column.
+func (e *KeyEncoder) RowAt(cols [][]Value, i int) []byte {
+	dst := e.buf[:0]
+	for _, col := range cols {
+		dst = appendValue(dst, col[i])
+	}
+	e.buf = dst
+	return dst
+}
+
+// ColsAt returns the key of the selected columns of row i of the given
+// column vectors.
+func (e *KeyEncoder) ColsAt(cols [][]Value, pos []int, i int) []byte {
+	dst := e.buf[:0]
+	for _, c := range pos {
+		dst = appendValue(dst, cols[c][i])
+	}
+	e.buf = dst
+	return dst
+}

@@ -29,11 +29,12 @@ func NewMultiset(r *Relation) *Multiset { return NewMultisetWorkers(r, 1) }
 // identical for every worker count (multiset union is commutative).
 func NewMultisetWorkers(r *Relation, workers int) *Multiset {
 	n := r.Len()
+	cols := r.Cols()
 	if len(parallel.Ranges(workers, n)) <= 1 {
 		base := make(map[string]int, n)
 		var enc KeyEncoder
 		for i := 0; i < n; i++ {
-			base[string(enc.Row(r.Row(i)))]++
+			base[string(enc.RowAt(cols, i))]++
 		}
 		return &Multiset{base: base}
 	}
@@ -41,7 +42,7 @@ func NewMultisetWorkers(r *Relation, workers int) *Multiset {
 		local := make(map[string]int, hi-lo)
 		var enc KeyEncoder
 		for i := lo; i < hi; i++ {
-			local[string(enc.Row(r.Row(i)))]++
+			local[string(enc.RowAt(cols, i))]++
 		}
 		return local
 	})

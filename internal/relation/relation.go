@@ -1,11 +1,21 @@
 // Package relation implements the in-memory relational substrate: typed
-// values, relations with flat row-major storage, and databases.
+// values, relations with flat column-major storage, and databases.
 //
 // The paper's model of computation is the RAM model over finite relations;
 // every algorithm in this repository operates on these structures. Storage is
-// a single flat []Value per relation (row-major), which keeps scans cache
-// friendly and makes cloning, filtering and sorting cheap — the quantile
-// algorithms repeatedly rebuild trimmed copies of their input database.
+// one flat []Value per column (column-major): the counting, pivoting and
+// trimming passes read a handful of columns per relation, and a columnar
+// layout turns each of those passes into branch-free sequential scans over
+// contiguous int64 arrays. Row-oriented construction goes through bulk
+// primitives (AppendRows, GatherRows, Concat) that copy whole column
+// segments, so building trimmed copies of the database — which the quantile
+// algorithms do constantly — costs a few memmoves per column rather than one
+// append per row.
+//
+// Values are int64. String data enters through a per-database Dict that
+// interns strings to dense ids in first-appearance order; a "string column"
+// is an ordinary int64 column holding dict ids, so the execution layers never
+// see a string.
 package relation
 
 import (
@@ -16,14 +26,16 @@ import (
 )
 
 // Value is a database constant. The weight functions of ranking packages map
-// Values to int64 weights; by default the value is its own weight.
+// Values to int64 weights; by default the value is its own weight. String
+// constants are represented as dense Dict ids (see Database.Dict).
 type Value = int64
 
 // Relation is a finite relation with a fixed arity.
 type Relation struct {
 	name  string
 	arity int
-	data  []Value // row-major, len = n*arity
+	n     int
+	cols  [][]Value // arity column vectors, each of length n
 	// distinct marks relations known to be duplicate-free. Relations are
 	// sets (Section 2.1); the marker lets the execution layer skip
 	// re-deduplication of relations produced by its own constructions.
@@ -36,14 +48,16 @@ func New(name string, arity int) *Relation {
 	if arity < 0 {
 		panic("relation: negative arity")
 	}
-	return &Relation{name: name, arity: arity}
+	return &Relation{name: name, arity: arity, cols: make([][]Value, arity)}
 }
 
 // NewWithCapacity returns an empty relation preallocated for rows tuples.
 func NewWithCapacity(name string, arity, rows int) *Relation {
 	r := New(name, arity)
-	if rows > 0 && arity > 0 {
-		r.data = make([]Value, 0, rows*arity)
+	if rows > 0 {
+		for j := range r.cols {
+			r.cols[j] = make([]Value, 0, rows)
+		}
 	}
 	return r
 }
@@ -82,9 +96,11 @@ func (r *Relation) DedupedWorkers(workers int) *Relation {
 	parts := parallel.MapRanges(workers, n, func(lo, hi int) chunkFirsts {
 		seen := NewInterner(r.arity, hi-lo)
 		cf := chunkFirsts{}
+		buf := make([]Value, r.arity)
 		for i := lo; i < hi; i++ {
-			h := HashTuple(r.Row(i))
-			if _, fresh := seen.InternHashed(r.Row(i), h); !fresh {
+			row := r.CopyRow(buf, i)
+			h := HashTuple(row)
+			if _, fresh := seen.InternHashed(row, h); !fresh {
 				continue
 			}
 			cf.rows = append(cf.rows, i)
@@ -94,29 +110,32 @@ func (r *Relation) DedupedWorkers(workers int) *Relation {
 	})
 	// Ordered merge: a row survives iff no earlier chunk (or earlier row of
 	// its own chunk) produced its key — exactly the sequential outcome.
-	out := NewWithCapacity(r.name, r.arity, n)
 	seen := NewInterner(r.arity, n)
+	var keep []int
+	buf := make([]Value, r.arity)
 	for _, cf := range parts {
 		for j, i := range cf.rows {
-			if _, fresh := seen.InternHashed(r.Row(i), cf.hashes[j]); fresh {
-				out.AppendRow(r.Row(i))
+			if _, fresh := seen.InternHashed(r.CopyRow(buf, i), cf.hashes[j]); fresh {
+				keep = append(keep, i)
 			}
 		}
 	}
+	out := r.GatherRows(r.name, keep)
 	out.distinct = true
 	return out
 }
 
 func (r *Relation) dedupedSeq() *Relation {
 	n := r.Len()
-	out := NewWithCapacity(r.name, r.arity, n)
 	seen := NewInterner(r.arity, n)
+	keep := make([]int, 0, n)
+	buf := make([]Value, r.arity)
 	for i := 0; i < n; i++ {
-		row := r.Row(i)
-		if _, fresh := seen.Intern(row); fresh {
-			out.AppendRow(row)
+		if _, fresh := seen.Intern(r.CopyRow(buf, i)); fresh {
+			keep = append(keep, i)
 		}
 	}
+	out := r.GatherRows(r.name, keep)
 	out.distinct = true
 	return out
 }
@@ -124,8 +143,7 @@ func (r *Relation) dedupedSeq() *Relation {
 // FromRows builds a relation from explicit rows. Every row must have the
 // declared arity.
 func FromRows(name string, arity int, rows [][]Value) *Relation {
-	r := New(name, arity)
-	r.data = make([]Value, 0, len(rows)*arity)
+	r := NewWithCapacity(name, arity, len(rows))
 	for _, row := range rows {
 		r.AppendRow(row)
 	}
@@ -135,136 +153,253 @@ func FromRows(name string, arity int, rows [][]Value) *Relation {
 // Name returns the relation name.
 func (r *Relation) Name() string { return r.name }
 
-// Rename returns the same relation data under a different name. The data
-// slice is shared; use Clone first if independent mutation is needed.
+// Rename returns the same relation data under a different name. The column
+// vectors are shared; use Clone first if independent mutation is needed.
 func (r *Relation) Rename(name string) *Relation {
-	return &Relation{name: name, arity: r.arity, data: r.data, distinct: r.distinct}
+	return &Relation{name: name, arity: r.arity, n: r.n, cols: r.cols, distinct: r.distinct}
 }
 
 // Arity returns the number of columns.
 func (r *Relation) Arity() int { return r.arity }
 
 // Len returns the number of tuples.
-func (r *Relation) Len() int {
-	if r.arity == 0 {
-		// A zero-arity relation holds either zero tuples or the single empty
-		// tuple; we represent "one empty tuple" with a 1-element sentinel.
-		return len(r.data)
-	}
-	return len(r.data) / r.arity
-}
+func (r *Relation) Len() int { return r.n }
+
+// Col returns column j as a view into the backing store. Callers must treat
+// it as read-only and must not retain it across mutations. This is the hot
+// accessor: scans read the few columns they need as contiguous arrays.
+func (r *Relation) Col(j int) []Value { return r.cols[j] }
+
+// Cols returns all column vectors. Same aliasing contract as Col.
+func (r *Relation) Cols() [][]Value { return r.cols }
 
 // AppendRow appends one tuple. The row slice is copied.
 func (r *Relation) AppendRow(row []Value) {
 	if len(row) != r.arity {
 		panic(fmt.Sprintf("relation %s: row arity %d, want %d", r.name, len(row), r.arity))
 	}
-	if r.arity == 0 {
-		r.data = append(r.data, 0) // sentinel for the empty tuple
-		return
+	for j, v := range row {
+		r.cols[j] = append(r.cols[j], v)
 	}
-	r.data = append(r.data, row...)
+	r.n++
 }
 
 // Append appends one tuple given as variadic values.
 func (r *Relation) Append(vals ...Value) { r.AppendRow(vals) }
 
 // AppendRows bulk-appends rows [lo, hi) of src, which must share r's arity —
-// one copy per contiguous run instead of one per row.
+// one copy per column per contiguous run instead of one append per row.
 func (r *Relation) AppendRows(src *Relation, lo, hi int) {
 	if src.arity != r.arity {
 		panic(fmt.Sprintf("relation %s: AppendRows from arity %d, want %d", r.name, src.arity, r.arity))
 	}
-	if r.arity == 0 {
-		r.data = append(r.data, src.data[lo:hi]...)
-		return
+	for j := range r.cols {
+		r.cols[j] = append(r.cols[j], src.cols[j][lo:hi]...)
 	}
-	r.data = append(r.data, src.data[lo*r.arity:hi*r.arity]...)
+	r.n += hi - lo
 }
 
-// Row returns tuple i as a slice view into the backing store. Callers must
-// not retain it across mutations.
-func (r *Relation) Row(i int) []Value {
-	if r.arity == 0 {
-		return nil
+// CopyRow gathers tuple i into dst and returns dst[:arity], growing dst when
+// it is too small. For per-row access on cold paths; hot loops read columns.
+func (r *Relation) CopyRow(dst []Value, i int) []Value {
+	if cap(dst) < r.arity {
+		dst = make([]Value, r.arity)
 	}
-	return r.data[i*r.arity : (i+1)*r.arity : (i+1)*r.arity]
+	dst = dst[:r.arity]
+	for j, col := range r.cols {
+		dst[j] = col[i]
+	}
+	return dst
+}
+
+// RowValues returns tuple i as a freshly allocated slice. Debug/test helper.
+func (r *Relation) RowValues(i int) []Value {
+	return r.CopyRow(make([]Value, r.arity), i)
 }
 
 // Get returns column j of tuple i.
-func (r *Relation) Get(i, j int) Value { return r.data[i*r.arity+j] }
+func (r *Relation) Get(i, j int) Value { return r.cols[j][i] }
 
 // Set assigns column j of tuple i.
-func (r *Relation) Set(i, j int, v Value) { r.data[i*r.arity+j] = v }
+func (r *Relation) Set(i, j int, v Value) { r.cols[j][i] = v }
 
 // Clone returns a deep copy.
-func (r *Relation) Clone() *Relation {
+func (r *Relation) Clone() *Relation { return r.CloneCap(0) }
+
+// CloneCap is Clone with spare capacity for extra more rows — one bulk copy
+// per column instead of per-row appends, for the append-only incremental
+// paths.
+func (r *Relation) CloneCap(extra int) *Relation {
 	out := New(r.name, r.arity)
-	out.data = append([]Value(nil), r.data...)
+	for j, col := range r.cols {
+		c := make([]Value, len(col), len(col)+extra)
+		copy(c, col)
+		out.cols[j] = c
+	}
+	out.n = r.n
 	out.distinct = r.distinct
 	return out
 }
 
-// CloneCap is Clone with spare capacity for extra more rows — one bulk copy
-// instead of per-row appends, for the append-only incremental paths.
-func (r *Relation) CloneCap(extra int) *Relation {
-	out := New(r.name, r.arity)
-	out.data = make([]Value, len(r.data), len(r.data)+extra*r.arity)
-	copy(out.data, r.data)
-	out.distinct = r.distinct
+// GatherRows returns a new relation holding src's rows at the given indexes,
+// in order. Indexes may repeat; the result is not marked distinct unless the
+// receiver is and the caller knows the indexes are strictly ascending (use
+// MarkDistinct then). One gather loop per column — the bulk primitive behind
+// filters, dedup and the trim emissions.
+func (r *Relation) GatherRows(name string, rows []int) *Relation {
+	out := New(name, r.arity)
+	for j, col := range r.cols {
+		dst := make([]Value, len(rows))
+		for k, i := range rows {
+			dst[k] = col[i]
+		}
+		out.cols[j] = dst
+	}
+	out.n = len(rows)
+	return out
+}
+
+// GatherRowsCols returns a new relation holding the selected columns of
+// src's rows at the given indexes, in order — GatherRows and Project in one
+// pass, used by node materialization.
+func (r *Relation) GatherRowsCols(name string, rows []int, pos []int) *Relation {
+	out := New(name, len(pos))
+	for j, c := range pos {
+		col := r.cols[c]
+		dst := make([]Value, len(rows))
+		for k, i := range rows {
+			dst[k] = col[i]
+		}
+		out.cols[j] = dst
+	}
+	out.n = len(rows)
+	return out
+}
+
+// GatherRowsPlus is GatherRows with one extra trailing column appended; the
+// result has arity+1 and takes ownership of extra (len(extra) must equal
+// len(rows)). It is the shape of every partition/segment construction: copy
+// selected rows, tag each with an identifier.
+func (r *Relation) GatherRowsPlus(name string, rows []int, extra []Value) *Relation {
+	if len(extra) != len(rows) {
+		panic(fmt.Sprintf("relation %s: GatherRowsPlus extra len %d, want %d", name, len(extra), len(rows)))
+	}
+	out := New(name, r.arity+1)
+	for j, col := range r.cols {
+		dst := make([]Value, len(rows))
+		for k, i := range rows {
+			dst[k] = col[i]
+		}
+		out.cols[j] = dst
+	}
+	out.cols[r.arity] = extra
+	out.n = len(rows)
+	return out
+}
+
+// GatherRowsPlusParts is GatherRowsPlus over a partitioned plan: the row
+// index lists and their aligned extra-column parts are gathered in part
+// order, as if concatenated first, without materializing the concatenation.
+// Ownership of the extra parts stays with the caller (values are copied).
+func (r *Relation) GatherRowsPlusParts(name string, rowParts [][]int, extraParts [][]Value) *Relation {
+	total := 0
+	for pi, rows := range rowParts {
+		if len(extraParts[pi]) != len(rows) {
+			panic(fmt.Sprintf("relation %s: GatherRowsPlusParts part %d extra len %d, want %d",
+				name, pi, len(extraParts[pi]), len(rows)))
+		}
+		total += len(rows)
+	}
+	out := New(name, r.arity+1)
+	for j, col := range r.cols {
+		dst := make([]Value, total)
+		k := 0
+		for _, rows := range rowParts {
+			for _, i := range rows {
+				dst[k] = col[i]
+				k++
+			}
+		}
+		out.cols[j] = dst
+	}
+	extra := make([]Value, 0, total)
+	for _, part := range extraParts {
+		extra = append(extra, part...)
+	}
+	out.cols[r.arity] = extra
+	out.n = total
 	return out
 }
 
 // WithoutRows returns a copy of r minus the rows at the given strictly
 // ascending indexes, with spare capacity for extra more rows. The surviving
-// rows keep their relative order; the copy runs segment-wise, so the cost is
-// a handful of bulk copies rather than one hash or append per row.
+// rows keep their relative order; the copy runs segment-wise per column, so
+// the cost is a handful of bulk copies rather than one hash or append per
+// row.
 func (r *Relation) WithoutRows(sortedIdx []int, extra int) *Relation {
 	out := New(r.name, r.arity)
-	n := len(r.data) - len(sortedIdx)*r.arity
-	out.data = make([]Value, 0, n+extra*r.arity)
-	prev := 0
-	for _, i := range sortedIdx {
-		out.data = append(out.data, r.data[prev*r.arity:i*r.arity]...)
-		prev = i + 1
+	n := r.n - len(sortedIdx)
+	for j, col := range r.cols {
+		dst := make([]Value, 0, n+extra)
+		prev := 0
+		for _, i := range sortedIdx {
+			dst = append(dst, col[prev:i]...)
+			prev = i + 1
+		}
+		dst = append(dst, col[prev:]...)
+		out.cols[j] = dst
 	}
-	out.data = append(out.data, r.data[prev*r.arity:]...)
+	out.n = n
 	out.distinct = r.distinct
 	return out
 }
 
 // Filter returns a new relation containing the tuples for which keep returns
-// true, preserving order. A subset of a distinct relation stays distinct.
-func (r *Relation) Filter(keep func(row []Value) bool) *Relation {
-	out := New(r.name, r.arity)
+// true, preserving order. The predicate receives the row index; callers read
+// the columns they test directly (see Col). A subset of a distinct relation
+// stays distinct.
+func (r *Relation) Filter(keep func(i int) bool) *Relation {
 	n := r.Len()
+	var rows []int
 	for i := 0; i < n; i++ {
-		if keep(r.Row(i)) {
-			out.AppendRow(r.Row(i))
+		if keep(i) {
+			rows = append(rows, i)
 		}
 	}
+	out := r.GatherRows(r.name, rows)
 	out.distinct = r.distinct
 	return out
 }
 
 // FilterWorkers is Filter with the scan chunked over a bounded worker pool;
-// per-chunk outputs are concatenated in chunk order, so the result equals
-// Filter's for every worker count. keep must be safe for concurrent calls.
-func (r *Relation) FilterWorkers(workers int, keep func(row []Value) bool) *Relation {
+// per-chunk survivor lists are concatenated in chunk order, so the result
+// equals Filter's for every worker count. keep must be safe for concurrent
+// calls.
+func (r *Relation) FilterWorkers(workers int, keep func(i int) bool) *Relation {
 	n := r.Len()
 	if len(parallel.Ranges(workers, n)) <= 1 {
 		return r.Filter(keep)
 	}
-	parts := parallel.MapRanges(workers, n, func(lo, hi int) *Relation {
-		out := New(r.name, r.arity)
+	parts := parallel.MapRanges(workers, n, func(lo, hi int) []int {
+		var rows []int
 		for i := lo; i < hi; i++ {
-			if keep(r.Row(i)) {
-				out.AppendRow(r.Row(i))
+			if keep(i) {
+				rows = append(rows, i)
 			}
 		}
-		return out
+		return rows
 	})
-	return Concat(r.name, r.arity, r.distinct, parts)
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	rows := make([]int, 0, total)
+	for _, p := range parts {
+		rows = append(rows, p...)
+	}
+	out := r.GatherRows(r.name, rows)
+	out.distinct = r.distinct
+	return out
 }
 
 // Concat flattens per-chunk relations into one, preserving chunk order —
@@ -273,80 +408,82 @@ func (r *Relation) FilterWorkers(workers int, keep func(row []Value) bool) *Rela
 func Concat(name string, arity int, distinct bool, parts []*Relation) *Relation {
 	total := 0
 	for _, p := range parts {
-		total += len(p.data)
+		total += p.n
 	}
 	out := New(name, arity)
-	out.data = make([]Value, 0, total)
-	for _, p := range parts {
-		out.data = append(out.data, p.data...)
+	for j := 0; j < arity; j++ {
+		dst := make([]Value, 0, total)
+		for _, p := range parts {
+			dst = append(dst, p.cols[j]...)
+		}
+		out.cols[j] = dst
 	}
+	out.n = total
 	out.distinct = distinct
 	return out
 }
 
 // Project returns a new relation of the given name keeping only the listed
-// column indexes, in order.
+// column indexes, in order. Column vectors are copied whole.
 func (r *Relation) Project(name string, cols []int) *Relation {
 	out := New(name, len(cols))
-	n := r.Len()
-	row := make([]Value, len(cols))
-	for i := 0; i < n; i++ {
-		src := r.Row(i)
-		for j, c := range cols {
-			row[j] = src[c]
-		}
-		out.AppendRow(row)
+	for j, c := range cols {
+		out.cols[j] = append([]Value(nil), r.cols[c]...)
 	}
+	out.n = r.n
 	return out
 }
 
 // WithColumn returns a new relation with one extra trailing column filled by
-// fill(i, row) for each tuple i.
-func (r *Relation) WithColumn(name string, fill func(i int, row []Value) Value) *Relation {
+// fill(i) for each tuple i; fill reads any input columns it needs via Col.
+func (r *Relation) WithColumn(name string, fill func(i int) Value) *Relation {
 	out := New(name, r.arity+1)
-	n := r.Len()
-	buf := make([]Value, r.arity+1)
-	for i := 0; i < n; i++ {
-		copy(buf, r.Row(i))
-		buf[r.arity] = fill(i, r.Row(i))
-		out.AppendRow(buf)
+	for j, col := range r.cols {
+		out.cols[j] = append([]Value(nil), col...)
 	}
+	extra := make([]Value, r.n)
+	for i := range extra {
+		extra[i] = fill(i)
+	}
+	out.cols[r.arity] = extra
+	out.n = r.n
 	out.distinct = r.distinct
 	return out
 }
 
-// SortBy sorts tuples in place by the given less function over rows.
-func (r *Relation) SortBy(less func(a, b []Value) bool) {
-	if r.arity == 0 {
+// SortBy sorts tuples in place by the given less function over row indexes
+// (the indexes passed to less refer to the current, pre-sort order). The sort
+// computes a permutation and applies it to each column with one gather pass.
+func (r *Relation) SortBy(less func(i, j int) bool) {
+	if r.arity == 0 || r.n < 2 {
 		return
 	}
-	sort.Sort(&rowSorter{rel: r, less: less, tmp: make([]Value, r.arity)})
-}
-
-type rowSorter struct {
-	rel  *Relation
-	less func(a, b []Value) bool
-	tmp  []Value
-}
-
-func (s *rowSorter) Len() int           { return s.rel.Len() }
-func (s *rowSorter) Less(i, j int) bool { return s.less(s.rel.Row(i), s.rel.Row(j)) }
-func (s *rowSorter) Swap(i, j int) {
-	a, b := s.rel.Row(i), s.rel.Row(j)
-	copy(s.tmp, a)
-	copy(a, b)
-	copy(b, s.tmp)
+	perm := make([]int, r.n)
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.SliceStable(perm, func(a, b int) bool { return less(perm[a], perm[b]) })
+	buf := make([]Value, r.n)
+	for _, col := range r.cols {
+		for k, i := range perm {
+			buf[k] = col[i]
+		}
+		copy(col, buf)
+	}
 }
 
 // Equal reports whether two relations have identical name, arity and tuple
 // sequence.
 func (r *Relation) Equal(o *Relation) bool {
-	if r.name != o.name || r.arity != o.arity || len(r.data) != len(o.data) {
+	if r.name != o.name || r.arity != o.arity || r.n != o.n {
 		return false
 	}
-	for i, v := range r.data {
-		if o.data[i] != v {
-			return false
+	for j, col := range r.cols {
+		ocol := o.cols[j]
+		for i, v := range col {
+			if ocol[i] != v {
+				return false
+			}
 		}
 	}
 	return true
@@ -361,6 +498,7 @@ func (r *Relation) String() string {
 type Database struct {
 	rels  map[string]*Relation
 	order []string
+	dict  *Dict
 }
 
 // NewDatabase returns an empty database.
@@ -395,12 +533,34 @@ func (db *Database) Size() int {
 	return n
 }
 
-// Clone returns a deep copy of the database.
+// Dict returns the database's string dictionary, creating it on first use.
+// The dictionary is append-only: ids are dense and assigned in
+// first-appearance order, and an id once assigned never changes — so derived
+// databases (Clone, trims, incremental updates) share it safely.
+func (db *Database) Dict() *Dict {
+	if db.dict == nil {
+		db.dict = NewDict()
+	}
+	return db.dict
+}
+
+// SetDict attaches an existing dictionary (loader wiring). A nil d is
+// ignored.
+func (db *Database) SetDict(d *Dict) {
+	if d != nil {
+		db.dict = d
+	}
+}
+
+// Clone returns a deep copy of the database's relations. The string
+// dictionary is shared, not copied: it is append-only, so ids remain valid
+// in every derived database.
 func (db *Database) Clone() *Database {
 	out := NewDatabase()
 	for _, name := range db.order {
 		out.Add(db.rels[name].Clone())
 	}
+	out.dict = db.dict
 	return out
 }
 

@@ -17,9 +17,9 @@ func TestAppendRowGet(t *testing.T) {
 	if r.Get(0, 0) != 1 || r.Get(0, 1) != 2 || r.Get(1, 0) != 3 || r.Get(1, 1) != 4 {
 		t.Fatal("values wrong")
 	}
-	row := r.Row(1)
+	row := r.RowValues(1)
 	if len(row) != 2 || row[0] != 3 {
-		t.Fatal("row view wrong")
+		t.Fatal("row copy wrong")
 	}
 }
 
@@ -41,8 +41,8 @@ func TestZeroArity(t *testing.T) {
 	if r.Len() != 1 {
 		t.Fatal("zero-arity relation with the empty tuple should have 1 tuple")
 	}
-	if got := r.Row(0); got != nil {
-		t.Fatal("zero-arity row must be nil")
+	if got := r.RowValues(0); len(got) != 0 {
+		t.Fatal("zero-arity row must be empty")
 	}
 }
 
@@ -79,7 +79,8 @@ func TestRenameSharesData(t *testing.T) {
 
 func TestFilter(t *testing.T) {
 	a := FromRows("R", 1, [][]Value{{1}, {2}, {3}, {4}})
-	ev := a.Filter(func(row []Value) bool { return row[0]%2 == 0 })
+	col := a.Col(0)
+	ev := a.Filter(func(i int) bool { return col[i]%2 == 0 })
 	if ev.Len() != 2 || ev.Get(0, 0) != 2 || ev.Get(1, 0) != 4 {
 		t.Fatalf("filter = %v", ev)
 	}
@@ -95,7 +96,8 @@ func TestProject(t *testing.T) {
 
 func TestWithColumn(t *testing.T) {
 	a := FromRows("R", 1, [][]Value{{10}, {20}})
-	b := a.WithColumn("R2", func(i int, row []Value) Value { return row[0] + Value(i) })
+	col := a.Col(0)
+	b := a.WithColumn("R2", func(i int) Value { return col[i] + Value(i) })
 	if b.Arity() != 2 || b.Get(0, 1) != 10 || b.Get(1, 1) != 21 {
 		t.Fatal("WithColumn wrong")
 	}
@@ -103,7 +105,8 @@ func TestWithColumn(t *testing.T) {
 
 func TestSortBy(t *testing.T) {
 	a := FromRows("R", 2, [][]Value{{3, 1}, {1, 2}, {2, 3}})
-	a.SortBy(func(x, y []Value) bool { return x[0] < y[0] })
+	key := a.Col(0)
+	a.SortBy(func(i, j int) bool { return key[i] < key[j] })
 	if a.Get(0, 0) != 1 || a.Get(1, 0) != 2 || a.Get(2, 0) != 3 {
 		t.Fatal("sort wrong")
 	}
@@ -122,7 +125,8 @@ func TestQuickSortMatchesStd(t *testing.T) {
 			r.Append(Value(v))
 			want[i] = int64(v)
 		}
-		r.SortBy(func(a, b []Value) bool { return a[0] < b[0] })
+		col := r.Col(0)
+		r.SortBy(func(i, j int) bool { return col[i] < col[j] })
 		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
 		for i := range want {
 			if r.Get(i, 0) != want[i] {
@@ -192,10 +196,11 @@ func TestDistinctPropagation(t *testing.T) {
 	if !a.Rename("S").IsDistinct() {
 		t.Fatal("Rename dropped distinct")
 	}
-	if !a.Filter(func(r []Value) bool { return r[0] == 1 }).IsDistinct() {
+	ac := a.Col(0)
+	if !a.Filter(func(i int) bool { return ac[i] == 1 }).IsDistinct() {
 		t.Fatal("Filter dropped distinct")
 	}
-	if !a.WithColumn("T", func(i int, r []Value) Value { return 9 }).IsDistinct() {
+	if !a.WithColumn("T", func(i int) Value { return 9 }).IsDistinct() {
 		t.Fatal("WithColumn dropped distinct")
 	}
 	// Fresh relations are not distinct by default.

@@ -33,7 +33,7 @@ func BenchmarkServerQuery(b *testing.B) {
 		r := db.Unwrap().Get(name)
 		rows := make([][]int64, r.Len())
 		for i := range rows {
-			rows[i] = r.Row(i)
+			rows[i] = r.RowValues(i)
 		}
 		load.Relations = append(load.Relations, server.RelationData{Name: name, Arity: r.Arity(), Rows: rows})
 	}

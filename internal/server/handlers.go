@@ -310,8 +310,8 @@ func (s *Server) execQuery(ctx context.Context, req *QueryRequest) (*QueryRespon
 	if req.Dataset == "" {
 		return nil, &qjoin.ArgError{Field: "dataset", Reason: "missing dataset name"}
 	}
-	if req.Workers < 0 {
-		return nil, &qjoin.ArgError{Field: "workers", Reason: "negative worker count"}
+	if err := qjoin.ValidateWorkers(req.Workers); err != nil {
+		return nil, err
 	}
 	q, f, err := qjoin.ParseQuerySpec(qjoin.QuerySpec{Query: req.Query, Rank: req.Rank})
 	if err != nil {

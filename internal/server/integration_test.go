@@ -71,7 +71,7 @@ func TestServerAcceptance(t *testing.T) {
 		r := db.Unwrap().Get(name)
 		rows := make([][]int64, r.Len())
 		for i := range rows {
-			rows[i] = append([]int64(nil), r.Row(i)...)
+			rows[i] = r.RowValues(i)
 		}
 		load.Relations = append(load.Relations, server.RelationData{Name: name, Arity: r.Arity(), Rows: rows})
 	}

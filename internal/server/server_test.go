@@ -204,6 +204,7 @@ func TestQueryValidationErrors(t *testing.T) {
 		{"missing-rank", server.QueryRequest{Dataset: "tiny", Query: "R(x,y),S(y,z)", Op: "quantile", Phi: 0.5}, 400, "rank"},
 		{"missing-dataset", server.QueryRequest{Query: "R(x,y)", Rank: "sum(x)", Op: "quantile", Phi: 0.5}, 400, "dataset"},
 		{"negative-workers", server.QueryRequest{Dataset: "tiny", Query: "R(x,y),S(y,z)", Rank: "sum(x,z)", Op: "quantile", Phi: 0.5, Workers: -1}, 400, "workers"},
+		{"absurd-workers", server.QueryRequest{Dataset: "tiny", Query: "R(x,y),S(y,z)", Rank: "sum(x,z)", Op: "quantile", Phi: 0.5, Workers: qjoin.MaxWorkers + 1}, 400, "workers"},
 		{"unknown-dataset", server.QueryRequest{Dataset: "nope", Query: "R(x,y)", Rank: "sum(x)", Op: "count"}, 404, ""},
 	}
 	for _, tc := range cases {

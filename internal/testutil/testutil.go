@@ -35,20 +35,20 @@ func BruteForce(q *query.Query, db *relation.Database) [][]relation.Value {
 		}
 		atom := q.Atoms[ai]
 		rel := db.Get(atom.Rel)
+		cols := rel.Cols()
 		for ti := 0; ti < rel.Len(); ti++ {
-			row := rel.Row(ti)
 			ok := true
 			var newly []int
 			for j, v := range atom.Vars {
 				p := varIdx[v]
 				if bound[p] {
-					if asn[p] != row[j] {
+					if asn[p] != cols[j][ti] {
 						ok = false
 						break
 					}
 				} else {
 					bound[p] = true
-					asn[p] = row[j]
+					asn[p] = cols[j][ti]
 					newly = append(newly, p)
 				}
 			}
@@ -76,12 +76,13 @@ func dedupe(db *relation.Database) *relation.Database {
 		seen := make(map[string]bool, src.Len())
 		fresh := relation.New(name, src.Arity())
 		for i := 0; i < src.Len(); i++ {
-			key := fmt.Sprint(src.Row(i))
+			row := src.RowValues(i)
+			key := fmt.Sprint(row)
 			if seen[key] {
 				continue
 			}
 			seen[key] = true
-			fresh.AppendRow(src.Row(i))
+			fresh.AppendRow(row)
 		}
 		out.Add(fresh)
 	}

@@ -3,6 +3,7 @@ package trim
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"github.com/quantilejoins/qjoin/internal/jointree"
 	"github.com/quantilejoins/qjoin/internal/parallel"
@@ -163,39 +164,49 @@ func buildSumAdjPrep(inst Instance, f *ranking.Func, dir Dir) (*sumAdjPrep, erro
 
 	relA := inst.DB.Get(p.atomA.Rel)
 	relB := inst.DB.Get(p.atomB.Rel)
+	aCols, bCols := relA.Cols(), relB.Cols()
 
 	// Group the B side, deduplicating whole rows on the way: relations are
 	// sets, and a duplicate row would receive distinct segment memberships
 	// (positions differ) and duplicate answers downstream. Grouping interns
 	// the key columns — dense group ids in first-appearance order, no string
 	// keys anywhere.
+	// Both sides use a CSR layout: one pass interns keys and records each
+	// surviving row's dense group id, a counting prefix sum carves one shared
+	// backing array into per-group sub-slices, and a second pass drops the
+	// rows in. Group order and within-group row order match the old
+	// append-per-group build (first-appearance groups, ascending rows), with
+	// two flat arrays instead of one growing slice per group.
 	keys := relation.NewInterner(len(keyVars), relB.Len())
 	var seenB *relation.Interner
 	if !relB.IsDistinct() {
 		seenB = relation.NewInterner(relB.Arity(), relB.Len())
 	}
 	keyBuf := make([]relation.Value, 0, len(keyVars))
+	rowBuf := make([]relation.Value, relB.Arity())
+	bRows := make([]int32, 0, relB.Len()) // surviving B rows, in scan order
+	bGids := make([]int32, 0, relB.Len()) // their dense group ids
 	for i, n := 0, relB.Len(); i < n; i++ {
-		row := relB.Row(i)
 		if seenB != nil {
-			if _, fresh := seenB.Intern(row); !fresh {
+			if _, fresh := seenB.Intern(relB.CopyRow(rowBuf, i)); !fresh {
 				continue
 			}
 		}
-		keyBuf = relation.Gather(keyBuf, row, keyB)
-		gid, fresh := keys.Intern(keyBuf)
-		if fresh {
-			p.bGroups = append(p.bGroups, bGroupPrep{})
-		}
-		p.bGroups[gid].rows = append(p.bGroups[gid].rows, i)
+		keyBuf = relation.GatherAt(keyBuf, bCols, keyB, i)
+		gid, _ := keys.Intern(keyBuf)
+		bRows = append(bRows, int32(i))
+		bGids = append(bGids, int32(gid))
 	}
+	p.bGroups = make([]bGroupPrep, keys.Len())
+	fillCSR(keys.Len(), bGids, bRows, true, func(gid int32, rows []int, sums []int64) {
+		p.bGroups[gid] = bGroupPrep{rows: rows, sums: sums}
+	})
 	// Partial sums and the per-group staircase sort: groups are independent,
 	// and each group's sort sees the same input regardless of worker count.
 	parallel.Do(workers, len(p.bGroups), func(k int) {
 		g := &p.bGroups[k]
-		g.sums = make([]int64, len(g.rows))
 		for j, ri := range g.rows {
-			g.sums[j] = rowSum(f, bVars, colsB, relB.Row(ri), sign)
+			g.sums[j] = rowSumAt(f, bVars, colsB, bCols, ri, sign)
 		}
 		sort.Sort(&sumRowSorter{sums: g.sums, rows: g.rows})
 	})
@@ -203,25 +214,29 @@ func buildSumAdjPrep(inst Instance, f *ranking.Func, dir Dir) (*sumAdjPrep, erro
 	// Group the A side by the same key, in first-appearance order — map
 	// order would make the output row order (and with it downstream pivot
 	// tie-breaks) vary between runs, breaking the engine's repeatable-answer
-	// guarantee. Each A-group resolves its B partner once, here.
+	// guarantee. Each A-group resolves its B partner once.
 	aKeys := relation.NewInterner(len(keyVars), relA.Len())
+	aGids := make([]int32, relA.Len())
 	for i, n := 0, relA.Len(); i < n; i++ {
-		keyBuf = relation.Gather(keyBuf, relA.Row(i), keyA)
+		keyBuf = relation.GatherAt(keyBuf, aCols, keyA, i)
 		gid, fresh := aKeys.Intern(keyBuf)
 		if fresh {
-			p.aGroupRows = append(p.aGroupRows, nil)
 			if b, ok := keys.Lookup(keyBuf); ok {
 				p.aPartner = append(p.aPartner, int(b))
 			} else {
 				p.aPartner = append(p.aPartner, -1)
 			}
 		}
-		p.aGroupRows[gid] = append(p.aGroupRows[gid], i)
+		aGids[i] = int32(gid)
 	}
+	p.aGroupRows = make([][]int, aKeys.Len())
+	fillCSR(aKeys.Len(), aGids, nil, false, func(gid int32, rows []int, _ []int64) {
+		p.aGroupRows[gid] = rows
+	})
 	p.aSums = make([]int64, relA.Len())
 	parallel.For(workers, relA.Len(), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			p.aSums[i] = rowSum(f, aVars, colsA, relA.Row(i), sign)
+			p.aSums[i] = rowSumAt(f, aVars, colsA, aCols, i, sign)
 		}
 	})
 	return p, nil
@@ -234,8 +249,9 @@ func sumAdjFilter(inst Instance, f *ranking.Func, p *sumAdjPrep, lam int64) (Ins
 	workers := inst.workers()
 	db2 := relation.NewDatabase()
 	src := inst.DB.Get(p.atomA.Rel)
-	out := src.FilterWorkers(workers, func(row []relation.Value) bool {
-		return rowSum(f, p.varsA, p.colsA, row, p.sign) < lam
+	srcCols := src.Cols()
+	out := src.FilterWorkers(workers, func(i int) bool {
+		return rowSumAt(f, p.varsA, p.colsA, srcCols, i, p.sign) < lam
 	})
 	for _, atom := range inst.Q.Atoms {
 		if atom.Rel == p.atomA.Rel {
@@ -253,10 +269,11 @@ func sumAdjFilter(inst Instance, f *ranking.Func, p *sumAdjPrep, lam int64) (Ins
 			}
 			cols := firstColumns(queryAtomOver(n.Vars, p.atomA.Rel), p.varsA)
 			rel := e.NodeRelation(n.ID)
+			relCols := rel.Cols()
 			k := make([]bool, rel.Len())
 			parallel.For(workers, rel.Len(), func(lo, hi int) {
 				for i := lo; i < hi; i++ {
-					k[i] = rowSum(f, p.varsA, cols, rel.Row(i), p.sign) < lam
+					k[i] = rowSumAt(f, p.varsA, cols, relCols, i, p.sign) < lam
 				}
 			})
 			keep[n.ID] = k
@@ -272,6 +289,38 @@ func queryAtomOver(vars []query.Var, rel string) query.Atom {
 	return query.Atom{Rel: rel, Vars: vars}
 }
 
+// segKey identifies one dyadic segment of a group's sorted B side.
+type segKey struct {
+	lvl, start int
+}
+
+// emitChunk is the pooled per-chunk emission plan of sumAdjEmit: source row
+// indexes plus segment-id columns, with per-group bookkeeping for the global
+// id rebase.
+type emitChunk struct {
+	rowsA, rowsB []int            // source row indexes of emitted copies
+	segA, segB   []relation.Value // aligned segment-id column values
+	groups       []int            // group indexes processed (those with a partner)
+	nSegs        []relation.Value // per processed group: local ids used
+	aEnds        []int            // per processed group: len(rowsA) after it
+	bEnds        []int            // per processed group: len(rowsB) after it
+
+	segIDs    map[segKey]relation.Value // per-group local id table
+	usedOrder []segKey                  // its allocation order
+}
+
+func (c *emitChunk) reset() {
+	c.rowsA, c.rowsB = c.rowsA[:0], c.rowsB[:0]
+	c.segA, c.segB = c.segA[:0], c.segB[:0]
+	c.groups, c.nSegs = c.groups[:0], c.nSegs[:0]
+	c.aEnds, c.bEnds = c.aEnds[:0], c.bEnds[:0]
+	if c.segIDs == nil {
+		c.segIDs = make(map[segKey]relation.Value)
+	}
+}
+
+var emitScratch = sync.Pool{New: func() any { return new(emitChunk) }}
+
 // sumAdjEmit is the per-λ staircase emission over a two-node preparation.
 func sumAdjEmit(inst Instance, p *sumAdjPrep, lam int64) (Instance, error) {
 	workers := inst.workers()
@@ -281,31 +330,21 @@ func sumAdjEmit(inst Instance, p *sumAdjPrep, lam int64) (Instance, error) {
 	relA := inst.DB.Get(p.atomA.Rel)
 	relB := inst.DB.Get(p.atomB.Rel)
 	v := freshHelperVar(inst.Q, "s")
-	arityA, arityB := relA.Arity()+1, relB.Arity()+1
 
-	// Per contiguous chunk of A-groups: one output relation pair, per-group
-	// locally allocated segment ids (sequential first-use order) and the
-	// bookkeeping to rebase them globally afterwards.
-	type segKey struct {
-		lvl, start int
-	}
-	type chunkOut struct {
-		outA, outB *relation.Relation
-		groups     []int            // group indexes processed (those with a partner)
-		nSegs      []relation.Value // per processed group: local ids used
-		aEnds      []int            // per processed group: outA row count after it
-		bEnds      []int            // per processed group: outB row count after it
-	}
+	// Per contiguous chunk of A-groups: an emission *plan* — source row
+	// indexes plus segment-id columns — instead of materialized relations.
+	// Per-group segment ids are allocated locally (sequential first-use
+	// order) with the bookkeeping to rebase them globally afterwards; the
+	// final materialization is one bulk gather per output column, so the
+	// inner loops never copy a row. Plan scratch is pooled: Algorithm 1
+	// re-emits every pivoting round, and regrowing the plan lists each round
+	// is pure GC churn.
 	nGroups := len(p.aGroupRows)
-	chunks := parallel.MapRanges(workers, nGroups, func(glo, ghi int) chunkOut {
-		c := chunkOut{
-			outA: relation.New(p.atomA.Rel, arityA),
-			outB: relation.New(p.atomB.Rel, arityB),
-		}
-		bufA := make([]relation.Value, arityA)
-		bufB := make([]relation.Value, arityB)
-		segIDs := make(map[segKey]relation.Value)
-		var usedOrder []segKey // allocation order, for deterministic emission
+	chunks := parallel.MapRanges(workers, nGroups, func(glo, ghi int) *emitChunk {
+		c := emitScratch.Get().(*emitChunk)
+		c.reset()
+		segIDs := c.segIDs
+		usedOrder := c.usedOrder[:0] // allocation order, for deterministic emission
 		for gk := glo; gk < ghi; gk++ {
 			bi := p.aPartner[gk]
 			if bi < 0 {
@@ -334,13 +373,11 @@ func sumAdjEmit(inst Instance, p *sumAdjPrep, lam int64) (Instance, error) {
 				pfx := sort.Search(m, func(j int) bool { return g.sums[j] >= lam-s })
 				// Canonical dyadic decomposition of [0, pfx).
 				pos := 0
-				rowA := relA.Row(ai)
 				for lvl := maxLvl; lvl >= 0; lvl-- {
 					size := 1 << uint(lvl)
 					if pos+size <= pfx {
-						copy(bufA, rowA)
-						bufA[len(bufA)-1] = idOf(lvl, pos)
-						c.outA.AppendRow(bufA)
+						c.rowsA = append(c.rowsA, ai)
+						c.segA = append(c.segA, idOf(lvl, pos))
 						pos += size
 					}
 				}
@@ -354,26 +391,25 @@ func sumAdjEmit(inst Instance, p *sumAdjPrep, lam int64) (Instance, error) {
 				}
 				id := segIDs[sk]
 				for pos := sk.start; pos < hi; pos++ {
-					copy(bufB, relB.Row(g.rows[pos]))
-					bufB[len(bufB)-1] = id
-					c.outB.AppendRow(bufB)
+					c.rowsB = append(c.rowsB, g.rows[pos])
+					c.segB = append(c.segB, id)
 				}
 			}
 			c.groups = append(c.groups, gk)
 			c.nSegs = append(c.nSegs, nextLocal-1)
-			c.aEnds = append(c.aEnds, c.outA.Len())
-			c.bEnds = append(c.bEnds, c.outB.Len())
+			c.aEnds = append(c.aEnds, len(c.rowsA))
+			c.bEnds = append(c.bEnds, len(c.rowsB))
 		}
+		c.usedOrder = usedOrder
 		return c
 	})
 	// Rebase local segment ids onto the global sequence: a prefix sum over
 	// per-group id counts in group order reproduces the sequential
 	// allocation (ids are contiguous per group, groups in first-appearance
-	// order).
+	// order). The shifts run per chunk on the plan's flat id columns.
 	offsets := make([][]relation.Value, len(chunks))
 	var nextID relation.Value
-	for ci := range chunks {
-		c := &chunks[ci]
+	for ci, c := range chunks {
 		offsets[ci] = make([]relation.Value, len(c.groups))
 		for k, n := range c.nSegs {
 			offsets[ci][k] = nextID
@@ -381,24 +417,31 @@ func sumAdjEmit(inst Instance, p *sumAdjPrep, lam int64) (Instance, error) {
 		}
 	}
 	parallel.Do(workers, len(chunks), func(ci int) {
-		c := &chunks[ci]
+		c := chunks[ci]
 		aStart, bStart := 0, 0
 		for k := range c.groups {
 			if off := offsets[ci][k]; off != 0 {
-				shiftColumnRange(c.outA, arityA-1, aStart, c.aEnds[k], off)
-				shiftColumnRange(c.outB, arityB-1, bStart, c.bEnds[k], off)
+				shiftRange(c.segA, aStart, c.aEnds[k], off)
+				shiftRange(c.segB, bStart, c.bEnds[k], off)
 			}
 			aStart, bStart = c.aEnds[k], c.bEnds[k]
 		}
 	})
-	partsA := make([]*relation.Relation, len(chunks))
-	partsB := make([]*relation.Relation, len(chunks))
-	for ci := range chunks {
-		partsA[ci] = chunks[ci].outA
-		partsB[ci] = chunks[ci].outB
+	// Materialize each output with one gather per column, reading the
+	// per-chunk plans in chunk order — no concatenated copy in between.
+	rowParts := make([][]int, len(chunks))
+	extraParts := make([][]relation.Value, len(chunks))
+	for ci, c := range chunks {
+		rowParts[ci], extraParts[ci] = c.rowsA, c.segA
 	}
-	outA := relation.Concat(p.atomA.Rel, arityA, false, partsA)
-	outB := relation.Concat(p.atomB.Rel, arityB, false, partsB)
+	outA := relA.GatherRowsPlusParts(p.atomA.Rel, rowParts, extraParts)
+	for ci, c := range chunks {
+		rowParts[ci], extraParts[ci] = c.rowsB, c.segB
+	}
+	outB := relB.GatherRowsPlusParts(p.atomB.Rel, rowParts, extraParts)
+	for _, c := range chunks {
+		emitScratch.Put(c)
+	}
 
 	// Segment membership emits each (B-row, segment) pair once, and A-copies
 	// carry pairwise-distinct segment ids per row, so distinctness of the
@@ -424,10 +467,10 @@ func sumAdjEmit(inst Instance, p *sumAdjPrep, lam int64) (Instance, error) {
 	return Instance{Q: q2, DB: db2, Workers: inst.Workers}, nil
 }
 
-// shiftColumnRange adds off to column col of rows [lo, hi).
-func shiftColumnRange(rel *relation.Relation, col, lo, hi int, off relation.Value) {
+// shiftRange adds off to vals[lo:hi].
+func shiftRange(vals []relation.Value, lo, hi int, off relation.Value) {
 	for i := lo; i < hi; i++ {
-		rel.Set(i, col, rel.Get(i, col)+off)
+		vals[i] += off
 	}
 }
 
@@ -450,6 +493,47 @@ func (s *sumRowSorter) Less(i, j int) bool { return s.sums[i] < s.sums[j] }
 func (s *sumRowSorter) Swap(i, j int) {
 	s.sums[i], s.sums[j] = s.sums[j], s.sums[i]
 	s.rows[i], s.rows[j] = s.rows[j], s.rows[i]
+}
+
+// fillCSR carves per-group row lists out of one shared backing array: count
+// per group id, prefix-sum the offsets, then fill in scan order so each
+// group's rows stay ascending. src maps scan position to source row index
+// (nil means the identity). With withSums an int64 backing array is carved
+// the same way, zero-filled for the caller to populate. assign is invoked
+// once per group id, in id order.
+func fillCSR(nGroups int, gids []int32, src []int32, withSums bool, assign func(gid int32, rows []int, sums []int64)) {
+	counts := make([]int32, nGroups)
+	for _, g := range gids {
+		counts[g]++
+	}
+	offs := make([]int32, nGroups+1)
+	for g, c := range counts {
+		offs[g+1] = offs[g] + c
+	}
+	rowsBacking := make([]int, len(gids))
+	var sumsBacking []int64
+	if withSums {
+		sumsBacking = make([]int64, len(gids))
+	}
+	next := make([]int32, nGroups)
+	copy(next, offs[:nGroups])
+	for j, g := range gids {
+		pos := next[g]
+		next[g] = pos + 1
+		if src != nil {
+			rowsBacking[pos] = int(src[j])
+		} else {
+			rowsBacking[pos] = j
+		}
+	}
+	for g := 0; g < nGroups; g++ {
+		rows := rowsBacking[offs[g]:offs[g+1]]
+		var sums []int64
+		if withSums {
+			sums = sumsBacking[offs[g]:offs[g+1]]
+		}
+		assign(int32(g), rows, sums)
+	}
 }
 
 // rankedColumns returns the ranked variables present in atom with the column
@@ -493,11 +577,12 @@ func sharedVars(a, b query.Atom) []query.Var {
 	return out
 }
 
-// rowSum computes sign·Σ w_v(row[col_v]).
-func rowSum(f *ranking.Func, vars []query.Var, cols []int, row []relation.Value, sign int64) int64 {
+// rowSumAt computes sign·Σ w_v(relCols[col_v][i]) — the columnar row sum:
+// one contiguous column read per ranked variable.
+func rowSumAt(f *ranking.Func, vars []query.Var, cols []int, relCols [][]relation.Value, i int, sign int64) int64 {
 	var s int64
 	for k, c := range cols {
-		s += f.W(vars[k], row[c])
+		s += f.W(vars[k], relCols[c][i])
 	}
 	return sign * s
 }

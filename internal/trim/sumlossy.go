@@ -113,11 +113,12 @@ func SumLossy(inst Instance, f *ranking.Func, lambda int64, dir Dir, eps float64
 	for _, id := range tree.BottomUp {
 		n := tree.Nodes[id]
 		rel := e.Rels[id]
+		relCols := rel.Cols()
 		tw := ranking.NewTupleWeigher(f, mu, n.Atom, n.Vars)
 		cur := make([]copyRec, rel.Len())
 		parallel.For(workers, rel.Len(), func(lo, hi int) {
 			for i := lo; i < hi; i++ {
-				cur[i] = copyRec{rowIdx: i, sum: sign * tw.ScalarSum(rel.Row(i)), mult: 1}
+				cur[i] = copyRec{rowIdx: i, sum: sign * tw.ScalarSumAt(relCols, i), mult: 1}
 			}
 		})
 		for _, ch := range n.Children {
@@ -261,14 +262,19 @@ func SumLossy(inst Instance, f *ranking.Func, lambda int64, dir Dir, eps float64
 		nodeCopies := copies[id]
 		hasParent := n.Parent >= 0
 		width := len(vars)
+		srcArity := src.Arity()
 		parts := parallel.MapRanges(workers, len(nodeCopies), func(lo, hi int) *relation.Relation {
-			out := relation.New(relName, width)
-			row := make([]relation.Value, 0, width)
+			out := relation.NewWithCapacity(relName, width, hi-lo)
+			row := make([]relation.Value, width)
 			for _, c := range nodeCopies[lo:hi] {
-				row = append(row[:0], src.Row(c.rowIdx)...)
-				row = append(row, c.vChild...)
+				src.CopyRow(row, c.rowIdx)
+				k := srcArity
+				for _, v := range c.vChild {
+					row[k] = v
+					k++
+				}
 				if hasParent {
-					row = append(row, c.vParent)
+					row[k] = c.vParent
 				}
 				out.AppendRow(row)
 			}

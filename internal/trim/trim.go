@@ -170,11 +170,13 @@ func applyPartitions(inst Instance, f *ranking.Func, partitions [][]varCond) (In
 	db2 := relation.NewDatabase()
 	for _, atom := range inst.Q.Atoms {
 		src := inst.DB.Get(atom.Rel)
+		srcCols := src.Cols()
 		// Column positions of each condition variable in this atom (a
 		// repeated variable imposes the condition once; columns agree).
-		// The per-partition row scans are chunked over the worker pool;
-		// per-chunk outputs concatenate in (partition, chunk) order, which
-		// is exactly the sequential emission order.
+		// Per partition, the chunked scans collect surviving row indexes
+		// (concatenated in chunk order — exactly the sequential emission
+		// order); one column gather then materializes the partition's rows
+		// with the identifier column appended.
 		var parts []*relation.Relation
 		for pi, conds := range partitions {
 			var local []varCond
@@ -189,26 +191,35 @@ func applyPartitions(inst Instance, f *ranking.Func, partitions [][]varCond) (In
 				}
 			}
 			pid := relation.Value(pi + 1)
-			parts = append(parts, parallel.MapRanges(inst.workers(), src.Len(), func(lo, hi int) *relation.Relation {
-				out := relation.New(atom.Rel, src.Arity()+1)
-				buf := make([]relation.Value, src.Arity()+1)
+			idxParts := parallel.MapRanges(inst.workers(), src.Len(), func(lo, hi int) []int {
+				var rows []int
 				for ti := lo; ti < hi; ti++ {
-					row := src.Row(ti)
 					ok := true
 					for k, c := range local {
-						if !c.pred(f.W(c.v, row[cols[k]])) {
+						if !c.pred(f.W(c.v, srcCols[cols[k]][ti])) {
 							ok = false
 							break
 						}
 					}
 					if ok {
-						copy(buf, row)
-						buf[len(buf)-1] = pid
-						out.AppendRow(buf)
+						rows = append(rows, ti)
 					}
 				}
-				return out
-			})...)
+				return rows
+			})
+			total := 0
+			for _, p := range idxParts {
+				total += len(p)
+			}
+			rows := make([]int, 0, total)
+			for _, p := range idxParts {
+				rows = append(rows, p...)
+			}
+			pids := make([]relation.Value, len(rows))
+			for k := range pids {
+				pids[k] = pid
+			}
+			parts = append(parts, src.GatherRowsPlus(atom.Rel, rows, pids))
 		}
 		// Disjoint partitions never duplicate a (row, pid) pair.
 		out := relation.Concat(atom.Rel, src.Arity()+1, src.IsDistinct(), parts)
@@ -246,9 +257,10 @@ func filterByVarPred(inst Instance, f *ranking.Func, pred func(v query.Var, w in
 			continue
 		}
 		touched = true
-		out := src.FilterWorkers(inst.workers(), func(row []relation.Value) bool {
+		srcCols := src.Cols()
+		out := src.FilterWorkers(inst.workers(), func(i int) bool {
 			for k, c := range cols {
-				if !pred(vars[k], f.W(vars[k], row[c])) {
+				if !pred(vars[k], f.W(vars[k], srcCols[c][i])) {
 					return false
 				}
 			}
@@ -275,13 +287,13 @@ func filterByVarPred(inst Instance, f *ranking.Func, pred func(v query.Var, w in
 				continue
 			}
 			rel := e.NodeRelation(n.ID)
+			relCols := rel.Cols()
 			k := make([]bool, rel.Len())
 			parallel.For(inst.workers(), rel.Len(), func(lo, hi int) {
 				for i := lo; i < hi; i++ {
-					row := rel.Row(i)
 					ok := true
 					for c, col := range cols {
-						if !pred(vars[c], f.W(vars[c], row[col])) {
+						if !pred(vars[c], f.W(vars[c], relCols[col][i])) {
 							ok = false
 							break
 						}

@@ -14,18 +14,19 @@ import (
 // than a multiplicity decrement.
 func UpdateBatches(db *relation.Database, insertRel, deleteRel string) func(batch int) (inserts, deletes [][]relation.Value) {
 	r := db.Get(deleteRel)
+	rcols := r.Cols()
 	counts := make(map[string]int, r.Len())
 	var enc relation.KeyEncoder
 	for i := 0; i < r.Len(); i++ {
-		counts[string(enc.Row(r.Row(i)))]++
+		counts[string(enc.RowAt(rcols, i))]++
 	}
 	var unique [][]relation.Value
 	seen := make(map[string]bool)
 	for i := 0; i < r.Len() && len(unique) < 4096; i++ {
-		k := string(enc.Row(r.Row(i)))
+		k := string(enc.RowAt(rcols, i))
 		if counts[k] == 1 && !seen[k] {
 			seen[k] = true
-			unique = append(unique, append([]relation.Value(nil), r.Row(i)...))
+			unique = append(unique, r.RowValues(i))
 		}
 	}
 	arity := db.Get(insertRel).Arity()

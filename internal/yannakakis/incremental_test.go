@@ -13,9 +13,10 @@ import (
 // rows (values in [0, hi)) to a distinct relation.
 func relDeltaFor(rng *rand.Rand, r *relation.Relation, nDel, nAdd int, hi int64) jointree.RelDelta {
 	var enc relation.KeyEncoder
+	rcols := r.Cols()
 	present := make(map[string]struct{}, r.Len())
 	for i := 0; i < r.Len(); i++ {
-		present[string(enc.Row(r.Row(i)))] = struct{}{}
+		present[string(enc.RowAt(rcols, i))] = struct{}{}
 	}
 	var d jointree.RelDelta
 	picked := make(map[int]bool)
@@ -25,7 +26,7 @@ func relDeltaFor(rng *rand.Rand, r *relation.Relation, nDel, nAdd int, hi int64)
 			continue
 		}
 		picked[i] = true
-		row := append([]relation.Value(nil), r.Row(i)...)
+		row := r.RowValues(i)
 		d.RemovedRows = append(d.RemovedRows, row)
 		d.RemovedKeys = append(d.RemovedKeys, string(enc.Row(row)))
 	}

@@ -171,12 +171,14 @@ func Enumerate(e *jointree.Exec, fn func(asn []relation.Value) bool) {
 	vars := e.Q.Vars()
 	varIdx := e.Q.VarIndex()
 	nodePos := make([][]int, len(e.T.Nodes))
+	nodeCols := make([][][]relation.Value, len(e.T.Nodes))
 	for _, n := range e.T.Nodes {
 		pos := make([]int, len(n.Vars))
 		for j, v := range n.Vars {
 			pos[j] = varIdx[v]
 		}
 		nodePos[n.ID] = pos
+		nodeCols[n.ID] = e.Rels[n.ID].Cols()
 	}
 	asn := make([]relation.Value, len(vars))
 
@@ -215,9 +217,9 @@ func Enumerate(e *jointree.Exec, fn func(asn []relation.Value) bool) {
 			ti = lists[d][pos[d]]
 		}
 		node := pre[d]
-		row := e.Rels[node].Row(ti)
+		cols := nodeCols[node]
 		for j, p := range nodePos[node] {
-			asn[p] = row[j]
+			asn[p] = cols[j][ti]
 		}
 		curTi[node] = ti
 		if d == m-1 {

@@ -40,7 +40,7 @@ func TestFigure1Counts(t *testing.T) {
 		}
 		rel := e.Rels[n.ID]
 		for i := 0; i < rel.Len(); i++ {
-			row := rel.Row(i)
+			row := rel.RowValues(i)
 			want := uint64(9)
 			if row[0] == 2 {
 				want = 4

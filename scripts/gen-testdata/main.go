@@ -35,7 +35,7 @@ func main() {
 		r := sn.DB.Get(name)
 		rows := make([][]int64, r.Len())
 		for i := range rows {
-			rows[i] = r.Row(i)
+			rows[i] = r.RowValues(i)
 		}
 		load.Relations = append(load.Relations, relData{Name: name, Arity: r.Arity(), Rows: rows})
 	}
@@ -49,7 +49,7 @@ func main() {
 	delta.Ops = []map[string]any{
 		{"op": "insert", "rel": "Share", "row": []int64{99, 3, 45}},
 		{"op": "insert", "rel": "Attend", "row": []int64{98, 3, 44}},
-		{"op": "delete", "rel": "Share", "row": share.Row(0)},
+		{"op": "delete", "rel": "Share", "row": share.RowValues(0)},
 	}
 	write("delta.json", delta)
 	fmt.Println("wrote scripts/testdata/load.json scripts/testdata/delta.json")

@@ -66,6 +66,28 @@ func ValidateTopK(k int) error {
 	return nil
 }
 
+// MaxWorkers bounds an explicit worker-count request. The engine caps
+// useful parallelism at GOMAXPROCS anyway (answers are byte-identical at
+// every worker count), so values past this are never a performance choice —
+// they are typos or abuse, and each one costs a goroutine per chunk.
+const MaxWorkers = 4096
+
+// ValidateWorkers checks a worker-count knob: 0 selects the environment
+// default (GOMAXPROCS for the CLI, the server's configured parallelism for
+// qjserve), positive values are taken as-is up to MaxWorkers, and anything
+// negative or beyond the cap is rejected with a *ArgError. Both the qjq
+// -workers flag and the qjserve per-request workers field funnel through
+// this single check.
+func ValidateWorkers(workers int) error {
+	if workers < 0 {
+		return argErrorf("workers", "%d is negative (0 selects the default)", workers)
+	}
+	if workers > MaxWorkers {
+		return argErrorf("workers", "%d exceeds the cap %d", workers, MaxWorkers)
+	}
+	return nil
+}
+
 // QuerySpec is the wire form of a (query, ranking) pair. It marshals to
 //
 //	{"query": "R(x,y),S(y,z)", "rank": "sum(x,z)"}

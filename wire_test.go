@@ -148,6 +148,18 @@ func TestValidators(t *testing.T) {
 	if err := qjoin.ValidateTopK(-1); err == nil {
 		t.Fatal("negative k accepted")
 	}
+	for _, w := range []int{0, 1, 8, qjoin.MaxWorkers} {
+		if err := qjoin.ValidateWorkers(w); err != nil {
+			t.Fatalf("ValidateWorkers(%d) = %v", w, err)
+		}
+	}
+	for _, w := range []int{-1, qjoin.MaxWorkers + 1} {
+		err := qjoin.ValidateWorkers(w)
+		var ae *qjoin.ArgError
+		if err == nil || !errors.As(err, &ae) || ae.Field != "workers" {
+			t.Fatalf("ValidateWorkers(%d) = %v, want ArgError on workers", w, err)
+		}
+	}
 }
 
 func TestParsePhisValidates(t *testing.T) {
