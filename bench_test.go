@@ -370,6 +370,117 @@ func BenchmarkDedupedAllocs(b *testing.B) {
 	}
 }
 
+// BenchmarkShardedQuantile — the global pivot loop over hash-partitioned
+// shard engines (E17): exact SUM quantile on a 32k-tuple binary join through
+// PrepareSharded at shards 1/2/4. Answers are byte-identical to the
+// unsharded plan at every shard count (asserted per iteration); the timing
+// tracks the overhead of the weighted-median pivot merge and the per-shard
+// trim/count fan-out.
+func BenchmarkShardedQuantile(b *testing.B) {
+	rng := rand.New(rand.NewSource(18))
+	q, idb := workload.Path(rng, 2, 1<<14, 1<<10) // 32k tuples
+	db := qjoin.WrapDB(idb)
+	f := qjoin.Sum(q.Vars()...)
+	seq, err := qjoin.Prepare(q, db, qjoin.Options{Parallelism: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	want, err := seq.Quantile(f, 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			p, err := qjoin.PrepareSharded(q, db, shards, qjoin.Options{Parallelism: 4})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				a, err := p.Quantile(f, 0.5)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if f.Compare(a.Weight, want.Weight) != 0 {
+					b.Fatalf("shards=%d: weight diverged from unsharded", shards)
+				}
+			}
+		})
+	}
+}
+
+// shardLocalDelta builds a batch of fresh R1 inserts whose join-key values
+// (column 1, the x2 partition key of the 2-path) all hash to one shard of a
+// 4-way partition — the shard-locality best case the per-shard write path
+// is built for.
+func shardLocalDelta(batch int) *qjoin.Delta {
+	d := qjoin.NewDelta()
+	next := int64(0)
+	for i := 0; i < batch; i++ {
+		for qjoin.ShardOf(next, 4) != 0 {
+			next++
+		}
+		// Fresh first column (outside the generator domain) guarantees a new
+		// row; the key column stays in-domain so the rows join.
+		d.Insert("R1", []int64{int64(1<<20 + i), next})
+		next++
+	}
+	return d
+}
+
+// BenchmarkShardedUpdate — absorbing a shard-local delta into a sharded
+// plan versus the unsharded plan (E17). The sharded side re-hashes and
+// rebuilds only the one touched shard engine (~1/4 of the data at
+// shards=4); CI enforces the locality win with a scaling gate (sharded min
+// ns/op ≤ 0.5× unsharded — i.e. at least 2× faster).
+func BenchmarkShardedUpdate(b *testing.B) {
+	rng := rand.New(rand.NewSource(19))
+	q, idb := workload.Path(rng, 2, 1<<14, 1<<10)
+	db := qjoin.WrapDB(idb)
+	delta := shardLocalDelta(64)
+	base, err := qjoin.Prepare(q, db)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base.Count()
+	sp, err := qjoin.PrepareSharded(q, db, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if got := sp.Touched(delta); len(got) != 1 {
+		b.Fatalf("delta touches shards %v, want exactly one", got)
+	}
+	// Warm the lazily built multiset refcounts on both plans.
+	if _, err := base.Update(delta); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sp.Update(delta); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("shards=4", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p2, err := sp.Update(delta)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if p2.Count().Sign() == 0 {
+				b.Fatal("empty answer set")
+			}
+		}
+	})
+	b.Run("unsharded", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p2, err := base.Update(delta)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if p2.Count().Sign() == 0 {
+				b.Fatal("empty answer set")
+			}
+		}
+	})
+}
+
 // incrementalBenchInstance builds the E14 instance: a 32k-tuple binary join
 // with a prepared base plan, plus a delta generator producing batch/2 fresh
 // inserts into R1 (values outside the generator domain, guaranteed new) and

@@ -9,7 +9,7 @@
 // Usage:
 //
 //	go test -run '^$' -bench 'Prepared|Parallel|Incremental' -benchtime=3x -count=3 ./... | tee bench.txt
-//	benchgate -in bench.txt -json BENCH_PR6.json -baseline .github/bench-baseline.json -threshold 1.30 \
+//	benchgate -in bench.txt -json BENCH_PR7.json -baseline .github/bench-baseline.json -threshold 1.30 \
 //	  -scaling 'BenchmarkParallelQuantile/workers=4:BenchmarkParallelQuantile/workers=1:1.08'
 //
 // With -count > 1 the minimum ns/op per benchmark is compared — the least

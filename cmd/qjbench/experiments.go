@@ -843,3 +843,98 @@ func runE15(c *ctx) {
 	fmt.Println("derivation or rebuild; the zero-rebuild loop of ISSUE 4 keeps it and count")
 	fmt.Println("proportional to the surviving rows instead of a full per-iteration rebuild)")
 }
+
+// runE17 measures the sharded dataset engine (ISSUE 7): hash-partitioned
+// per-shard Prepare with the merged global pivot loop, at shards 1/2/4
+// against the unsharded plan. Three phases — prepare (the partition +
+// per-shard build, which parallelizes across shards), steady-state quantile
+// (the merged loop's coordination overhead), and update with a shard-local
+// delta (the locality win: only the owning shard engine is rebuilt).
+// Answers are checked byte-identical against the unsharded plan throughout.
+func runE17(c *ctx) {
+	n := 1 << 14
+	if c.quick {
+		n = 1 << 12
+	}
+	rng := rand.New(rand.NewSource(17))
+	q, idb := workload.Path(rng, 2, n, 1<<10)
+	db := qjoin.WrapDB(idb)
+	f := qjoin.Sum(q.Vars()...)
+	planOpts := qjoin.Options{Parallelism: benchWorkers}
+	fmt.Printf("binary SUM join, |D| = %d, workers = %d\n", db.Size(), workerCount())
+	fmt.Println("prepare = partition + per-shard build; quantile = merged global pivot loop;")
+	fmt.Println("update = 64 fresh inserts whose join keys all hash to shard 0 of 4")
+	fmt.Println()
+
+	flat, err := qjoin.Prepare(q, db, planOpts)
+	if err != nil {
+		panic(err)
+	}
+	want, err := flat.Quantile(f, 0.5)
+	if err != nil {
+		panic(err)
+	}
+
+	// Shard-local delta: fresh first-column values (new rows), key-column
+	// values all owned by shard 0 of a 4-way partition. The 2-path's join key
+	// is x2, so R1 routes on column 1.
+	delta := qjoin.NewDelta()
+	next := int64(0)
+	for i := 0; i < 64; i++ {
+		for qjoin.ShardOf(next, 4) != 0 {
+			next++
+		}
+		delta.Insert("R1", []int64{int64(1<<20 + i), next})
+		next++
+	}
+
+	reps := 5
+	if c.quick {
+		reps = 3
+	}
+	t := &table{header: []string{"plan", "prepare (median)", "quantile φ=0.5", "update (local delta)", "answers equal"}}
+	row := func(label string, prep func() qjoin.Plan) {
+		var p qjoin.Plan
+		prepD := timeIt(reps, func() { p = prep() })
+		var a *qjoin.Answer
+		qD := timeIt(reps, func() {
+			var err error
+			a, err = p.Quantile(f, 0.5)
+			if err != nil {
+				panic(err)
+			}
+		})
+		// Warm the lazily built multiset refcounts before timing updates.
+		if _, err := p.UpdatePlan(delta); err != nil {
+			panic(err)
+		}
+		upD := timeIt(reps, func() {
+			if _, err := p.UpdatePlan(delta); err != nil {
+				panic(err)
+			}
+		})
+		equal := f.Compare(a.Weight, want.Weight) == 0 && reflect.DeepEqual(a.Values, want.Values)
+		t.add(label, dur(prepD), dur(qD), dur(upD), fmt.Sprint(equal))
+	}
+	row("unsharded", func() qjoin.Plan {
+		p, err := qjoin.Prepare(q, db, planOpts)
+		if err != nil {
+			panic(err)
+		}
+		return p
+	})
+	for _, shards := range []int{1, 2, 4} {
+		shards := shards
+		row(fmt.Sprintf("shards=%d", shards), func() qjoin.Plan {
+			p, err := qjoin.PrepareSharded(q, db, shards, planOpts)
+			if err != nil {
+				panic(err)
+			}
+			return p
+		})
+	}
+	t.print()
+	fmt.Println("\n(per-shard builds run concurrently, so prepare improves with shard count when")
+	fmt.Println("GOMAXPROCS > 1; the update column shows the locality win — a delta owned by")
+	fmt.Println("one shard rebuilds 1/N of the data regardless of worker count)")
+}

@@ -15,6 +15,12 @@
 // optional baseline comparison) is answered against the shared plan, so
 // asking for ten quantiles costs one preprocessing pass, not ten.
 //
+// -shards N (N > 1) hash-partitions the data on a join key into N shard
+// engines compiled concurrently and answers through the merged global pivot
+// loop (qjoin.PrepareSharded). Answers are byte-identical to the unsharded
+// plan; -sample and -baseline are single-engine diagnostics and reject the
+// flag.
+//
 // -update FILE applies a delta file to the compiled plan before answering —
 // the incremental-maintenance path, not a recompile. Each non-empty line is
 // +Rel,v1,v2,... (insert) or -Rel,v1,v2,... (delete); '#' starts a comment:
@@ -61,6 +67,7 @@ func main() {
 	delta := flag.Float64("delta", 0.05, "failure probability for -sample")
 	seed := flag.Int64("seed", time.Now().UnixNano(), "random seed for -sample")
 	workers := flag.Int("workers", 0, "worker count for parallel execution (0 = GOMAXPROCS, 1 = sequential)")
+	shards := flag.Int("shards", 0, "hash-partition the data into N shard engines (0 = single unsharded engine)")
 	doStats := flag.Bool("stats", false, "print per-run statistics with a per-iteration phase-timing breakdown")
 	updateFile := flag.String("update", "", "delta file (+Rel,v,... inserts / -Rel,v,... deletes) applied to the plan before answering")
 	flag.Var(rels, "rel", "NAME=FILE CSV source for a relation (repeatable)")
@@ -103,7 +110,20 @@ func main() {
 	if err := qjoin.ValidateWorkers(*workers); err != nil {
 		fatal(err)
 	}
+	if err := qjoin.ValidateShards(*shards); err != nil {
+		fatal(err)
+	}
 	planOpts := qjoin.Options{Parallelism: *workers, CollectPhases: *doStats}
+	// -shards > 1 compiles one engine per hash partition of the join key and
+	// answers through the merged global pivot loop; answers are byte-identical
+	// to the unsharded plan, so the knob is purely operational. The plan is
+	// held behind the qjoin.Plan interface either way.
+	compile := func(db *qjoin.DB) (qjoin.Plan, error) {
+		if *shards > 1 {
+			return qjoin.PrepareSharded(q, db, *shards, planOpts)
+		}
+		return qjoin.Prepare(q, db, planOpts)
+	}
 
 	var upd *qjoin.Delta
 	if *updateFile != "" {
@@ -114,7 +134,7 @@ func main() {
 	}
 
 	if *doCount {
-		p, err := qjoin.Prepare(q, db, planOpts)
+		p, err := compile(db)
 		if err != nil {
 			fatal(err)
 		}
@@ -137,11 +157,18 @@ func main() {
 		return
 	}
 
+	// -sample and -baseline run against the unsharded concrete plan only:
+	// the materialization baseline and the sampling estimator are
+	// single-engine diagnostics, not part of the Plan surface.
+	if (*doSample || *doBaseline) && *shards > 1 {
+		fatal(fmt.Errorf("-sample and -baseline are not supported with -shards > 1"))
+	}
+
 	// Compile once; every φ below — and -baseline, -sample — runs against
 	// this single plan. The plan-default options carry -workers into every
 	// query without repeating them per call.
 	prepStart := time.Now()
-	p, err := qjoin.Prepare(q, db, planOpts)
+	p, err := compile(db)
 	if err != nil {
 		fatal(err)
 	}
@@ -164,7 +191,7 @@ func main() {
 			if *eps <= 0 {
 				fatal(fmt.Errorf("-sample requires -eps > 0"))
 			}
-			ans, err = p.SampleQuantile(f, phi, *eps, *delta, rng)
+			ans, err = p.(*qjoin.Prepared).SampleQuantile(f, phi, *eps, *delta, rng)
 		default:
 			// -eps > 0 selects the deterministic approximation through the
 			// same driver, so one stats path serves both.
@@ -185,7 +212,7 @@ func main() {
 
 		if *doBaseline {
 			start = time.Now()
-			base, err := p.BaselineQuantile(f, phi)
+			base, err := p.(*qjoin.Prepared).BaselineQuantile(f, phi)
 			if err != nil {
 				fatal(err)
 			}
@@ -219,12 +246,13 @@ func printStats(s *qjoin.RunStats) {
 
 // applyUpdate folds a delta into the plan via incremental maintenance (a
 // copy-on-write Update, not a recompile), optionally reporting what it did.
-func applyUpdate(p *qjoin.Prepared, delta *qjoin.Delta, verbose bool) (*qjoin.Prepared, error) {
+// On a sharded plan only the shards the delta's rows hash to are rebuilt.
+func applyUpdate(p qjoin.Plan, delta *qjoin.Delta, verbose bool) (qjoin.Plan, error) {
 	if delta == nil {
 		return p, nil
 	}
 	start := time.Now()
-	up, err := p.Update(delta)
+	up, err := p.UpdatePlan(delta)
 	if err != nil {
 		return nil, fmt.Errorf("applying update: %w", err)
 	}

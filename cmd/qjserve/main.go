@@ -6,6 +6,11 @@
 //
 //	qjserve -addr :8080 -workers 0 -cache 64 -inflight 0 -timeout 30s
 //
+// -shards N makes N-way hash-sharded datasets the default for loads that
+// omit the shards field (a load request's own shards value still wins);
+// sharded datasets answer through per-shard engines and a merged global
+// pivot loop, byte-identical to unsharded ones.
+//
 // Endpoints (JSON; see the README "Serving" section for a full table):
 //
 //	PUT    /datasets/{name}        bulk-load (or replace) a dataset
@@ -36,6 +41,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/quantilejoins/qjoin"
 	"github.com/quantilejoins/qjoin/internal/server"
 )
 
@@ -47,14 +53,20 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout, admission wait included")
 	grace := flag.Duration("grace", 10*time.Second, "shutdown grace period for in-flight requests")
 	maxBody := flag.Int64("max-body", 0, "max request body bytes (0 = 1 GiB)")
+	shards := flag.Int("shards", 0, "default shard count for datasets loaded without one (0 = unsharded; a load's shards field overrides)")
 	flag.Parse()
 
+	if err := qjoin.ValidateShards(*shards); err != nil {
+		fmt.Fprintln(os.Stderr, "qjserve:", err)
+		os.Exit(1)
+	}
 	s := server.New(server.Config{
 		Parallelism:    *workers,
 		MaxInflight:    *inflight,
 		CacheCap:       *cacheCap,
 		RequestTimeout: *timeout,
 		MaxBodyBytes:   *maxBody,
+		DefaultShards:  *shards,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -176,6 +176,42 @@
 // records a per-iteration pivot/trim/derive/count wall-clock breakdown in
 // RunStats.Phases (off by default so RunStats stay byte-comparable).
 //
+// # Sharded datasets
+//
+// PrepareSharded hash-partitions the input on a join key into N shard
+// engines (compiled concurrently) and answers through a merged global pivot
+// loop: per-iteration counts are summed across shards, the global pivot is
+// a weighted median over per-shard pivot candidates, and the λ-trim is
+// broadcast. The contract:
+//
+//   - Byte-identity. Every selection answer — Quantile, Quantiles, Median,
+//     ApproxQuantile, Count — is byte-identical at every shard count,
+//     including shards=1 versus Prepare. Sharding is an operational choice,
+//     never a semantic one. The one tie-break caveat is TopK: its k weights
+//     are identical at every shard count, but among answers of exactly
+//     equal weight the sharded merge orders by value, which may differ from
+//     the unsharded stream's enumeration order. Each shard count is itself
+//     fully deterministic.
+//   - RunStats. Statistics are identical across worker counts at a fixed
+//     shard count (and for shards=1 versus unsharded) but not comparable
+//     across different shard counts — the merged loop may converge in a
+//     different number of iterations.
+//   - Partitioning. The key is a join variable occurring in the most atoms
+//     (first appearance breaks ties; Key reports it). Atoms containing the
+//     key split by hashing that column with ShardOf — a fixed, process-
+//     stable integer hash — and atoms without it share one replica across
+//     shards. Self-joins are rewritten before partitioning, so each
+//     occurrence routes by its own column. The per-database string
+//     dictionary is shared by all shards, never copied. Queries with no
+//     join variable fail with ErrNoShardKey; run those through Prepare.
+//   - Updates route. ShardedPrepared.Update hash-routes each delta op to
+//     the shards owning its rows and rebuilds only those engines
+//     (copy-on-write, concurrent, atomic on error — ErrDeleteAbsent leaves
+//     the receiver intact). Touched reports the routing without updating.
+//   - Plan is the interface surface shared with *Prepared; UpdatePlan is
+//     Update in interface-typed form, which is what the qjserve plan cache
+//     migrates through.
+//
 // # Serving and plan sharing
 //
 // The qjserve daemon (cmd/qjserve, built on internal/server) holds plans in

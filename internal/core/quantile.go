@@ -23,7 +23,8 @@ import (
 // non-deterministic, so the default RunStats stay byte-comparable across
 // runs and worker counts).
 type PhaseTimings struct {
-	// Pivot is the pivot-selection pass (Algorithm 2) over the candidate.
+	// Pivot is the pivot-selection pass (Algorithm 2) over the candidate
+	// (per shard, plus the cross-shard weighted-median merge).
 	Pivot time.Duration
 	// Trim is the construction of both trimmed instances (lt / gt),
 	// including any composed bound trims.
@@ -36,17 +37,26 @@ type PhaseTimings struct {
 }
 
 // RunStats reports what one driver run did.
+//
+// For a sharded run, Count is the global answer count (shard counts add:
+// the shards partition the answer set) and the remaining fields describe
+// the global pivot loop — each iteration spans every live shard. The answer
+// itself is byte-identical for every shard count, but the pivot sequence is
+// not: Iterations, Materialized, PivotReturned and MaxInstanceTuples are
+// deterministic for a fixed shard count (identical across worker counts and
+// across runs), not across different shard counts.
 type RunStats struct {
 	// Iterations is the number of pivoting rounds executed.
 	Iterations int
 	// Materialized is the candidate count resolved by final materialization
-	// (0 when the pivot itself was returned).
+	// (0 when the run terminated in the equal partition).
 	Materialized int
 	// PivotReturned reports termination through the equal partition.
 	PivotReturned bool
 	// Count is |Q(D)|.
 	Count counting.Count
-	// MaxInstanceTuples is the largest trimmed database seen.
+	// MaxInstanceTuples is the largest trimmed database seen (summed across
+	// shards within one iteration).
 	MaxInstanceTuples int
 	// Phases holds the per-iteration timing breakdown when
 	// Options.CollectPhases was set; nil otherwise. A pointer, so RunStats
@@ -65,7 +75,9 @@ type PhaseLog struct {
 // hands it from run to run so steady-state quantile answering allocates no
 // fresh per-node arrays. Two counting slots suffice: the counts chosen by
 // iteration i are read by the pivot of iteration i+1, which completes before
-// the slots are overwritten by iteration i+1's own counting.
+// the slots are overwritten by iteration i+1's own counting. Sharded runs
+// check one scratch out of every shard engine's pool, so concurrent runs
+// over the same shards stay race-free.
 type runScratch struct {
 	countA, countB yannakakis.Scratch
 	pivot          pivot.Scratch
@@ -194,10 +206,22 @@ func Quantile(q0 *query.Query, db0 *relation.Database, f *ranking.Func, phi floa
 // opts.Epsilon > 0 and a SUM ranking outside the tractable class, it returns
 // a deterministic (φ±ε)-quantile (Theorem 6.2).
 func QuantilePrepared(eng *engine.Engine, f *ranking.Func, phi float64, opts Options) (*Answer, *RunStats, error) {
+	return QuantileShards([]*engine.Engine{eng}, f, phi, opts)
+}
+
+// QuantileShards answers a %JQ over the disjoint union of the shard engines'
+// answer sets. The engines must be compiled from the same query over a hash
+// partition of one database (so their answer sets are disjoint and their
+// counts add); internal/shard builds such a family. One iteration of the
+// global pivot loop spans every live shard: per-shard pivot candidates merge
+// into one global pivot by weighted median, the λ-trim broadcasts to every
+// shard, and the per-shard partition counts are summed to steer the global
+// index. A one-element slice is exactly the unsharded algorithm.
+func QuantileShards(engs []*engine.Engine, f *ranking.Func, phi float64, opts Options) (*Answer, *RunStats, error) {
 	if err := validPhi(phi); err != nil {
 		return nil, nil, err
 	}
-	return run(eng, f, opts, func(total counting.Count) (counting.Count, error) {
+	return run(engs, f, opts, func(total counting.Count) (counting.Count, error) {
 		return Index(total, phi), nil
 	})
 }
@@ -216,7 +240,13 @@ func Select(q0 *query.Query, db0 *relation.Database, f *ranking.Func, k counting
 
 // SelectPrepared is Select against an already compiled engine.
 func SelectPrepared(eng *engine.Engine, f *ranking.Func, k counting.Count, opts Options) (*Answer, *RunStats, error) {
-	return run(eng, f, opts, func(total counting.Count) (counting.Count, error) {
+	return SelectShards([]*engine.Engine{eng}, f, k, opts)
+}
+
+// SelectShards is SelectPrepared over a family of shard engines (see
+// QuantileShards for the contract).
+func SelectShards(engs []*engine.Engine, f *ranking.Func, k counting.Count, opts Options) (*Answer, *RunStats, error) {
+	return run(engs, f, opts, func(total counting.Count) (counting.Count, error) {
 		if k.Cmp(total) >= 0 {
 			return counting.Zero, fmt.Errorf("core: index %s out of range (|Q(D)| = %s)", k, total)
 		}
@@ -224,32 +254,85 @@ func SelectPrepared(eng *engine.Engine, f *ranking.Func, k counting.Count, opts 
 	})
 }
 
-// run is the shared driver body of Quantile and Select. All per-(Q, D)
-// preprocessing lives in the engine; a run only pays for pivoting, trimming
-// and counting of its own trimmed instances — and those are zero-rebuild:
-// the engine's cached counting state feeds the first pivot, every counted
-// instance hands its executable tree and counts to the next iteration
-// instead of being rebuilt, filter trims derive their trees by subset
-// filtering, λ-independent trim preprocessing comes from the plan's cache,
-// and the per-iteration arrays come from the plan's scratch pool. While the
-// candidate instance is still the original one, the engine's shared
-// executable tree serves pivot selection, and its cached full reduction
-// serves materialization — neither is ever mutated here.
-func run(eng *engine.Engine, f *ranking.Func, opts Options, pickIndex func(total counting.Count) (counting.Count, error)) (*Answer, *RunStats, error) {
-	if err := f.Validate(eng.Source()); err != nil {
+// shardState is one shard's slice of the global pivot loop's state. The
+// driver body is written against a vector of these; the unsharded path is
+// the one-element vector, so sharding adds no second algorithm to keep in
+// sync — and the one-shard run is bit-for-bit the pre-sharding driver.
+type shardState struct {
+	eng       *engine.Engine
+	orig      trim.Instance
+	cur       trim.Instance
+	curExec   *jointree.Exec
+	curCounts *yannakakis.Counts
+	curCount  counting.Count
+	onOrig    bool // cur is the untrimmed instance; engine structures apply
+	// dead marks a shard with no candidates left in the current (low, high)
+	// band. Trims always narrow the band, so a dead shard can never come
+	// back and is skipped by every later pass.
+	dead bool
+	scr  *runScratch
+	// Per-iteration candidate partitions, filled stage by stage so phase
+	// timings aggregate across shards the way they did across one.
+	lt, gt             trim.Instance
+	ltExec, gtExec     *jointree.Exec
+	ltCounts, gtCounts *yannakakis.Counts
+}
+
+// run is the shared driver body of Quantile and Select, generalized to a
+// vector of shard engines. All per-(Q, D) preprocessing lives in the
+// engines; a run only pays for pivoting, trimming and counting of its own
+// trimmed instances — and those are zero-rebuild: each engine's cached
+// counting state feeds the first pivot, every counted instance hands its
+// executable tree and counts to the next iteration instead of being rebuilt,
+// filter trims derive their trees by subset filtering, λ-independent trim
+// preprocessing comes from each shard plan's cache, and the per-iteration
+// arrays come from each shard plan's scratch pool. While a shard's candidate
+// instance is still the original one, its engine's shared executable tree
+// serves pivot selection, and its cached full reduction serves
+// materialization — neither is ever mutated here.
+//
+// Termination is canonical for exact trims: whichever way a run ends —
+// materialization, or the global index landing in the pivot's equal
+// partition — it returns the answer at global rank k of the total
+// (weight, values) order. Exact trims are strict (≺λ / ≻λ), so every
+// candidate band is a union of complete weight classes and k is always
+// rebased by complete classes; the rank-k member of the band is therefore
+// the rank-(offset+k) member of the global order no matter how the band was
+// reached. That is what makes sharded answers byte-identical to unsharded
+// ones even though the pivot sequences differ.
+func run(engs []*engine.Engine, f *ranking.Func, opts Options, pickIndex func(total counting.Count) (counting.Count, error)) (*Answer, *RunStats, error) {
+	if len(engs) == 0 {
+		return nil, nil, fmt.Errorf("core: no shard engines")
+	}
+	if err := f.Validate(engs[0].Source()); err != nil {
 		return nil, nil, err
 	}
-	q, db := eng.Query(), eng.DB()
-	origVars := eng.Vars()
-
+	origVars := engs[0].Vars()
 	workers := parallel.Workers(opts.Parallelism)
-	orig := trim.Instance{Q: q, DB: db, Workers: workers, Exec: eng.Exec(), Cache: eng.TrimCache()}
-	total := eng.Total()
+
+	shards := make([]*shardState, len(engs))
+	dbSize := 0
+	total := counting.Zero
+	for i, eng := range engs {
+		st := &shardState{
+			eng:    eng,
+			orig:   trim.Instance{Q: eng.Query(), DB: eng.DB(), Workers: workers, Exec: eng.Exec(), Cache: eng.TrimCache()},
+			onOrig: true,
+		}
+		st.cur = st.orig
+		st.curExec = eng.Exec()
+		st.curCounts = eng.Counts() // cached: the first pivot never recounts
+		st.curCount = st.curCounts.Total
+		st.dead = st.curCount.IsZero()
+		dbSize += eng.DB().Size()
+		total = total.Add(st.curCount)
+		shards[i] = st
+	}
 	stats := &RunStats{Count: total}
 	if total.IsZero() {
 		return nil, stats, ErrNoAnswers
 	}
-	trm, err := makeTrimmer(q, f, opts)
+	trm, err := makeTrimmer(engs[0].Query(), f, opts)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -258,16 +341,15 @@ func run(eng *engine.Engine, f *ranking.Func, opts Options, pickIndex func(total
 	if err != nil {
 		return nil, stats, err
 	}
-	threshold := counting.FromInt(opts.threshold(db.Size()))
+	threshold := counting.FromInt(opts.threshold(dbSize))
 	low, high := ranking.NegInf(), ranking.PosInf()
-	cur, curCount := orig, total
-	curExec := eng.Exec()
-	curCounts := eng.Counts() // cached: the first pivot never recounts
-	onOrig := true            // cur is the untrimmed instance; engine structures apply
+	curCount := total
 	paperEps := 0.0
 
-	scr := scratchFor(eng)
-	defer eng.Scratch().Put(scr)
+	for _, st := range shards {
+		st.scr = scratchFor(st.eng)
+		defer st.eng.Scratch().Put(st.scr)
+	}
 	// now is a no-op unless phase timings were requested, so the default
 	// path never reads the clock inside the loop.
 	now := func() time.Time { return time.Time{} }
@@ -275,20 +357,19 @@ func run(eng *engine.Engine, f *ranking.Func, opts Options, pickIndex func(total
 		now = time.Now
 		stats.Phases = &PhaseLog{}
 	}
+	cands := make([]*pivot.Result, len(shards))
 
 	for iter := 0; iter < opts.maxIterations(); iter++ {
 		stats.Iterations = iter
 		if curCount.Cmp(threshold) <= 0 {
-			e := curExec
-			if onOrig {
-				// Enumerating the cached full reduction touches only tuples
-				// that participate in answers — on selective joins this is
-				// ∝ |Q(D)|, not |D|.
-				if e, err = eng.Reduced(); err != nil {
-					return nil, stats, err
-				}
+			// Enumerating the cached full reductions touches only tuples
+			// that participate in answers — on selective joins this is
+			// ∝ |Q(D)|, not |D|.
+			execs, err := liveExecs(shards)
+			if err != nil {
+				return nil, stats, err
 			}
-			ans, err := materializeSelect(e, f, origVars, k)
+			ans, err := materializeSelect(execs, f, origVars, k)
 			if err != nil {
 				return nil, stats, err
 			}
@@ -296,14 +377,23 @@ func run(eng *engine.Engine, f *ranking.Func, opts Options, pickIndex func(total
 			stats.Materialized = int(m)
 			return ans, stats, nil
 		}
-		mu, err := f.AssignVars(cur.Q)
-		if err != nil {
-			return nil, stats, err
-		}
 		t0 := now()
-		pv, err := pivot.SelectPrepared(curExec, curCounts, f, mu, workers, &scr.pivot)
-		if err != nil {
-			return nil, stats, err
+		for i, st := range shards {
+			cands[i] = nil
+			if st.dead {
+				continue
+			}
+			mu, err := f.AssignVars(st.cur.Q)
+			if err != nil {
+				return nil, stats, err
+			}
+			if cands[i], err = pivot.SelectPrepared(st.curExec, st.curCounts, f, mu, workers, &st.scr.pivot); err != nil {
+				return nil, stats, err
+			}
+		}
+		pv, pidx := pivot.MergeShards(cands, f)
+		if pv == nil {
+			return nil, stats, ErrNoAnswers // unreachable: curCount > 0
 		}
 		wp := pv.Weight
 		t1 := now()
@@ -314,8 +404,8 @@ func run(eng *engine.Engine, f *ranking.Func, opts Options, pickIndex func(total
 			case BudgetPaper:
 				if paperEps == 0 {
 					// ε' = ε / (2·⌈ℓ·log_{1/(1-c)} n⌉), Lemma 3.6.
-					ell := float64(len(q.Atoms))
-					n := float64(db.Size())
+					ell := float64(len(engs[0].Query().Atoms))
+					n := float64(dbSize)
 					iters := math.Ceil(ell * math.Log(n) / -math.Log(1-pv.C))
 					if iters < 1 {
 						iters = 1
@@ -331,38 +421,54 @@ func run(eng *engine.Engine, f *ranking.Func, opts Options, pickIndex func(total
 			}
 		}
 
-		lt, err := trm.less(orig, wp, epsIter)
-		if err != nil {
-			return nil, stats, err
-		}
-		if low.IsFinite() {
-			if lt, err = trm.greater(lt, low.W, epsIter); err != nil {
+		for _, st := range shards {
+			if st.dead {
+				continue
+			}
+			if st.lt, err = trm.less(st.orig, wp, epsIter); err != nil {
 				return nil, stats, err
 			}
-		}
-		gt, err := trm.greater(orig, wp, epsIter)
-		if err != nil {
-			return nil, stats, err
-		}
-		if high.IsFinite() {
-			if gt, err = trm.less(gt, high.W, epsIter); err != nil {
+			if low.IsFinite() {
+				if st.lt, err = trm.greater(st.lt, low.W, epsIter); err != nil {
+					return nil, stats, err
+				}
+			}
+			if st.gt, err = trm.greater(st.orig, wp, epsIter); err != nil {
 				return nil, stats, err
+			}
+			if high.IsFinite() {
+				if st.gt, err = trm.less(st.gt, high.W, epsIter); err != nil {
+					return nil, stats, err
+				}
 			}
 		}
 		t2 := now()
-		ltExec, err := execOf(lt)
-		if err != nil {
-			return nil, stats, err
-		}
-		gtExec, err := execOf(gt)
-		if err != nil {
-			return nil, stats, err
+		for _, st := range shards {
+			if st.dead {
+				continue
+			}
+			if st.ltExec, err = execOf(st.lt); err != nil {
+				return nil, stats, err
+			}
+			if st.gtExec, err = execOf(st.gt); err != nil {
+				return nil, stats, err
+			}
 		}
 		t3 := now()
-		ltCounts := yannakakis.CountScratch(ltExec, workers, &scr.countA)
-		gtCounts := yannakakis.CountScratch(gtExec, workers, &scr.countB)
-		cLt, cGt := ltCounts.Total, gtCounts.Total
-		stats.MaxInstanceTuples = maxInt(stats.MaxInstanceTuples, lt.DB.Size(), gt.DB.Size())
+		cLt, cGt := counting.Zero, counting.Zero
+		ltSize, gtSize := 0, 0
+		for _, st := range shards {
+			if st.dead {
+				continue
+			}
+			st.ltCounts = yannakakis.CountScratch(st.ltExec, workers, &st.scr.countA)
+			st.gtCounts = yannakakis.CountScratch(st.gtExec, workers, &st.scr.countB)
+			cLt = cLt.Add(st.ltCounts.Total)
+			cGt = cGt.Add(st.gtCounts.Total)
+			ltSize += st.lt.DB.Size()
+			gtSize += st.gt.DB.Size()
+		}
+		stats.MaxInstanceTuples = maxInt(stats.MaxInstanceTuples, ltSize, gtSize)
 		if opts.CollectPhases {
 			t4 := now()
 			stats.Phases.Iterations = append(stats.Phases.Iterations, PhaseTimings{
@@ -375,25 +481,84 @@ func run(eng *engine.Engine, f *ranking.Func, opts Options, pickIndex func(total
 
 		// Choose the partition holding index k. The equal partition is
 		// implicit: everything not in lt or gt (lossy trims only move lost
-		// answers into it, Figure 5). The chosen branch hands its executable
-		// tree and counting state to the next iteration — nothing is rebuilt.
+		// answers into it, Figure 5). Every live shard descends into its
+		// slice of the chosen branch, handing its executable tree and
+		// counting state to the next iteration — nothing is rebuilt. A
+		// shard whose slice came up empty is dead from here on.
 		switch {
 		case k.Cmp(cLt) < 0:
-			cur, curCount, high = lt, cLt, ranking.Finite(wp)
-			curExec, curCounts = ltExec, ltCounts
-			onOrig = false
+			for _, st := range shards {
+				if st.dead {
+					continue
+				}
+				st.cur, st.curCount = st.lt, st.ltCounts.Total
+				st.curExec, st.curCounts = st.ltExec, st.ltCounts
+				st.onOrig = false
+				st.dead = st.curCount.IsZero()
+			}
+			curCount, high = cLt, ranking.Finite(wp)
 		case k.Cmp(curCount.Sub(cGt)) >= 0:
 			k = k.Sub(curCount.Sub(cGt))
-			cur, curCount, low = gt, cGt, ranking.Finite(wp)
-			curExec, curCounts = gtExec, gtCounts
-			onOrig = false
+			for _, st := range shards {
+				if st.dead {
+					continue
+				}
+				st.cur, st.curCount = st.gt, st.gtCounts.Total
+				st.curExec, st.curCounts = st.gtExec, st.gtCounts
+				st.onOrig = false
+				st.dead = st.curCount.IsZero()
+			}
+			curCount, low = cGt, ranking.Finite(wp)
 		default:
 			stats.PivotReturned = true
-			ans := projectAnswer(cur.Q.Vars(), pv.Assignment, origVars)
-			return &Answer{Vars: origVars, Values: ans, Weight: wp}, stats, nil
+			if trm.lossy {
+				// Lossy trims fold lost answers into the equal partition, so
+				// there is no exact class to canonicalize over; the pivot
+				// itself carries the (φ±ε) guarantee (Theorem 6.2).
+				ans := projectAnswer(shards[pidx].cur.Q.Vars(), pv.Assignment, origVars)
+				return &Answer{Vars: origVars, Values: ans, Weight: wp}, stats, nil
+			}
+			// Exact trims are strict, so the equal partition is exactly the
+			// weight-λ class. Return its member at class rank k−cLt in value
+			// order — the global rank-k answer — rather than whichever class
+			// member the pivot pass happened to select, so the answer does
+			// not depend on the pivot path (and hence not on the shard
+			// count). A singleton class needs no enumeration: the pivot is
+			// its only member.
+			if curCount.Sub(cLt).Sub(cGt).Cmp(counting.One) == 0 {
+				ans := projectAnswer(shards[pidx].cur.Q.Vars(), pv.Assignment, origVars)
+				return &Answer{Vars: origVars, Values: ans, Weight: wp}, stats, nil
+			}
+			execs, err := liveExecs(shards)
+			if err != nil {
+				return nil, stats, err
+			}
+			ans, err := classSelect(execs, f, origVars, wp, k.Sub(cLt))
+			return ans, stats, err
 		}
 	}
 	return nil, stats, ErrTooManyIterations
+}
+
+// liveExecs gathers the current executable trees of the live shards,
+// substituting each engine's cached full reduction while a shard is still on
+// its untrimmed instance.
+func liveExecs(shards []*shardState) ([]*jointree.Exec, error) {
+	out := make([]*jointree.Exec, 0, len(shards))
+	for _, st := range shards {
+		if st.dead {
+			continue
+		}
+		e := st.curExec
+		if st.onOrig {
+			var err error
+			if e, err = st.eng.Reduced(); err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, e)
+	}
+	return out, nil
 }
 
 func maxInt(a int, rest ...int) int {
@@ -407,47 +572,58 @@ func maxInt(a int, rest ...int) int {
 
 // projectAnswer maps an assignment laid out per fromVars onto toVars by name.
 func projectAnswer(fromVars []query.Var, vals []relation.Value, toVars []query.Var) []relation.Value {
-	pos := make(map[query.Var]int, len(fromVars))
-	for i, v := range fromVars {
-		pos[v] = i
-	}
 	out := make([]relation.Value, len(toVars))
-	for i, v := range toVars {
-		out[i] = vals[pos[v]]
+	for i, p := range projection(fromVars, toVars) {
+		out[i] = vals[p]
 	}
 	return out
 }
 
-// materializeSelect resolves a small candidate instance: materialize its
-// answers (Yannakakis), project off helper variables, and select index k by
-// weight with a consistent value tie-break. The sort's (weight, values)
-// order is total over the distinct answers, so the selected answer does not
-// depend on the enumeration order of the executable tree passed in.
-// Projected answers are stored in one flat backing array — the projection
-// positions are resolved once, not once per answer.
-func materializeSelect(e *jointree.Exec, f *ranking.Func, origVars []query.Var, k counting.Count) (*Answer, error) {
-	fromVars := e.Q.Vars()
+// projection returns, for each of toVars, its position within fromVars.
+func projection(fromVars, toVars []query.Var) []int {
 	pos := make(map[query.Var]int, len(fromVars))
 	for i, v := range fromVars {
 		pos[v] = i
 	}
-	proj := make([]int, len(origVars))
-	for i, v := range origVars {
+	proj := make([]int, len(toVars))
+	for i, v := range toVars {
 		proj[i] = pos[v]
 	}
+	return proj
+}
+
+// materializeSelect resolves a small candidate instance spread over one or
+// more shard executable trees: materialize the answers (Yannakakis), project
+// off helper variables, and select index k by weight with a consistent value
+// tie-break. The sort's (weight, values) order is total over the distinct
+// answers — shards hold disjoint answer sets — so the selected answer
+// depends neither on the enumeration order within a tree nor on how answers
+// are distributed across trees. Projected answers are stored in one flat
+// backing array — the projection positions are resolved once per tree, not
+// once per answer.
+func materializeSelect(execs []*jointree.Exec, f *ranking.Func, origVars []query.Var, k counting.Count) (*Answer, error) {
 	w := len(origVars)
 	var flat []relation.Value
-	yannakakis.Enumerate(e, func(asn []relation.Value) bool {
-		for _, p := range proj {
-			flat = append(flat, asn[p])
-		}
-		return true
-	})
+	for _, e := range execs {
+		proj := projection(e.Q.Vars(), origVars)
+		yannakakis.Enumerate(e, func(asn []relation.Value) bool {
+			for _, p := range proj {
+				flat = append(flat, asn[p])
+			}
+			return true
+		})
+	}
 	n := len(flat) / max(w, 1)
 	if w == 0 {
-		// Boolean query: a single empty answer if enumeration produced one.
+		// Boolean query: a single empty answer if any shard produced one.
 		n = 0
-		yannakakis.Enumerate(e, func([]relation.Value) bool { n++; return false })
+		for _, e := range execs {
+			yannakakis.Enumerate(e, func([]relation.Value) bool { n++; return false })
+			if n > 0 {
+				n = 1
+				break
+			}
+		}
 	}
 	if n == 0 {
 		return nil, ErrNoAnswers
@@ -468,13 +644,7 @@ func materializeSelect(e *jointree.Exec, f *ranking.Func, origVars []query.Var, 
 		if c := f.Compare(weights[i], weights[j]); c != 0 {
 			return c < 0
 		}
-		a, b := answer(i), answer(j)
-		for p := range a {
-			if a[p] != b[p] {
-				return a[p] < b[p]
-			}
-		}
-		return false
+		return lessValues(answer(i), answer(j))
 	})
 	ki, ok := k.Uint64()
 	if !ok || ki >= uint64(n) {
@@ -486,4 +656,60 @@ func materializeSelect(e *jointree.Exec, f *ranking.Func, origVars []query.Var, 
 	// values for the Answer's lifetime.
 	vals := append([]relation.Value(nil), answer(sel)...)
 	return &Answer{Vars: origVars, Values: vals, Weight: weights[sel]}, nil
+}
+
+// classSelect resolves an exact-trim run that terminated in the equal
+// partition with more than one member: enumerate the current candidate band
+// across the live shards, keep only the answers whose weight equals the
+// pivot's λ (the band is a union of complete weight classes, so these are
+// exactly the global weight-λ class), and return the member at class rank k
+// in value order. Linear in the band size — paid only when the global index
+// lands on a tie class of several answers.
+func classSelect(execs []*jointree.Exec, f *ranking.Func, origVars []query.Var, lambda ranking.Weightv, k counting.Count) (*Answer, error) {
+	w := len(origVars)
+	aw := ranking.NewAnswerWeigher(f, origVars)
+	var flat []relation.Value
+	row := make([]relation.Value, w)
+	for _, e := range execs {
+		proj := projection(e.Q.Vars(), origVars)
+		yannakakis.Enumerate(e, func(asn []relation.Value) bool {
+			for i, p := range proj {
+				row[i] = asn[p]
+			}
+			if f.Compare(aw.WeightOf(row), lambda) != 0 {
+				return true
+			}
+			flat = append(flat, row...)
+			return true
+		})
+	}
+	n := len(flat) / max(w, 1)
+	if n == 0 {
+		return nil, ErrNoAnswers
+	}
+	answer := func(i int) []relation.Value { return flat[i*w : i*w+w] }
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.Slice(perm, func(x, y int) bool {
+		return lessValues(answer(perm[x]), answer(perm[y]))
+	})
+	ki, ok := k.Uint64()
+	if !ok || ki >= uint64(n) {
+		ki = uint64(n - 1)
+	}
+	vals := append([]relation.Value(nil), answer(perm[ki])...)
+	return &Answer{Vars: origVars, Values: vals, Weight: lambda}, nil
+}
+
+// lessValues is the canonical lexicographic value order used to break weight
+// ties everywhere an answer is selected by rank.
+func lessValues(a, b []relation.Value) bool {
+	for p := range a {
+		if a[p] != b[p] {
+			return a[p] < b[p]
+		}
+	}
+	return false
 }

@@ -69,6 +69,16 @@ func (d *Delta) Delete(rel string, rows ...[]relation.Value) *Delta {
 // Len returns the number of ops in the delta.
 func (d *Delta) Len() int { return len(d.ops) }
 
+// Ops calls fn for every op in order. The row slice is the delta's own
+// storage and must not be mutated. Consumers that re-route ops — the shard
+// layer splits one delta into per-shard deltas by hashing a key column —
+// read them through this, keeping the op encoding private to this package.
+func (d *Delta) Ops(fn func(rel string, row []relation.Value, del bool)) {
+	for _, op := range d.ops {
+		fn(op.rel, op.row, op.del)
+	}
+}
+
 // Clone returns a snapshot of the delta. Consumers that retain a delta
 // (Prepared.Update keeps the chain for lazy database materialization) hold
 // a Clone, so the caller may keep building on the original afterwards.

@@ -81,14 +81,25 @@ type Range struct{ Lo, Hi int }
 // Len returns the number of indexes in the range.
 func (r Range) Len() int { return r.Hi - r.Lo }
 
-// Ranges splits [0, n) into at most workers contiguous chunks of nearly
-// equal size. It returns a single chunk when workers <= 1, when n is below
-// SeqThreshold, or when more chunks would shrink them under minChunk.
+// overSplit is the chunks-per-worker factor of a parallel decomposition.
+// Chunks are claimed dynamically (see Do), so a modest surplus lets workers
+// that drew cheap chunks take over the remainder instead of idling behind a
+// straggler — with exactly one chunk per worker, the slowest chunk alone
+// sets the wall clock. Bounded by minChunk, so tiny inputs never shatter.
+const overSplit = 2
+
+// Ranges splits [0, n) into contiguous chunks of nearly equal size — up to
+// overSplit per worker, so the claim loop can rebalance uneven chunk costs.
+// It returns a single chunk when workers <= 1, when n is below SeqThreshold,
+// or when more chunks would shrink them under minChunk.
 func Ranges(workers, n int) []Range {
 	if n <= 0 {
 		return nil
 	}
 	chunks := workers
+	if workers > 1 {
+		chunks = workers * overSplit
+	}
 	if max := n / minChunk; chunks > max {
 		chunks = max
 	}
@@ -106,11 +117,16 @@ func Ranges(workers, n int) []Range {
 }
 
 // Do executes task(i) for every i in [0, tasks) on up to workers
-// goroutines. Tasks are claimed through an atomic counter, so long tasks do
-// not serialize behind short ones. With workers <= 1 or a single task the
-// tasks run inline on the calling goroutine. The first panic raised by any
-// task is re-raised on the caller after all workers stop; remaining
-// unclaimed tasks are abandoned.
+// goroutines, one of which is the calling goroutine itself: a call with
+// workers=w spawns w-1 goroutines and the caller works the claim loop
+// instead of idling in a join. That halves the spawn cost of the smallest
+// parallel calls — at workers=2, the dominant regime of the engine's many
+// short per-iteration regions, each region starts one goroutine instead of
+// two and the caller never parks. Tasks are claimed through an atomic
+// counter, so long tasks do not serialize behind short ones. With
+// workers <= 1 or a single task the tasks run inline. The first panic
+// raised by any task is re-raised on the caller after all workers stop;
+// remaining unclaimed tasks are abandoned.
 //
 // Unlike For/MapRanges, Do has no small-input fallback — a task is a unit
 // of unknown size (one join group may hold most of the rows), so two tasks
@@ -137,25 +153,29 @@ func Do(workers, tasks int, task func(i int)) {
 		once     sync.Once
 		wg       sync.WaitGroup
 	)
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					once.Do(func() { panicked = r })
-					aborted.Store(true)
-				}
-			}()
-			for !aborted.Load() {
-				i := int(next.Add(1)) - 1
-				if i >= tasks {
-					return
-				}
-				task(i)
+	run := func() {
+		defer func() {
+			if r := recover(); r != nil {
+				once.Do(func() { panicked = r })
+				aborted.Store(true)
 			}
 		}()
+		for !aborted.Load() {
+			i := int(next.Add(1)) - 1
+			if i >= tasks {
+				return
+			}
+			task(i)
+		}
 	}
+	wg.Add(workers - 1)
+	for w := 1; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			run()
+		}()
+	}
+	run() // the caller is worker 0
 	wg.Wait()
 	if panicked != nil {
 		panic(panicked)

@@ -226,3 +226,53 @@ func SelectPrepared(e *jointree.Exec, counts *yannakakis.Counts, f *ranking.Func
 		Count:      counts.Total,
 	}, nil
 }
+
+// MergeShards merges per-shard pivot results into one global pivot for the
+// sharded driver. cands is indexed by shard; nil entries mark shards with no
+// candidates left. The winner is the weighted median of the shard pivots
+// with the shard answer counts as multiplicities — the same ⊕ aggregation
+// Algorithm 2 applies to join groups (Lemma 4.5), lifted one level up to
+// shards: every candidate j is a C_j-pivot of its own shard, so at least
+// Σ_{w_j ⪯ λ} C_j·N_j ≥ (min_j C_j)·N/2 global answers are ⪯ the median λ
+// (and symmetrically ⪰), making λ a (min C_j)/2-pivot of the union. The
+// merged Count is the global candidate count (shard answer sets are
+// disjoint, so counts add).
+//
+// A single live candidate passes through unchanged — no halving — which
+// makes the one-shard global loop bit-for-bit the unsharded algorithm.
+//
+// The second return value is the winning shard's index: the merged
+// Assignment is laid out per that shard's current query, which the caller
+// needs for projection. (-1 when every entry is nil.)
+func MergeShards(cands []*Result, f *ranking.Func) (*Result, int) {
+	live := make([]int, 0, len(cands))
+	for i, c := range cands {
+		if c != nil {
+			live = append(live, i)
+		}
+	}
+	if len(live) == 0 {
+		return nil, -1
+	}
+	if len(live) == 1 {
+		return cands[live[0]], live[0]
+	}
+	idx := selection.WeightedMedian(live,
+		func(a, b int) bool { return f.Compare(cands[a].Weight, cands[b].Weight) < 0 },
+		func(i int) counting.Count { return cands[i].Count })
+	minC := 1.0
+	total := counting.Zero
+	for _, i := range live {
+		if cands[i].C < minC {
+			minC = cands[i].C
+		}
+		total = total.Add(cands[i].Count)
+	}
+	win := cands[idx]
+	return &Result{
+		Assignment: win.Assignment,
+		Weight:     win.Weight,
+		C:          minC / 2,
+		Count:      total,
+	}, idx
+}

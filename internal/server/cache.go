@@ -10,7 +10,8 @@ import (
 )
 
 // PlanCache maps (dataset, generation, canonical query, ranking spec,
-// workers) to a compiled *qjoin.Prepared plan, with
+// workers) to a compiled qjoin.Plan — an unsharded *qjoin.Prepared or a
+// sharded *qjoin.ShardedPrepared, per the dataset's shard option — with
 //
 //   - LRU eviction bounded by a capacity,
 //   - singleflight deduplication: concurrent requests for the same missing
@@ -52,14 +53,14 @@ type entry struct {
 	query   string
 	rankStr string
 	workers int
-	plan    *qjoin.Prepared
+	plan    qjoin.Plan
 	rank    *qjoin.Ranking
 }
 
 // flight is one in-progress Prepare that latecomers wait on.
 type flight struct {
 	done chan struct{}
-	plan *qjoin.Prepared
+	plan qjoin.Plan
 	rank *qjoin.Ranking
 	err  error
 }
@@ -85,7 +86,7 @@ func key(dataset string, gen uint64, query, rank string, workers int) string {
 }
 
 // planKey is the ranking-independent part of the cache key — the identity
-// of the compiled *qjoin.Prepared itself.
+// of the compiled qjoin.Plan itself.
 func planKey(dataset string, gen uint64, query string, workers int) string {
 	return fmt.Sprintf("%s\x00%d\x00%s\x00%d", dataset, gen, query, workers)
 }
@@ -105,7 +106,7 @@ func planKey(dataset string, gen uint64, query string, workers int) string {
 // compile path and its return value when the flight finishes, letting the
 // HTTP layer charge the detached compile to the caller's admission slot.
 func (c *PlanCache) Get(ctx context.Context, dataset string, gen uint64, query, rankStr string, workers int,
-	rank *qjoin.Ranking, hold func() func(), prepare func() (*qjoin.Prepared, error)) (plan *qjoin.Prepared, outRank *qjoin.Ranking, cached bool, err error) {
+	rank *qjoin.Ranking, hold func() func(), prepare func() (qjoin.Plan, error)) (plan qjoin.Plan, outRank *qjoin.Ranking, cached bool, err error) {
 	k := key(dataset, gen, query, rankStr, workers)
 	c.mu.Lock()
 	if el, ok := c.byKey[k]; ok {
@@ -246,7 +247,7 @@ func (c *PlanCache) Migrate(dataset string, oldGen, newGen uint64, delta *qjoin.
 	// Phase 1 (locked): collect the dataset's live entries, drop strays.
 	c.mu.Lock()
 	var els []*list.Element
-	var plans []*qjoin.Prepared
+	var plans []qjoin.Plan
 	for el := c.ll.Front(); el != nil; {
 		next := el.Next()
 		e := el.Value.(*entry)
@@ -268,12 +269,12 @@ func (c *PlanCache) Migrate(dataset string, oldGen, newGen uint64, delta *qjoin.
 	// Phase 2 (unlocked): derive each distinct plan once. Concurrent
 	// readers of the old plans are safe (Update is copy-on-write), and
 	// same-dataset writers are excluded by the registry's writer lock.
-	updated := make(map[*qjoin.Prepared]*qjoin.Prepared, len(plans))
+	updated := make(map[qjoin.Plan]qjoin.Plan, len(plans))
 	for _, p := range plans {
 		if _, ok := updated[p]; ok {
 			continue
 		}
-		up, err := p.Update(delta)
+		up, err := p.UpdatePlan(delta)
 		if err != nil {
 			// Cannot happen for a delta the registry already applied to the
 			// raw database (the engine validates against the same multiset

@@ -35,6 +35,11 @@ type Config struct {
 	// MaxBodyBytes bounds request bodies (0 = 1 GiB). Bulk loads of big
 	// datasets dominate; query bodies are tiny.
 	MaxBodyBytes int64
+	// DefaultShards is the shard count for datasets loaded without an
+	// explicit shards field (0 or 1 = unsharded). A load request's shards
+	// field overrides it per dataset. Validated like the request field:
+	// New panics on a count outside [0, qjoin.MaxShards].
+	DefaultShards int
 }
 
 func (c Config) withDefaults() Config {
@@ -66,6 +71,9 @@ type Server struct {
 
 // New returns a Server with the given configuration.
 func New(cfg Config) *Server {
+	if err := qjoin.ValidateShards(cfg.DefaultShards); err != nil {
+		panic(fmt.Sprintf("server: bad DefaultShards: %v", err))
+	}
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:   cfg,
@@ -226,12 +234,46 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err)
 		return
 	}
-	snap := s.reg.Load(name, db)
+	if err := qjoin.ValidateShards(req.Shards); err != nil {
+		s.fail(w, err)
+		return
+	}
+	shards := req.Shards
+	if shards == 0 {
+		shards = s.cfg.DefaultShards
+	}
+	snap := s.reg.Load(name, db, shards)
 	s.cache.DropDataset(name)
 	s.writeJSON(w, LoadResponse{
 		Dataset: name, Generation: snap.Gen,
 		Relations: len(db.Relations()), Tuples: db.Size(),
+		Shards: snap.Shards,
 	})
+}
+
+// shardsTouched routes a delta's rows under the dataset's canonical
+// first-column hash and returns the touched shards, ascending. Rows route by
+// their first value — the dataset-level convention ShardGens is defined
+// over; plans partition by their own join key, so this is bookkeeping of
+// delta locality, not plan invalidation.
+func shardsTouched(d *qjoin.Delta, shards int) []int {
+	hit := make([]bool, shards)
+	d.Ops(func(rel string, row []qjoin.Value, del bool) {
+		if len(row) == 0 {
+			for i := range hit {
+				hit[i] = true
+			}
+			return
+		}
+		hit[qjoin.ShardOf(row[0], shards)] = true
+	})
+	out := make([]int, 0, shards)
+	for i, h := range hit {
+		if h {
+			out = append(out, i)
+		}
+	}
+	return out
 }
 
 // handleDelta is POST /datasets/{name}/delta: apply an insert/delete batch,
@@ -251,13 +293,17 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	migrated := 0
-	_, now, err := s.reg.Mutate(name, func(cur Snapshot, nextGen uint64) (*qjoin.DB, error) {
+	var touched []int
+	_, now, err := s.reg.Mutate(name, func(cur Snapshot, nextGen uint64) (*qjoin.DB, []int, error) {
 		ndb, err := cur.DB.Apply(delta)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
+		}
+		if cur.Shards > 1 {
+			touched = shardsTouched(delta, cur.Shards)
 		}
 		migrated = s.cache.Migrate(name, cur.Gen, nextGen, delta)
-		return ndb, nil
+		return ndb, touched, nil
 	})
 	if err != nil {
 		s.fail(w, err)
@@ -265,6 +311,7 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 	}
 	s.writeJSON(w, DeltaResponse{
 		Dataset: name, Generation: now.Gen, Ops: delta.Len(), PlansMigrated: migrated,
+		ShardsTouched: touched, ShardGens: now.ShardGens,
 	})
 }
 
@@ -430,15 +477,27 @@ func (s *Server) execQuery(ctx context.Context, req *QueryRequest) (*QueryRespon
 // getPlan resolves the plan through the cache. A miss compiles in a
 // cache-owned flight (see PlanCache.Get): this request waits under its own
 // deadline while the compile — charged to this request's admission slot —
-// always runs to completion and lands in the cache.
+// always runs to completion and lands in the cache. Sharded datasets
+// compile through PrepareSharded (answers stay byte-identical; see the
+// qjoin.Plan contract), except for queries with no join variable to
+// partition on, which fall back to the unsharded engine.
 func (s *Server) getPlan(ctx context.Context, dataset string, snap Snapshot, q *qjoin.Query, qstr, rankStr string,
-	workers int, f *qjoin.Ranking) (*qjoin.Prepared, *qjoin.Ranking, bool, error) {
+	workers int, f *qjoin.Ranking) (qjoin.Plan, *qjoin.Ranking, bool, error) {
 	var hold func() func()
 	if tok := admitFrom(ctx); tok != nil {
 		hold = tok.hold
 	}
 	plan, f, cached, err := s.cache.Get(ctx, dataset, snap.Gen, qstr, rankStr, workers, f, hold,
-		func() (*qjoin.Prepared, error) {
+		func() (qjoin.Plan, error) {
+			if snap.Shards > 1 {
+				sp, err := qjoin.PrepareSharded(q, snap.DB, snap.Shards, qjoin.Options{Parallelism: workers})
+				if err == nil {
+					return sp, nil
+				}
+				if !errors.Is(err, qjoin.ErrNoShardKey) {
+					return nil, err
+				}
+			}
 			return qjoin.Prepare(q, snap.DB, qjoin.Options{Parallelism: workers})
 		})
 	if err != nil {

@@ -17,7 +17,7 @@ func TestPlanCacheCrossRankHerd(t *testing.T) {
 	db := tinyDB(t)
 	var prepares atomic.Int64
 	release := make(chan struct{})
-	prepare := func() (*qjoin.Prepared, error) {
+	prepare := func() (qjoin.Plan, error) {
 		prepares.Add(1)
 		<-release
 		q, _ := qjoin.ParseQuery("R(x,y),S(y,z)")
@@ -25,7 +25,7 @@ func TestPlanCacheCrossRankHerd(t *testing.T) {
 	}
 	ranks := []string{"sum(x,z)", "min(x)", "max(z)", "lex(x,z)"}
 	var wg sync.WaitGroup
-	plans := make([]*qjoin.Prepared, len(ranks))
+	plans := make([]qjoin.Plan, len(ranks))
 	started := make(chan struct{}, len(ranks))
 	for i, r := range ranks {
 		wg.Add(1)

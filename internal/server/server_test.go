@@ -480,8 +480,8 @@ func TestQueryTimeout(t *testing.T) {
 func TestPlanCacheLRU(t *testing.T) {
 	c := server.NewPlanCache(2)
 	db := tinyDB(t)
-	prepare := func(qs string) func() (*qjoin.Prepared, error) {
-		return func() (*qjoin.Prepared, error) {
+	prepare := func(qs string) func() (qjoin.Plan, error) {
+		return func() (qjoin.Plan, error) {
 			q, err := qjoin.ParseQuery(qs)
 			if err != nil {
 				return nil, err
@@ -506,7 +506,7 @@ func TestPlanCacheLRU(t *testing.T) {
 
 	// A different ranking over the same query shares the plan: no prepare.
 	p2, _, _, err := c.Get(ctx, "d", 1, "R(x,y),S(y,z)", "min(x)", 1, qjoin.Min("x"), nil,
-		func() (*qjoin.Prepared, error) { t.Fatal("prepare called despite sibling"); return nil, nil })
+		func() (qjoin.Plan, error) { t.Fatal("prepare called despite sibling"); return nil, nil })
 	if err != nil || p2 != p1 {
 		t.Fatalf("sibling sharing failed: %v", err)
 	}
@@ -526,7 +526,7 @@ func TestPlanCacheLRU(t *testing.T) {
 		t.Fatalf("migrated %d entries, want 2", n)
 	}
 	_, _, cached, err = c.Get(ctx, "d", 2, "R(x,y)", "sum(x)", 1, qjoin.Sum("x"), nil,
-		func() (*qjoin.Prepared, error) { t.Fatal("prepare after migrate"); return nil, nil })
+		func() (qjoin.Plan, error) { t.Fatal("prepare after migrate"); return nil, nil })
 	if err != nil || !cached {
 		t.Fatalf("migrated entry missed: %v", err)
 	}
@@ -548,7 +548,7 @@ func TestPlanCacheSingleflight(t *testing.T) {
 	var prepares int64
 	var mu sync.Mutex
 	release := make(chan struct{})
-	prepare := func() (*qjoin.Prepared, error) {
+	prepare := func() (qjoin.Plan, error) {
 		mu.Lock()
 		prepares++
 		mu.Unlock()
@@ -558,7 +558,7 @@ func TestPlanCacheSingleflight(t *testing.T) {
 	}
 	const N = 8
 	var wg sync.WaitGroup
-	plans := make([]*qjoin.Prepared, N)
+	plans := make([]qjoin.Plan, N)
 	for i := 0; i < N; i++ {
 		wg.Add(1)
 		go func(i int) {
@@ -595,17 +595,18 @@ func TestPlanCacheSingleflight(t *testing.T) {
 func TestRegistryGenerations(t *testing.T) {
 	r := server.NewRegistry()
 	db := qjoin.NewDB().MustAdd("R", 1, [][]int64{{1}})
-	if s := r.Load("a", db); s.Gen != 1 {
+	if s := r.Load("a", db, 0); s.Gen != 1 {
 		t.Fatalf("gen = %d", s.Gen)
 	}
-	if s := r.Load("a", db); s.Gen != 2 {
+	if s := r.Load("a", db, 0); s.Gen != 2 {
 		t.Fatalf("reload gen = %d, want 2 (monotonic across reloads)", s.Gen)
 	}
-	old, now, err := r.Mutate("a", func(cur server.Snapshot, nextGen uint64) (*qjoin.DB, error) {
+	old, now, err := r.Mutate("a", func(cur server.Snapshot, nextGen uint64) (*qjoin.DB, []int, error) {
 		if nextGen != cur.Gen+1 {
 			t.Fatalf("nextGen = %d, want %d", nextGen, cur.Gen+1)
 		}
-		return cur.DB.Apply(qjoin.NewDelta().Insert("R", []int64{2}))
+		ndb, err := cur.DB.Apply(qjoin.NewDelta().Insert("R", []int64{2}))
+		return ndb, nil, err
 	})
 	if err != nil || old.Gen != 2 || now.Gen != 3 {
 		t.Fatalf("mutate: %v %d -> %d", err, old.Gen, now.Gen)
@@ -615,8 +616,8 @@ func TestRegistryGenerations(t *testing.T) {
 	}
 	// A failing mutation leaves the snapshot untouched (its assigned
 	// generation number is burned — monotonic, not contiguous).
-	_, _, err = r.Mutate("a", func(cur server.Snapshot, nextGen uint64) (*qjoin.DB, error) {
-		return nil, fmt.Errorf("boom")
+	_, _, err = r.Mutate("a", func(cur server.Snapshot, nextGen uint64) (*qjoin.DB, []int, error) {
+		return nil, nil, fmt.Errorf("boom")
 	})
 	if err == nil {
 		t.Fatal("mutate error swallowed")
@@ -633,7 +634,7 @@ func TestRegistryGenerations(t *testing.T) {
 	// Generations survive Delete: a reloaded name resumes the numbering,
 	// so stale cache entries of the dead lineage can never collide with
 	// the new one.
-	if s := r.Load("a", db); s.Gen <= 4 {
+	if s := r.Load("a", db, 0); s.Gen <= 4 {
 		t.Fatalf("post-delete reload gen = %d, want > 4 (monotonic across Delete)", s.Gen)
 	}
 }

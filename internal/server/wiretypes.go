@@ -17,6 +17,11 @@ import (
 // named dataset.
 type LoadRequest struct {
 	Relations []RelationData `json:"relations"`
+	// Shards is the dataset's shard count (0 or 1 = unsharded; validated by
+	// qjoin.ValidateShards). Sharded datasets compile their plans through
+	// qjoin.PrepareSharded — answers are byte-identical either way; sharding
+	// changes prepare/update locality, not results.
+	Shards int `json:"shards,omitempty"`
 }
 
 // RelationData carries one relation, either as row arrays or as CSV text
@@ -34,6 +39,7 @@ type LoadResponse struct {
 	Generation uint64 `json:"generation"`
 	Relations  int    `json:"relations"`
 	Tuples     int    `json:"tuples"`
+	Shards     int    `json:"shards,omitempty"`
 }
 
 // DeltaRequest is the body of POST /datasets/{name}/delta: an ordered batch
@@ -51,12 +57,17 @@ type DeltaOp struct {
 	Row []int64 `json:"row"`
 }
 
-// DeltaResponse reports the new snapshot and what migration did.
+// DeltaResponse reports the new snapshot and what migration did. For a
+// sharded dataset it also reports delta locality: the shards the batch's
+// rows hashed to and the resulting per-shard generations (untouched shards
+// keep the generation at which their slice last changed).
 type DeltaResponse struct {
-	Dataset       string `json:"dataset"`
-	Generation    uint64 `json:"generation"`
-	Ops           int    `json:"ops"`
-	PlansMigrated int    `json:"plans_migrated"`
+	Dataset       string   `json:"dataset"`
+	Generation    uint64   `json:"generation"`
+	Ops           int      `json:"ops"`
+	PlansMigrated int      `json:"plans_migrated"`
+	ShardsTouched []int    `json:"shards_touched,omitempty"`
+	ShardGens     []uint64 `json:"shard_gens,omitempty"`
 }
 
 // QueryRequest is the body of POST /query.
@@ -121,6 +132,8 @@ type DatasetInfo struct {
 	Name       string         `json:"name"`
 	Generation uint64         `json:"generation"`
 	Tuples     int            `json:"tuples"`
+	Shards     int            `json:"shards,omitempty"`
+	ShardGens  []uint64       `json:"shard_gens,omitempty"`
 	Relations  []RelationInfo `json:"relations"`
 }
 
@@ -211,7 +224,10 @@ func buildDelta(req *DeltaRequest) (*qjoin.Delta, error) {
 // datasetInfo builds the DatasetInfo of a snapshot.
 func datasetInfo(name string, snap Snapshot) DatasetInfo {
 	inner := snap.DB.Unwrap()
-	info := DatasetInfo{Name: name, Generation: snap.Gen, Tuples: snap.DB.Size()}
+	info := DatasetInfo{
+		Name: name, Generation: snap.Gen, Tuples: snap.DB.Size(),
+		Shards: snap.Shards, ShardGens: snap.ShardGens,
+	}
 	for _, rn := range snap.DB.Relations() {
 		r := inner.Get(rn)
 		info.Relations = append(info.Relations, RelationInfo{Name: rn, Arity: r.Arity(), Tuples: r.Len()})

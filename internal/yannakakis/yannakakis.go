@@ -149,6 +149,21 @@ func CountScratch(e *jointree.Exec, workers int, s *Scratch) *Counts {
 	return c
 }
 
+// SumTotals adds the Total fields of the given counting states, treating
+// nil as zero. This is the count merge of the sharded driver: hash shards
+// partition the answer set, so disjoint per-shard totals add up to the
+// global |Q(D)| exactly — the property that lets sharded quantiles stay
+// exact instead of approximate.
+func SumTotals(states ...*Counts) counting.Count {
+	t := counting.Zero
+	for _, s := range states {
+		if s != nil {
+			t = t.Add(s.Total)
+		}
+	}
+	return t
+}
+
 // CountAnswers returns |Q(D)| for an executable join tree.
 func CountAnswers(e *jointree.Exec) counting.Count { return Count(e).Total }
 

@@ -202,7 +202,13 @@ func (p *Prepared) SampleAnswers(k int, rng *rand.Rand) ([]Var, [][]Value, error
 // delay. The returned stream is a single cursor (not goroutine-safe), but
 // independent streams may run concurrently over the same plan.
 func (p *Prepared) RankedEnumerate(f *Ranking) (*RankedStream, error) {
-	e, err := p.eng.Reduced()
+	return rankedStreamFor(p.eng, f)
+}
+
+// rankedStreamFor builds a ranked enumeration stream over one engine; the
+// sharded TopK merge opens one per shard engine.
+func rankedStreamFor(eng *engine.Engine, f *Ranking) (*RankedStream, error) {
+	e, err := eng.Reduced()
 	if err != nil {
 		return nil, err
 	}
@@ -212,9 +218,9 @@ func (p *Prepared) RankedEnumerate(f *Ranking) (*RankedStream, error) {
 	}
 	return &RankedStream{
 		en:   en,
-		vars: p.eng.Vars(),
-		pos:  p.eng.Pos(),
-		buf:  make([]Value, p.eng.Width()),
+		vars: eng.Vars(),
+		pos:  eng.Pos(),
+		buf:  make([]Value, eng.Width()),
 	}, nil
 }
 

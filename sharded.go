@@ -1,0 +1,302 @@
+package qjoin
+
+import (
+	"fmt"
+	"math/big"
+	"sync"
+
+	"github.com/quantilejoins/qjoin/internal/core"
+	"github.com/quantilejoins/qjoin/internal/counting"
+	"github.com/quantilejoins/qjoin/internal/shard"
+)
+
+// Plan is the query surface shared by unsharded (*Prepared) and sharded
+// (*ShardedPrepared) plans. Serving layers that hold plans of either kind —
+// the qjserve plan cache keys datasets that may or may not be sharded —
+// program against this interface; answers are byte-identical across
+// implementations, so which one sits behind a Plan is purely an operational
+// choice.
+type Plan interface {
+	// Vars returns the answer layout.
+	Vars() []Var
+	// Count returns |Q(D)| (cached; never fails).
+	Count() *big.Int
+	// Quantile returns the φ-quantile under the ranking function.
+	Quantile(f *Ranking, phi float64, opts ...Options) (*Answer, error)
+	// QuantileStats is Quantile plus the run's pivot-loop statistics.
+	QuantileStats(f *Ranking, phi float64, opts ...Options) (*Answer, *RunStats, error)
+	// Quantiles answers several φ's against the one plan.
+	Quantiles(f *Ranking, phis []float64, opts ...Options) ([]*Answer, error)
+	// Median returns the 0.5-quantile.
+	Median(f *Ranking, opts ...Options) (*Answer, error)
+	// ApproxQuantile returns a deterministic (φ±ε)-quantile.
+	ApproxQuantile(f *Ranking, phi, eps float64, opts ...Options) (*Answer, error)
+	// TopK returns the k lowest-weight answers in weight order.
+	TopK(f *Ranking, k int) ([]*Answer, error)
+	// UpdatePlan derives a plan reflecting the delta, copy-on-write; the
+	// receiver stays fully usable. (Update on the concrete types returns
+	// the concrete type; this is the interface-typed form.)
+	UpdatePlan(d *Delta) (Plan, error)
+}
+
+var (
+	_ Plan = (*Prepared)(nil)
+	_ Plan = (*ShardedPrepared)(nil)
+)
+
+// UpdatePlan is Update behind the Plan interface.
+func (p *Prepared) UpdatePlan(d *Delta) (Plan, error) { return p.Update(d) }
+
+// ErrNoShardKey is returned by PrepareSharded for queries with no join
+// variable to partition on (Boolean queries). Run those through Prepare.
+var ErrNoShardKey = shard.ErrNoKey
+
+// ShardOf returns the shard owning a join-key value under the engine's
+// deterministic hash routing. Exposed so operators can predict (and tests
+// can assert) where a row lands; the same function routes rows at
+// PrepareSharded time and delta ops at Update time.
+func ShardOf(v Value, shards int) int { return shard.Of(v, shards) }
+
+// ShardedPrepared is the sharded counterpart of Prepared: the input
+// relations are hash-partitioned on a join key into N shard engines
+// (prepared concurrently), and every query runs the paper's pivot loop
+// globally across them — per-shard pivot candidates merge by weighted
+// median, per-shard partition counts are summed, and the λ-trim broadcasts
+// to every shard. Because Algorithm 1 steers by counts alone and counts add
+// across the disjoint shards, answers are exact and byte-identical to an
+// unsharded Prepare on the same database, for every shard count. (RunStats
+// describing the run path — iterations, materialization size — are
+// deterministic per shard count but differ across shard counts: the merged
+// pivot sequence is a different, equally valid descent.)
+//
+// What sharding buys is operational: Prepare parallelizes across shards,
+// and a delta routes to the shards owning its key hashes, so Update touches
+// ~1/N of the compiled state (see Update). A ShardedPrepared is safe for
+// concurrent readers exactly like Prepared.
+type ShardedPrepared struct {
+	q    *Query
+	db   *DB // the compiled-against database; nil on updated plans until DB() materializes it
+	sh   *shard.Sharded
+	opts Options
+
+	// Same lazy database materialization as Prepared: updated plans carry
+	// base + delta chain, folded on first DB() call.
+	dbMu   sync.Mutex
+	baseDB *DB
+	deltas []*Delta
+}
+
+// PrepareSharded compiles a query against a hash-partitioned database.
+// shards is the partition count (0 selects 1; validated by ValidateShards);
+// the partitioning key is chosen automatically — the join variable occurring
+// in the most atoms — and relations not containing the key are replicated to
+// every shard. Shard engines compile concurrently on the Options
+// Parallelism budget. PrepareSharded(q, db, 1) is exactly Prepare.
+//
+// Boolean queries (no variables) cannot be sharded (shard.ErrNoKey); use
+// Prepare.
+func PrepareSharded(q *Query, db *DB, shards int, opts ...Options) (*ShardedPrepared, error) {
+	if err := ValidateShards(shards); err != nil {
+		return nil, err
+	}
+	if shards == 0 {
+		shards = 1
+	}
+	o := oneOpt(opts)
+	sh, err := shard.New(q, db.inner, shards, o.Parallelism)
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedPrepared{q: q, db: db, sh: sh, opts: o}, nil
+}
+
+// opt resolves per-call options against the plan defaults (see
+// Prepared.opt for the Parallelism inheritance rule).
+func (p *ShardedPrepared) opt(opts []Options) Options {
+	if len(opts) == 0 {
+		return p.opts
+	}
+	o := oneOpt(opts)
+	if o.Parallelism == 0 {
+		o.Parallelism = p.opts.Parallelism
+	}
+	return o
+}
+
+// Query returns the query this plan was compiled from.
+func (p *ShardedPrepared) Query() *Query { return p.q }
+
+// Shards returns the shard count.
+func (p *ShardedPrepared) Shards() int { return p.sh.Shards() }
+
+// Key returns the join variable the relations are partitioned on.
+func (p *ShardedPrepared) Key() Var { return p.sh.Key() }
+
+// DB returns the database this plan answers over (the union across shards).
+// On a plan derived by Update it reflects every applied delta; the mutated
+// database is materialized on first call and cached.
+func (p *ShardedPrepared) DB() *DB {
+	p.dbMu.Lock()
+	defer p.dbMu.Unlock()
+	if p.db == nil {
+		db := p.baseDB
+		for _, d := range p.deltas {
+			nd, err := db.Apply(d)
+			if err != nil {
+				panic(fmt.Sprintf("qjoin: delta chain re-apply failed: %v", err))
+			}
+			db = nd
+		}
+		p.db = db
+		p.baseDB, p.deltas = nil, nil
+	}
+	return p.db
+}
+
+// Vars returns the answer layout: the query's variables in first-appearance
+// order.
+func (p *ShardedPrepared) Vars() []Var { return p.sh.Vars() }
+
+// Count returns the cached global |Q(D)|: the shards hold disjoint slices
+// of the answer set, so their counts add.
+func (p *ShardedPrepared) Count() *big.Int { return p.sh.Total().Big() }
+
+// Quantile returns the φ-quantile of Q(D) under the ranking function,
+// byte-identical to the unsharded Prepared.Quantile on the same database.
+func (p *ShardedPrepared) Quantile(f *Ranking, phi float64, opts ...Options) (*Answer, error) {
+	a, _, err := core.QuantileShards(p.sh.Engines(), f, phi, p.opt(opts))
+	return a, err
+}
+
+// QuantileStats is Quantile returning the global run statistics (see the
+// type comment for which fields are comparable across shard counts).
+func (p *ShardedPrepared) QuantileStats(f *Ranking, phi float64, opts ...Options) (*Answer, *RunStats, error) {
+	return core.QuantileShards(p.sh.Engines(), f, phi, p.opt(opts))
+}
+
+// Median returns the 0.5-quantile.
+func (p *ShardedPrepared) Median(f *Ranking, opts ...Options) (*Answer, error) {
+	return p.Quantile(f, 0.5, opts...)
+}
+
+// ApproxQuantile returns a deterministic (φ±ε)-quantile (Theorem 6.2).
+func (p *ShardedPrepared) ApproxQuantile(f *Ranking, phi, eps float64, opts ...Options) (*Answer, error) {
+	o := p.opt(opts)
+	o.Epsilon = eps
+	a, _, err := core.QuantileShards(p.sh.Engines(), f, phi, o)
+	return a, err
+}
+
+// Quantiles answers several φ's against this single plan.
+func (p *ShardedPrepared) Quantiles(f *Ranking, phis []float64, opts ...Options) ([]*Answer, error) {
+	out := make([]*Answer, len(phis))
+	for i, phi := range phis {
+		a, err := p.Quantile(f, phi, opts...)
+		if err != nil {
+			return nil, fmt.Errorf("qjoin: φ=%v: %w", phi, err)
+		}
+		out[i] = a
+	}
+	return out, nil
+}
+
+// SelectAt answers the selection problem: the answer at absolute zero-based
+// index k of the global ranked order.
+func (p *ShardedPrepared) SelectAt(f *Ranking, k *big.Int, opts ...Options) (*Answer, error) {
+	kc, ok := counting.FromBig(k)
+	if !ok {
+		return nil, fmt.Errorf("qjoin: index out of the supported 128-bit range")
+	}
+	a, _, err := core.SelectShards(p.sh.Engines(), f, kc, p.opt(opts))
+	return a, err
+}
+
+// TopK returns the k lowest-weight answers in weight order (fewer if
+// |Q(D)| < k): a streaming merge of the per-shard ranked enumerations.
+// Among equal weights the merge breaks ties by value, so the output is
+// deterministic for a fixed shard count; an unsharded plan may order equal
+// weights differently (its single stream has no tie to break).
+func (p *ShardedPrepared) TopK(f *Ranking, k int) ([]*Answer, error) {
+	engs := p.sh.Engines()
+	type cursor struct {
+		a *Answer
+		s *RankedStream
+	}
+	heads := make([]cursor, 0, len(engs))
+	for _, eng := range engs {
+		s, err := rankedStreamFor(eng, f)
+		if err != nil {
+			return nil, err
+		}
+		if a, ok := s.Next(); ok {
+			heads = append(heads, cursor{a, s})
+		}
+	}
+	out := make([]*Answer, 0, k)
+	for len(out) < k && len(heads) > 0 {
+		best := 0
+		for j := 1; j < len(heads); j++ {
+			a, b := heads[j].a, heads[best].a
+			if c := f.Compare(a.Weight, b.Weight); c < 0 || (c == 0 && lessAnswerValues(a, b)) {
+				best = j
+			}
+		}
+		out = append(out, heads[best].a)
+		if a, ok := heads[best].s.Next(); ok {
+			heads[best].a = a
+		} else {
+			heads = append(heads[:best], heads[best+1:]...)
+		}
+	}
+	return out, nil
+}
+
+func lessAnswerValues(a, b *Answer) bool {
+	for i := range a.Values {
+		if a.Values[i] != b.Values[i] {
+			return a.Values[i] < b.Values[i]
+		}
+	}
+	return false
+}
+
+// Touched returns, ascending, the shards the delta's ops route to — the
+// shards Update would rebuild. Ops on replicated relations (and on
+// relations outside the query) route to every shard.
+func (p *ShardedPrepared) Touched(d *Delta) []int { return p.sh.Touched(d) }
+
+// Update derives a plan reflecting the delta without recompiling, like
+// Prepared.Update — but only the shards owning the delta's key hashes are
+// rebuilt; the other shard engines are shared with the receiver untouched.
+// A delta localized to one shard therefore costs ~1/N of the unsharded
+// update, which is what shrinks writer critical sections under serving
+// load. The whole delta applies atomically (ErrDeleteAbsent rejects it all),
+// the receiver stays fully usable, and the derived plan's answers are
+// byte-identical to a fresh PrepareSharded — and to an unsharded Prepare —
+// on the mutated database.
+func (p *ShardedPrepared) Update(d *Delta) (*ShardedPrepared, error) {
+	sh, err := p.sh.Update(d)
+	if err != nil {
+		return nil, err
+	}
+	if sh == p.sh {
+		return p, nil // empty delta: nothing changed
+	}
+	p.dbMu.Lock()
+	base, chain := p.baseDB, p.deltas
+	if p.db != nil {
+		base, chain = p.db, nil
+	}
+	p.dbMu.Unlock()
+	if len(chain) >= maxDeltaChain {
+		base, chain = p.DB(), nil
+	}
+	return &ShardedPrepared{
+		q: p.q, sh: sh, opts: p.opts,
+		baseDB: base,
+		deltas: append(chain[:len(chain):len(chain)], d.Clone()),
+	}, nil
+}
+
+// UpdatePlan is Update behind the Plan interface.
+func (p *ShardedPrepared) UpdatePlan(d *Delta) (Plan, error) { return p.Update(d) }

@@ -88,6 +88,27 @@ func ValidateWorkers(workers int) error {
 	return nil
 }
 
+// MaxShards bounds an explicit shard-count request. Shards are compiled
+// engines, each with its own join tree and counting state: past a few times
+// GOMAXPROCS the per-shard fixed cost dominates any prepare- or update-side
+// win, so larger values are typos or abuse, not tuning.
+const MaxShards = 256
+
+// ValidateShards checks a shard-count knob: 0 selects the default (a single
+// shard, i.e. the unsharded engine), positive values are taken as-is up to
+// MaxShards, and anything negative or beyond the cap is rejected with a
+// *ArgError. Both the qjq/qjserve -shards flags and the server dataset
+// "shards" field funnel through this single check.
+func ValidateShards(shards int) error {
+	if shards < 0 {
+		return argErrorf("shards", "%d is negative (0 selects a single shard)", shards)
+	}
+	if shards > MaxShards {
+		return argErrorf("shards", "%d exceeds the cap %d", shards, MaxShards)
+	}
+	return nil
+}
+
 // QuerySpec is the wire form of a (query, ranking) pair. It marshals to
 //
 //	{"query": "R(x,y),S(y,z)", "rank": "sum(x,z)"}
