@@ -1,0 +1,511 @@
+package qjoin
+
+// Approximate-first serving: the unified mode-aware query surface.
+//
+// Plan.Answer collapses the quantile-family entry points (Quantile /
+// ApproxQuantile / SampleQuantile / QuantileStats) into one request struct
+// with an explicit Mode, and adds the sketch tier: a mergeable rank-anchor
+// summary (internal/sketch.Summary) built lazily per ranking function from
+// the plan's engines, kept current across Update via cheap per-anchor
+// re-certification, and merged across shards on demand. mode=approx answers
+// from the summary in O(entries) without touching the pivot loop; mode=auto
+// serves from the summary only when the requested ε is certified and falls
+// back to the exact engine — byte-identical to the legacy path — otherwise.
+//
+// Summaries are keyed by the *Ranking pointer (the same convention as the
+// engine's trim cache): reuse the Ranking value across calls to reuse its
+// summary. The serving layer interns rankings per cache entry, so HTTP
+// traffic hits warm summaries.
+
+import (
+	"math/rand"
+
+	"github.com/quantilejoins/qjoin/internal/core"
+	"github.com/quantilejoins/qjoin/internal/counting"
+	"github.com/quantilejoins/qjoin/internal/engine"
+	"github.com/quantilejoins/qjoin/internal/sketch"
+)
+
+// Mode selects the answering tier of Plan.Answer.
+type Mode int
+
+const (
+	// ModeAuto (the zero value) is the two-tier planner: with Eps = 0 it is
+	// exact; with Eps > 0 it serves from the sketch when the sketch
+	// certifies a rank error within Eps·|Q(D)| for the requested rank, and
+	// falls back to the exact engine (with the same Eps, for intractable
+	// SUM) otherwise.
+	ModeAuto Mode = iota
+	// ModeExact forces the exact pivot-loop engine (with Eps > 0 this is
+	// the deterministic (φ±ε) engine path for intractable SUM — the legacy
+	// ApproxQuantile behavior).
+	ModeExact
+	// ModeApprox always answers from the sketch summary, building it at
+	// resolution min(DefaultSketchEps, Eps/2) if needed, and reports the
+	// achieved certified bound. It never needs Eps, even for intractable
+	// SUM.
+	ModeApprox
+	// ModeSample uses the randomized sampling estimator of Section 3.1
+	// (requires Eps, Delta and ideally a caller-supplied Rand; unsharded
+	// plans only).
+	ModeSample
+)
+
+// String names the mode as the wire protocol spells it.
+func (m Mode) String() string {
+	switch m {
+	case ModeAuto:
+		return "auto"
+	case ModeExact:
+		return "exact"
+	case ModeApprox:
+		return "approx"
+	case ModeSample:
+		return "sample"
+	}
+	return "invalid"
+}
+
+// QuantileRequest is the unified quantile request of Plan.Answer.
+type QuantileRequest struct {
+	// Phi is the quantile fraction in [0, 1].
+	Phi float64
+	// Eps is the rank-error budget as a fraction of |Q(D)|. 0 means exact.
+	Eps float64
+	// Delta is the failure probability for ModeSample.
+	Delta float64
+	// Mode selects the answering tier; the zero value is ModeAuto.
+	Mode Mode
+	// Rand is the random generator for ModeSample. When nil a fixed-seed
+	// generator is used, making the call deterministic but correlated
+	// across calls; supply one per goroutine for real randomization.
+	Rand *rand.Rand
+}
+
+// Answer sources, reported in Answer.Source.
+const (
+	SourceExact  = core.SourceExact
+	SourceSketch = core.SourceSketch
+	SourceSample = core.SourceSample
+)
+
+// DefaultSketchEps is the anchor-grid resolution sketch summaries are built
+// at unless a ModeApprox request asks for finer (see core.DefaultSketchEps).
+const DefaultSketchEps = core.DefaultSketchEps
+
+// sketchEntry is one ranking's summary on an unsharded plan.
+type sketchEntry struct {
+	sum *sketch.Summary
+	// stale marks a summary carried over by Update: its anchors still hold
+	// the pre-delta windows and must be re-certified before serving.
+	stale bool
+}
+
+// resCovers reports whether a summary built at resolution have serves a
+// request for resolution want (finer-or-equal, with float slack).
+func resCovers(have, want float64) bool { return have <= want*(1+1e-9) }
+
+// Answer is the unified quantile entry point: one request struct selects the
+// tier (exact engine, sketch summary, or sampling), and the answer reports
+// the tier that produced it (Source) with a certified rank-error bound
+// (ErrorBound). See Mode for the per-mode contracts.
+func (p *Prepared) Answer(f *Ranking, req QuantileRequest, opts ...Options) (*Answer, error) {
+	a, _, err := p.AnswerStats(f, req, opts...)
+	return a, err
+}
+
+// AnswerStats is Answer returning the run statistics of the exact engine
+// when it ran; sketch and sample answers carry nil stats (no pivot loop ran).
+func (p *Prepared) AnswerStats(f *Ranking, req QuantileRequest, opts ...Options) (*Answer, *RunStats, error) {
+	o := p.opt(opts)
+	switch req.Mode {
+	case ModeExact:
+		return exactAnswer(p.engines(), f, req, o)
+	case ModeSample:
+		a, err := p.SampleQuantile(f, req.Phi, req.Eps, req.Delta, sampleRand(req))
+		return a, nil, err
+	case ModeApprox:
+		if err := ValidatePhi(req.Phi); err != nil {
+			return nil, nil, err
+		}
+		sum, err := p.summaryFor(f, approxRes(req.Eps), o)
+		if err != nil {
+			return nil, nil, err
+		}
+		a, err := sketchAnswer(sum, p.Vars(), req.Phi)
+		return a, nil, err
+	default: // ModeAuto
+		if req.Eps <= 0 {
+			return exactAnswer(p.engines(), f, req, o)
+		}
+		if err := ValidatePhi(req.Phi); err != nil {
+			return nil, nil, err
+		}
+		sum, err := p.autoSummary(f, req.Eps, o)
+		if err != nil {
+			return nil, nil, err
+		}
+		if a := serveWithin(sum, p.Vars(), req.Phi, req.Eps); a != nil {
+			return a, nil, nil
+		}
+		return exactAnswer(p.engines(), f, req, o)
+	}
+}
+
+// WarmSketches re-certifies every summary the plan carries that went stale
+// through Update (and no others — rankings never queried approximately cost
+// nothing). The serving layer calls this during plan-cache migration so
+// post-delta sketch queries stay O(entries) cache hits.
+func (p *Prepared) WarmSketches() error {
+	p.skMu.Lock()
+	var fs []*Ranking
+	var res []float64
+	for f, e := range p.sketches {
+		if e.stale {
+			fs = append(fs, f)
+			res = append(res, e.sum.Res)
+		}
+	}
+	p.skMu.Unlock()
+	for i, f := range fs {
+		if _, err := p.summaryFor(f, res[i], p.opts); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// engines returns the plan's engine vector (length 1 here; the sharded
+// variant returns one engine per shard). exactAnswer is written against the
+// vector so both plan kinds share one implementation.
+func (p *Prepared) engines() []*engine.Engine { return []*engine.Engine{p.eng} }
+
+// summaryFor returns the plan's summary for f at resolution res (or finer),
+// building or re-certifying it as needed and caching the result.
+func (p *Prepared) summaryFor(f *Ranking, res float64, o Options) (*sketch.Summary, error) {
+	p.skMu.Lock()
+	e := p.sketches[f]
+	p.skMu.Unlock()
+	if e != nil && !e.stale && resCovers(e.sum.Res, res) {
+		return e.sum, nil
+	}
+	var sum *sketch.Summary
+	var err error
+	if e != nil && e.stale && resCovers(e.sum.Res, res) {
+		// Carried over a delta: two trim+count passes per anchor re-certify
+		// the windows at the old (possibly finer) resolution.
+		if sum, err = core.RefreshSummary(p.eng, f, e.sum, o); err != nil {
+			return nil, err
+		}
+		if sum == nil { // every anchor died: rebuild from scratch
+			sum, err = core.BuildSummary(p.eng, f, e.sum.Res, o)
+		}
+	} else {
+		sum, err = core.BuildSummary(p.eng, f, res, o)
+	}
+	if err != nil {
+		return nil, err
+	}
+	p.skMu.Lock()
+	if p.sketches == nil {
+		p.sketches = make(map[*Ranking]*sketchEntry)
+	}
+	// Racing builds store equivalent summaries; keep the finest fresh one.
+	if cur := p.sketches[f]; cur == nil || cur.stale || resCovers(sum.Res, cur.sum.Res) {
+		p.sketches[f] = &sketchEntry{sum: sum}
+	}
+	p.skMu.Unlock()
+	return sum, nil
+}
+
+// autoSummary is the summary ModeAuto may serve from: any already-built
+// summary (re-certified if stale), or a fresh default-resolution build when
+// the requested ε is loose enough that the default grid can plausibly
+// certify it. ModeAuto never builds finer than DefaultSketchEps — tighter
+// requests belong to the exact tier (or an explicit ModeApprox).
+func (p *Prepared) autoSummary(f *Ranking, eps float64, o Options) (*sketch.Summary, error) {
+	p.skMu.Lock()
+	e := p.sketches[f]
+	p.skMu.Unlock()
+	if e == nil && eps < core.DefaultSketchEps {
+		return nil, nil
+	}
+	res := core.DefaultSketchEps
+	if e != nil {
+		res = e.sum.Res
+	}
+	return p.summaryFor(f, res, o)
+}
+
+// carrySketches builds the derived plan's summary map on Update: the same
+// summaries, every one marked stale so the first post-delta use (or
+// WarmSketches) re-certifies it against the updated engine.
+func (p *Prepared) carrySketches() map[*Ranking]*sketchEntry {
+	p.skMu.Lock()
+	defer p.skMu.Unlock()
+	if len(p.sketches) == 0 {
+		return nil
+	}
+	m := make(map[*Ranking]*sketchEntry, len(p.sketches))
+	for f, e := range p.sketches {
+		m[f] = &sketchEntry{sum: e.sum, stale: true}
+	}
+	return m
+}
+
+// approxRes is the build resolution for a ModeApprox request: the default
+// grid, or twice as fine as the requested ε so the mid-gap certified error
+// (~res/2 of the rank range per anchor gap) meets it.
+func approxRes(eps float64) float64 {
+	if eps > 0 && eps/2 < core.DefaultSketchEps {
+		return eps / 2
+	}
+	return core.DefaultSketchEps
+}
+
+// exactAnswer is the shared exact-tier body: the legacy engine path plus
+// Source/ErrorBound tagging. req.Eps > 0 overrides the Options' Epsilon
+// (the legacy ApproxQuantile contract); the reported bound is the effective
+// ε when the run actually went through lossy trims, 0 otherwise.
+func exactAnswer(engs []*engine.Engine, f *Ranking, req QuantileRequest, o Options) (*Answer, *RunStats, error) {
+	if req.Eps > 0 {
+		o.Epsilon = req.Eps
+	}
+	a, stats, err := core.QuantileShards(engs, f, req.Phi, o)
+	if err != nil {
+		return nil, stats, err
+	}
+	a.Source = SourceExact
+	if stats != nil && stats.Lossy {
+		a.ErrorBound = o.Epsilon
+	}
+	return a, stats, nil
+}
+
+// sketchAnswer serves φ from a summary: the anchor with the smallest
+// certified error for rank Index(N, φ), tagged with that bound.
+func sketchAnswer(sum *sketch.Summary, vars []Var, phi float64) (*Answer, error) {
+	if sum == nil || sum.N.IsZero() {
+		return nil, ErrNoAnswers
+	}
+	k := core.Index(sum.N, phi)
+	e, errAbs, ok := sum.Query(k)
+	if !ok {
+		return nil, ErrNoAnswers
+	}
+	return entryAnswer(sum, vars, e, errAbs), nil
+}
+
+// serveWithin is the ModeAuto certification check: it returns the sketch
+// answer only when the anchor's certified rank error for the requested rank
+// is within ⌊eps·N⌋, nil (fall back to exact) otherwise.
+func serveWithin(sum *sketch.Summary, vars []Var, phi, eps float64) *Answer {
+	if sum == nil || sum.N.IsZero() || len(sum.Entries) == 0 {
+		return nil
+	}
+	k := core.Index(sum.N, phi)
+	e, errAbs, ok := sum.Query(k)
+	if !ok || counting.FloorMulFloat(sum.N, eps).Less(errAbs) {
+		return nil
+	}
+	return entryAnswer(sum, vars, e, errAbs)
+}
+
+func entryAnswer(sum *sketch.Summary, vars []Var, e sketch.Entry, errAbs counting.Count) *Answer {
+	w := e.Weight
+	if len(w.Vec) > 0 {
+		w.Vec = append([]int64(nil), w.Vec...)
+	}
+	bound := 0.0
+	if !errAbs.IsZero() {
+		bound = errAbs.Float64() / sum.N.Float64()
+	}
+	return &Answer{
+		Vars:       vars,
+		Values:     append([]Value(nil), e.Values...),
+		Weight:     w,
+		Source:     SourceSketch,
+		ErrorBound: bound,
+	}
+}
+
+// sampleRand resolves the request's generator (fixed seed when absent; see
+// QuantileRequest.Rand).
+func sampleRand(req QuantileRequest) *rand.Rand {
+	if req.Rand != nil {
+		return req.Rand
+	}
+	return rand.New(rand.NewSource(1))
+}
+
+// ---- sharded plans ----
+
+// shardSketchEntry is one ranking's sketch state on a sharded plan: one
+// summary per shard, the engine each was certified against (engine pointer
+// inequality after Update identifies exactly the rebuilt shards — untouched
+// shards keep their summaries with no work), and the cached cross-shard
+// merge.
+type shardSketchEntry struct {
+	parts  []*sketch.Summary
+	engs   []*engine.Engine
+	merged *sketch.Summary
+	res    float64
+}
+
+// Answer is the unified quantile entry point (see Prepared.Answer).
+// ModeSample is not available on sharded plans.
+func (p *ShardedPrepared) Answer(f *Ranking, req QuantileRequest, opts ...Options) (*Answer, error) {
+	a, _, err := p.AnswerStats(f, req, opts...)
+	return a, err
+}
+
+// AnswerStats is Answer returning the exact engine's run statistics when it
+// ran; sketch answers carry nil stats.
+func (p *ShardedPrepared) AnswerStats(f *Ranking, req QuantileRequest, opts ...Options) (*Answer, *RunStats, error) {
+	o := p.opt(opts)
+	switch req.Mode {
+	case ModeExact:
+		return exactAnswer(p.sh.Engines(), f, req, o)
+	case ModeSample:
+		return nil, nil, argErrorf("mode", "sampling is not supported on sharded plans")
+	case ModeApprox:
+		if err := ValidatePhi(req.Phi); err != nil {
+			return nil, nil, err
+		}
+		sum, err := p.summaryFor(f, approxRes(req.Eps), o)
+		if err != nil {
+			return nil, nil, err
+		}
+		a, err := sketchAnswer(sum, p.Vars(), req.Phi)
+		return a, nil, err
+	default: // ModeAuto
+		if req.Eps <= 0 {
+			return exactAnswer(p.sh.Engines(), f, req, o)
+		}
+		if err := ValidatePhi(req.Phi); err != nil {
+			return nil, nil, err
+		}
+		sum, err := p.autoSummary(f, req.Eps, o)
+		if err != nil {
+			return nil, nil, err
+		}
+		if a := serveWithin(sum, p.Vars(), req.Phi, req.Eps); a != nil {
+			return a, nil, nil
+		}
+		return exactAnswer(p.sh.Engines(), f, req, o)
+	}
+}
+
+// WarmSketches re-certifies the summaries of shards rebuilt by Update and
+// re-merges (see Prepared.WarmSketches). Untouched shards' summaries carry
+// over with no work — the point of per-shard sketches.
+func (p *ShardedPrepared) WarmSketches() error {
+	p.skMu.Lock()
+	var fs []*Ranking
+	var res []float64
+	for f, e := range p.sketches {
+		fs = append(fs, f)
+		res = append(res, e.res)
+	}
+	p.skMu.Unlock()
+	for i, f := range fs {
+		if _, err := p.summaryFor(f, res[i], p.opts); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// summaryFor returns the merged cross-shard summary for f at resolution res
+// (or finer), building, re-certifying and re-merging only what the engine
+// vector says is out of date.
+func (p *ShardedPrepared) summaryFor(f *Ranking, res float64, o Options) (*sketch.Summary, error) {
+	engs := p.sh.Engines()
+	p.skMu.Lock()
+	e := p.sketches[f]
+	p.skMu.Unlock()
+	if e != nil && resCovers(e.res, res) && sameEngines(e.engs, engs) {
+		return e.merged, nil
+	}
+	reuse := e != nil && resCovers(e.res, res) && len(e.engs) == len(engs)
+	buildRes := res
+	if reuse {
+		buildRes = e.res
+	}
+	parts := make([]*sketch.Summary, len(engs))
+	for i, eng := range engs {
+		var err error
+		switch {
+		case reuse && e.engs[i] == eng:
+			parts[i] = e.parts[i] // untouched shard: summary carries over
+		case reuse:
+			if parts[i], err = core.RefreshSummary(eng, f, e.parts[i], o); err != nil {
+				return nil, err
+			}
+			if parts[i] == nil {
+				parts[i], err = core.BuildSummary(eng, f, buildRes, o)
+			}
+		default:
+			parts[i], err = core.BuildSummary(eng, f, buildRes, o)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	merged := parts[0]
+	if len(parts) > 1 {
+		merged = sketch.Merge(parts, f.Compare)
+	}
+	p.skMu.Lock()
+	if p.sketches == nil {
+		p.sketches = make(map[*Ranking]*shardSketchEntry)
+	}
+	if cur := p.sketches[f]; cur == nil || !sameEngines(cur.engs, engs) || resCovers(buildRes, cur.res) {
+		p.sketches[f] = &shardSketchEntry{parts: parts, engs: engs, merged: merged, res: buildRes}
+	}
+	p.skMu.Unlock()
+	return merged, nil
+}
+
+// autoSummary mirrors Prepared.autoSummary for sharded plans.
+func (p *ShardedPrepared) autoSummary(f *Ranking, eps float64, o Options) (*sketch.Summary, error) {
+	p.skMu.Lock()
+	e := p.sketches[f]
+	p.skMu.Unlock()
+	if e == nil && eps < core.DefaultSketchEps {
+		return nil, nil
+	}
+	res := core.DefaultSketchEps
+	if e != nil {
+		res = e.res
+	}
+	return p.summaryFor(f, res, o)
+}
+
+// carrySketches hands the receiver's sketch state to the plan derived by
+// Update. Entries are immutable once stored, so sharing them is safe; the
+// derived plan's engine vector identifies stale shards on first use.
+func (p *ShardedPrepared) carrySketches() map[*Ranking]*shardSketchEntry {
+	p.skMu.Lock()
+	defer p.skMu.Unlock()
+	if len(p.sketches) == 0 {
+		return nil
+	}
+	m := make(map[*Ranking]*shardSketchEntry, len(p.sketches))
+	for f, e := range p.sketches {
+		m[f] = e
+	}
+	return m
+}
+
+func sameEngines(a, b []*engine.Engine) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

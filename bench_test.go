@@ -409,6 +409,47 @@ func BenchmarkShardedQuantile(b *testing.B) {
 	}
 }
 
+// BenchmarkSketchQuantile — the approximate tier (E18): exact SUM quantile
+// vs the sketch summary on the same 32k-tuple binary join. mode=exact runs
+// the full pivot loop per query; mode=approx serves from the warmed summary
+// in O(entries), which is what makes approximate-first serving viable — the
+// bench gate pins sketch serving at ≤ 0.1× the exact latency. The answer's
+// certified bound is asserted per iteration.
+func BenchmarkSketchQuantile(b *testing.B) {
+	rng := rand.New(rand.NewSource(18))
+	q, idb := workload.Path(rng, 2, 1<<14, 1<<10) // 32k tuples
+	db := qjoin.WrapDB(idb)
+	f := qjoin.Sum(q.Vars()...)
+	p, err := qjoin.Prepare(q, db, qjoin.Options{Parallelism: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm the summary outside the timed regions: serving, not building, is
+	// the steady state the tier exists for (the server warms on migration).
+	if _, err := p.Answer(f, qjoin.QuantileRequest{Phi: 0.5, Mode: qjoin.ModeApprox}); err != nil {
+		b.Fatal(err)
+	}
+	phis := []float64{0.1, 0.35, 0.5, 0.77, 0.9}
+	b.Run("mode=exact", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := p.Answer(f, qjoin.QuantileRequest{Phi: phis[i%len(phis)], Mode: qjoin.ModeExact}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("mode=approx", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			a, err := p.Answer(f, qjoin.QuantileRequest{Phi: phis[i%len(phis)], Mode: qjoin.ModeApprox})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if a.Source != qjoin.SourceSketch || a.ErrorBound > qjoin.DefaultSketchEps {
+				b.Fatalf("source=%q bound=%v: sketch serving lost its certification", a.Source, a.ErrorBound)
+			}
+		}
+	})
+}
+
 // shardLocalDelta builds a batch of fresh R1 inserts whose join-key values
 // (column 1, the x2 partition key of the 2-path) all hash to one shard of a
 // 4-way partition — the shard-locality best case the per-shard write path

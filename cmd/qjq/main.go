@@ -60,6 +60,7 @@ func main() {
 	rankStr := flag.String("rank", "", "ranking, e.g. 'sum(x,z)', 'min(y)', 'max(x,y)', 'lex(x,y)'")
 	phiStr := flag.String("phi", "0.5", "quantile fraction(s) in [0,1], comma-separated (e.g. '0.25,0.5,0.75')")
 	eps := flag.Float64("eps", 0, "approximation error (0 = exact)")
+	modeStr := flag.String("mode", "", "answering tier: exact | approx | auto (empty = exact; approx answers from the sketch summary, auto serves the sketch only when it certifies -eps)")
 	doCount := flag.Bool("count", false, "print |Q(D)| and exit")
 	doClassify := flag.Bool("classify", false, "print the tractability classification and exit")
 	doBaseline := flag.Bool("baseline", false, "also run the materialization baseline and compare")
@@ -102,6 +103,12 @@ func main() {
 		if err := qjoin.ValidateEpsilon(*eps); err != nil {
 			fatal(err)
 		}
+	}
+	// -mode goes through the same parse the qjserve HTTP layer uses, so a bad
+	// value is rejected identically on both front ends.
+	mode, err := qjoin.ParseMode(*modeStr)
+	if err != nil {
+		fatal(err)
 	}
 
 	// Answers are byte-identical for every -workers value; the knob only
@@ -163,6 +170,14 @@ func main() {
 	if (*doSample || *doBaseline) && *shards > 1 {
 		fatal(fmt.Errorf("-sample and -baseline are not supported with -shards > 1"))
 	}
+	if *doSample {
+		if *modeStr != "" {
+			fatal(fmt.Errorf("-sample and -mode are mutually exclusive"))
+		}
+		if err := qjoin.ValidateDelta(*delta); err != nil {
+			fatal(err)
+		}
+	}
 
 	// Compile once; every φ below — and -baseline, -sample — runs against
 	// this single plan. The plan-default options carry -workers into every
@@ -192,6 +207,13 @@ func main() {
 				fatal(fmt.Errorf("-sample requires -eps > 0"))
 			}
 			ans, err = p.(*qjoin.Prepared).SampleQuantile(f, phi, *eps, *delta, rng)
+		case mode != qjoin.ModeExact:
+			// Mode-aware dispatch through the unified Answer surface: approx
+			// answers from the sketch summary, auto serves the sketch only
+			// when it certifies -eps and falls back to the exact engine.
+			ans, stats, err = p.AnswerStats(f,
+				qjoin.QuantileRequest{Phi: phi, Eps: *eps, Mode: mode},
+				qjoin.Options{CollectPhases: *doStats})
 		default:
 			// -eps > 0 selects the deterministic approximation through the
 			// same driver, so one stats path serves both.
@@ -205,6 +227,9 @@ func main() {
 			fmt.Printf("answer: %s\nweight: %s\ntime:   %v\n", ans, weightString(f, ans.Weight), prepTime+elapsed)
 		} else {
 			fmt.Printf("φ=%-5v answer: %s  weight: %s  (%v)\n", phi, ans, weightString(f, ans.Weight), elapsed)
+		}
+		if mode != qjoin.ModeExact {
+			fmt.Printf("source: %s  error_bound: %g\n", ans.Source, ans.ErrorBound)
 		}
 		if *doStats && stats != nil {
 			printStats(stats)

@@ -212,6 +212,35 @@
 //     Update in interface-typed form, which is what the qjserve plan cache
 //     migrates through.
 //
+// # Approximate-first answering
+//
+// Answer is the mode-aware entry point that unifies the answering tiers
+// behind one request type. QuantileRequest selects a tier through Mode:
+//
+//   - ModeExact (the zero value) runs the exact pivot loop; Quantile,
+//     QuantileStats and ApproxQuantile are deprecated wrappers over it and
+//     stay byte-identical.
+//   - ModeApprox answers from a mergeable weighted quantile summary
+//     (internal/sketch) built lazily per (plan, ranking): a grid of anchor
+//     answers, each carrying certified rank bounds. A warm sketch answers
+//     any φ by anchor lookup, at cost independent of |D|.
+//   - ModeAuto serves from the sketch only when the requested Eps is at
+//     least the anchor's certified error at that φ, and otherwise falls
+//     back to the exact loop, byte-identical to the legacy answer.
+//   - ModeSample is the randomized sampling estimator (unsharded plans
+//     only); it has no wire form.
+//
+// Every Answer reports which tier produced it (Answer.Source: exact,
+// sketch or sample) and the certified rank-error fraction of that answer
+// (Answer.ErrorBound; 0 means exact). Update carries sketches into the new
+// plan copy-on-write, marked stale; the next approx answer — or an
+// explicit WarmSketches, which the qjserve plan cache calls during delta
+// migration — re-certifies each anchor with a trim-and-count probe instead
+// of rebuilding the grid. Sharded plans keep one summary per shard and
+// merge on demand, so shard-local updates re-certify only the touched
+// part. ParseMode/ValidateMode/FormatMode are the wire codec for the mode
+// argument, shared by qjq -mode and the server's /query mode field.
+//
 // # Serving and plan sharing
 //
 // The qjserve daemon (cmd/qjserve, built on internal/server) holds plans in
@@ -235,9 +264,10 @@
 // Queries and rankings have canonical textual forms for the wire:
 // ParseQuery/FormatQuery, ParseRanking/FormatRanking and the QuerySpec
 // JSON codec round-trip losslessly (rankings with custom Weight functions
-// have no wire form). ValidatePhi, ValidateEpsilon and ValidateTopK are
-// the shared boundary checks — cmd/qjq and qjserve reject bad arguments
-// identically, with *ArgError naming the offending field.
+// have no wire form). ValidatePhi, ValidateEpsilon, ValidateTopK,
+// ValidateDelta and ValidateMode are the shared boundary checks — cmd/qjq
+// and qjserve reject bad arguments identically, with *ArgError naming the
+// offending field.
 //
 // The implementation is a faithful, fully self-contained reproduction: GYO
 // join trees, Yannakakis evaluation, linear-time c-pivot selection by

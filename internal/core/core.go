@@ -105,6 +105,18 @@ func (o Options) threshold(dbSize int) int {
 	return dbSize
 }
 
+// Source values for Answer.Source: which tier produced an answer.
+const (
+	// SourceExact marks answers from the exact pivot-loop engine (including
+	// its deterministic ε-lossy variant for intractable SUM).
+	SourceExact = "exact"
+	// SourceSketch marks answers served from a mergeable rank-anchor
+	// summary (internal/sketch.Summary) without touching the pivot loop.
+	SourceSketch = "sketch"
+	// SourceSample marks answers from the randomized sampling estimator.
+	SourceSample = "sample"
+)
+
 // Answer is a query answer with its weight.
 type Answer struct {
 	// Vars is the variable layout (the original query's Vars()).
@@ -113,6 +125,17 @@ type Answer struct {
 	Values []relation.Value
 	// Weight is the answer's weight under the ranking function.
 	Weight ranking.Weightv
+	// Source reports which tier produced the answer (SourceExact,
+	// SourceSketch or SourceSample). Empty on answers from enumeration
+	// surfaces (TopK, ranked streams, baselines) where rank error is not a
+	// meaningful notion. Set by the qjoin layer, not by the core drivers.
+	Source string
+	// ErrorBound is a certified upper bound on the answer's rank error as a
+	// fraction of |Q(D)|: the answer's weight occupies (or, for a sketch
+	// answer whose representative was deleted, straddles) a rank within
+	// ErrorBound·|Q(D)| of the requested one. 0 means exact. Set by the
+	// qjoin layer alongside Source.
+	ErrorBound float64
 }
 
 // Get returns the value bound to v.

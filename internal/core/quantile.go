@@ -58,6 +58,11 @@ type RunStats struct {
 	// MaxInstanceTuples is the largest trimmed database seen (summed across
 	// shards within one iteration).
 	MaxInstanceTuples int
+	// Lossy reports that the run partitioned through ε-lossy trims (SUM
+	// outside the tractable class with Options.Epsilon > 0), so the answer
+	// carries the (φ±ε) guarantee rather than the exact rank. Deterministic
+	// for a fixed query and options, like the fields above.
+	Lossy bool
 	// Phases holds the per-iteration timing breakdown when
 	// Options.CollectPhases was set; nil otherwise. A pointer, so RunStats
 	// values stay comparable (two default runs compare equal).
@@ -336,6 +341,7 @@ func run(engs []*engine.Engine, f *ranking.Func, opts Options, pickIndex func(to
 	if err != nil {
 		return nil, stats, err
 	}
+	stats.Lossy = trm.lossy
 
 	k, err := pickIndex(total)
 	if err != nil {

@@ -281,6 +281,12 @@ func (c *PlanCache) Migrate(dataset string, oldGen, newGen uint64, delta *qjoin.
 			// state); drop defensively rather than serve a stale generation.
 			up = nil
 		}
+		if up != nil {
+			// Re-certify the carried sketch summaries off the request path,
+			// so post-delta approximate queries stay O(entries) cache hits.
+			// A warm failure is not fatal: the summaries rebuild lazily.
+			_ = up.WarmSketches()
+		}
 		updated[p] = up
 	}
 	// Phase 3 (locked): re-key the collected entries. An entry evicted or

@@ -373,6 +373,22 @@ func (s *Server) execQuery(ctx context.Context, req *QueryRequest) (*QueryRespon
 	}
 	// Validate the per-op arguments before touching any state, so a bad
 	// request never costs a Prepare.
+	mode := qjoin.ModeExact
+	if req.Mode != "" {
+		switch op {
+		case "quantile", "quantiles", "median":
+			if mode, err = qjoin.ParseMode(req.Mode); err != nil {
+				return nil, err
+			}
+			if req.Eps != 0 {
+				if err := qjoin.ValidateEpsilon(req.Eps); err != nil {
+					return nil, err
+				}
+			}
+		default:
+			return nil, &qjoin.ArgError{Field: "mode", Reason: "mode applies to quantile/quantiles/median, not " + op}
+		}
+	}
 	phis := []float64{req.Phi}
 	switch op {
 	case "count":
@@ -456,7 +472,14 @@ func (s *Server) execQuery(ctx context.Context, req *QueryRequest) (*QueryRespon
 			if op == "approx" {
 				a, err = plan.ApproxQuantile(f, phi, req.Eps)
 			} else {
-				a, err = plan.Quantile(f, phi)
+				// Eps reaches the plan only alongside an explicit non-exact
+				// mode: op=quantile historically ignores the eps field, and a
+				// stray value must not silently turn the run lossy.
+				qreq := qjoin.QuantileRequest{Phi: phi, Mode: mode}
+				if mode != qjoin.ModeExact {
+					qreq.Eps = req.Eps
+				}
+				a, err = plan.Answer(f, qreq)
 			}
 			if err != nil {
 				return nil, fmt.Errorf("φ=%v: %w", phi, err)
@@ -470,6 +493,20 @@ func (s *Server) execQuery(ctx context.Context, req *QueryRequest) (*QueryRespon
 	}
 	for _, a := range answers {
 		resp.Answers = append(resp.Answers, wireAnswer(a))
+	}
+	if req.Mode != "" {
+		// Source/ErrorBound are reported only on mode-aware requests, so
+		// legacy request bodies keep byte-identical responses.
+		for i, a := range answers {
+			if i == 0 {
+				resp.Source = a.Source
+			} else if a.Source != resp.Source {
+				resp.Source = "mixed"
+			}
+			if a.ErrorBound > resp.ErrorBound {
+				resp.ErrorBound = a.ErrorBound
+			}
+		}
 	}
 	return resp, nil
 }

@@ -87,6 +87,13 @@ type QueryRequest struct {
 	Phis []float64 `json:"phis,omitempty"`
 	Eps  float64   `json:"eps,omitempty"`
 	K    int       `json:"k,omitempty"`
+	// Mode selects the answering tier for quantile/quantiles/median:
+	// exact | approx | auto (qjoin.ParseMode; empty = exact, the legacy
+	// behavior). approx answers from the dataset's sketch summaries; auto
+	// serves from a sketch only when it certifies the requested eps and
+	// falls back to the exact engine otherwise. With a non-empty mode the
+	// response reports source and error_bound.
+	Mode string `json:"mode,omitempty"`
 	// Workers overrides the server's default Parallelism for this query's
 	// plan (0 = server default; plans are cached per workers value).
 	Workers int `json:"workers,omitempty"`
@@ -117,6 +124,14 @@ type QueryResponse struct {
 	Count      string       `json:"count,omitempty"` // decimal |Q(D)| (op=count)
 	Cached     bool         `json:"cached"`
 	ElapsedUS  int64        `json:"elapsed_us,omitempty"`
+	// Source reports which tier produced the answers when the request named
+	// a mode: exact | sketch ("mixed" when a multi-φ request split across
+	// tiers). Absent on requests without a mode field (legacy responses are
+	// byte-identical).
+	Source string `json:"source,omitempty"`
+	// ErrorBound is the largest certified rank-error fraction among the
+	// answers (0 = exact, omitted).
+	ErrorBound float64 `json:"error_bound,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx response.

@@ -56,6 +56,13 @@ type Prepared struct {
 	dbMu   sync.Mutex
 	baseDB *DB
 	deltas []*Delta
+
+	// Sketch summaries for the approximate tier (see approx.go), built
+	// lazily per ranking function on first ModeApprox/ModeAuto use — never
+	// by Prepare or Update — and carried (stale) across Update. skMu guards
+	// the map; the summaries themselves are immutable.
+	skMu     sync.Mutex
+	sketches map[*Ranking]*sketchEntry
 }
 
 // Prepare compiles a query against a database. The work done here —
@@ -121,14 +128,19 @@ func (p *Prepared) Count() *big.Int { return p.eng.Total().Big() }
 
 // Quantile returns the φ-quantile of Q(D) under the ranking function (see
 // the free Quantile function for the exactness contract).
+//
+// Deprecated: equivalent to Answer with QuantileRequest{Phi: phi,
+// Mode: ModeExact}, which additionally reports Source and ErrorBound.
 func (p *Prepared) Quantile(f *Ranking, phi float64, opts ...Options) (*Answer, error) {
-	a, _, err := core.QuantilePrepared(p.eng, f, phi, p.opt(opts))
-	return a, err
+	return p.Answer(f, QuantileRequest{Phi: phi, Mode: ModeExact}, opts...)
 }
 
 // QuantileStats is Quantile returning the driver's run statistics.
+//
+// Deprecated: equivalent to AnswerStats with QuantileRequest{Phi: phi,
+// Mode: ModeExact}.
 func (p *Prepared) QuantileStats(f *Ranking, phi float64, opts ...Options) (*Answer, *RunStats, error) {
-	return core.QuantilePrepared(p.eng, f, phi, p.opt(opts))
+	return p.AnswerStats(f, QuantileRequest{Phi: phi, Mode: ModeExact}, opts...)
 }
 
 // Median returns the 0.5-quantile.
@@ -137,11 +149,13 @@ func (p *Prepared) Median(f *Ranking, opts ...Options) (*Answer, error) {
 }
 
 // ApproxQuantile returns a deterministic (φ±ε)-quantile (Theorem 6.2).
+//
+// Deprecated: equivalent to Answer with QuantileRequest{Phi: phi, Eps: eps,
+// Mode: ModeExact}; ModeApprox/ModeAuto answer from the sketch tier instead.
 func (p *Prepared) ApproxQuantile(f *Ranking, phi, eps float64, opts ...Options) (*Answer, error) {
 	o := p.opt(opts)
 	o.Epsilon = eps
-	a, _, err := core.QuantilePrepared(p.eng, f, phi, o)
-	return a, err
+	return p.Answer(f, QuantileRequest{Phi: phi, Mode: ModeExact}, o)
 }
 
 // Quantiles answers several φ's against this single plan. Compared with
@@ -173,8 +187,17 @@ func (p *Prepared) SelectAt(f *Ranking, k *big.Int, opts ...Options) (*Answer, e
 // SampleQuantile returns a randomized (φ±ε)-quantile with success
 // probability at least 1-δ (Section 3.1). The direct-access structure is
 // built on first use and shared by subsequent calls.
+//
+// Deprecated: equivalent to Answer with QuantileRequest{Phi: phi, Eps: eps,
+// Delta: delta, Mode: ModeSample, Rand: rng}.
 func (p *Prepared) SampleQuantile(f *Ranking, phi, eps, delta float64, rng *rand.Rand) (*Answer, error) {
-	return core.SampleQuantilePrepared(p.eng, f, phi, eps, delta, rng)
+	a, err := core.SampleQuantilePrepared(p.eng, f, phi, eps, delta, rng)
+	if err != nil {
+		return nil, err
+	}
+	a.Source = SourceSample
+	a.ErrorBound = eps
+	return a, nil
 }
 
 // SampleAnswers draws k uniform samples from Q(D) (with replacement) using

@@ -158,13 +158,17 @@ func Count(q *Query, db *DB) (*big.Int, error) {
 // mix of queries — run over the same (Q, D) pair, Prepare once and query
 // the Prepared plan instead.
 func Quantile(q *Query, db *DB, f *Ranking, phi float64, opts ...Options) (*Answer, error) {
-	a, _, err := core.Quantile(q, db.inner, f, phi, oneOpt(opts))
+	a, _, err := QuantileStats(q, db, f, phi, opts...)
 	return a, err
 }
 
 // QuantileStats is Quantile returning the driver's run statistics.
 func QuantileStats(q *Query, db *DB, f *Ranking, phi float64, opts ...Options) (*Answer, *RunStats, error) {
-	return core.Quantile(q, db.inner, f, phi, oneOpt(opts))
+	p, err := Prepare(q, db, opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return p.QuantileStats(f, phi, opts...)
 }
 
 // Median returns the 0.5-quantile.
@@ -188,15 +192,22 @@ func SelectAt(q *Query, db *DB, f *Ranking, k *big.Int, opts ...Options) (*Answe
 func ApproxQuantile(q *Query, db *DB, f *Ranking, phi, eps float64, opts ...Options) (*Answer, error) {
 	o := oneOpt(opts)
 	o.Epsilon = eps
-	a, _, err := core.Quantile(q, db.inner, f, phi, o)
-	return a, err
+	p, err := Prepare(q, db, o)
+	if err != nil {
+		return nil, err
+	}
+	return p.ApproxQuantile(f, phi, eps, o)
 }
 
 // SampleQuantile returns a randomized (φ±ε)-quantile with success
 // probability at least 1-δ, by uniform answer sampling over a linear-time
 // direct-access structure (Section 3.1).
 func SampleQuantile(q *Query, db *DB, f *Ranking, phi, eps, delta float64, rng *rand.Rand) (*Answer, error) {
-	return core.SampleQuantile(q, db.inner, f, phi, eps, delta, rng)
+	p, err := Prepare(q, db)
+	if err != nil {
+		return nil, err
+	}
+	return p.SampleQuantile(f, phi, eps, delta, rng)
 }
 
 // Quantiles computes several quantiles in one call. The (Q, D) pair is

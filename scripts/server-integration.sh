@@ -52,9 +52,15 @@ step count          POST /query           scripts/testdata/query-count.json
 step grid-shared    POST /query           scripts/testdata/query-grid.json
 step grid-cached    POST /query           scripts/testdata/query-grid.json
 step topk           POST /query           scripts/testdata/query-topk.json
+# mode=approx answers from the sketch tier; the response reports source and
+# the certified error_bound, both deterministic on this fixed instance.
+step approx         POST /query           scripts/testdata/query-approx.json
 step delta          POST /datasets/social/delta scripts/testdata/delta.json
 step grid-postdelta POST /query           scripts/testdata/query-grid.json
 step count-postdelta POST /query          scripts/testdata/query-count.json
+# Migration re-certified the carried sketch, so the post-delta approx answer
+# is still served from the sketch tier.
+step approx-postdelta POST /query         scripts/testdata/query-approx.json
 step datasets       GET  /datasets
 
 # Bad inputs must be typed 400s; capture status + field, not the message.
@@ -70,6 +76,7 @@ bad() { # bad NAME JSON
 bad bad-phi '{"dataset":"social","query":"Admin(u1,e),Share(u2,e,l2),Attend(u3,e,l3)","rank":"sum(l2,l3)","op":"quantile","phi":1.5}'
 bad bad-eps '{"dataset":"social","query":"Admin(u1,e),Share(u2,e,l2),Attend(u3,e,l3)","rank":"sum(l2,l3)","op":"approx","phi":0.5,"eps":0}'
 bad bad-k   '{"dataset":"social","query":"Admin(u1,e),Share(u2,e,l2),Attend(u3,e,l3)","rank":"sum(l2,l3)","op":"topk","k":-1}'
+bad bad-mode '{"dataset":"social","query":"Admin(u1,e),Share(u2,e,l2),Attend(u3,e,l3)","rank":"sum(l2,l3)","op":"quantile","phi":0.5,"mode":"bogus"}'
 
 kill "$server_pid"
 wait "$server_pid" 2>/dev/null || true

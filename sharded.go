@@ -31,6 +31,17 @@ type Plan interface {
 	Median(f *Ranking, opts ...Options) (*Answer, error)
 	// ApproxQuantile returns a deterministic (φ±ε)-quantile.
 	ApproxQuantile(f *Ranking, phi, eps float64, opts ...Options) (*Answer, error)
+	// Answer is the unified mode-aware quantile entry point: the request
+	// selects the tier (exact engine, sketch summary, sampling), the answer
+	// reports its Source and certified ErrorBound. See Mode.
+	Answer(f *Ranking, req QuantileRequest, opts ...Options) (*Answer, error)
+	// AnswerStats is Answer plus the exact engine's run statistics when the
+	// exact tier ran (nil for sketch and sample answers).
+	AnswerStats(f *Ranking, req QuantileRequest, opts ...Options) (*Answer, *RunStats, error)
+	// WarmSketches re-certifies the sketch summaries the plan carries, so
+	// post-update approximate queries are cache hits. Serving layers call
+	// it after UpdatePlan, off the request path.
+	WarmSketches() error
 	// TopK returns the k lowest-weight answers in weight order.
 	TopK(f *Ranking, k int) ([]*Answer, error)
 	// UpdatePlan derives a plan reflecting the delta, copy-on-write; the
@@ -84,6 +95,13 @@ type ShardedPrepared struct {
 	dbMu   sync.Mutex
 	baseDB *DB
 	deltas []*Delta
+
+	// Per-shard sketch summaries plus their cached cross-shard merge (see
+	// approx.go), built lazily per ranking function — never by
+	// PrepareSharded or Update — and carried across Update, where the
+	// engine vector identifies exactly the shards to re-certify.
+	skMu     sync.Mutex
+	sketches map[*Ranking]*shardSketchEntry
 }
 
 // PrepareSharded compiles a query against a hash-partitioned database.
@@ -163,15 +181,20 @@ func (p *ShardedPrepared) Count() *big.Int { return p.sh.Total().Big() }
 
 // Quantile returns the φ-quantile of Q(D) under the ranking function,
 // byte-identical to the unsharded Prepared.Quantile on the same database.
+//
+// Deprecated: equivalent to Answer with QuantileRequest{Phi: phi,
+// Mode: ModeExact}, which additionally reports Source and ErrorBound.
 func (p *ShardedPrepared) Quantile(f *Ranking, phi float64, opts ...Options) (*Answer, error) {
-	a, _, err := core.QuantileShards(p.sh.Engines(), f, phi, p.opt(opts))
-	return a, err
+	return p.Answer(f, QuantileRequest{Phi: phi, Mode: ModeExact}, opts...)
 }
 
 // QuantileStats is Quantile returning the global run statistics (see the
 // type comment for which fields are comparable across shard counts).
+//
+// Deprecated: equivalent to AnswerStats with QuantileRequest{Phi: phi,
+// Mode: ModeExact}.
 func (p *ShardedPrepared) QuantileStats(f *Ranking, phi float64, opts ...Options) (*Answer, *RunStats, error) {
-	return core.QuantileShards(p.sh.Engines(), f, phi, p.opt(opts))
+	return p.AnswerStats(f, QuantileRequest{Phi: phi, Mode: ModeExact}, opts...)
 }
 
 // Median returns the 0.5-quantile.
@@ -180,11 +203,13 @@ func (p *ShardedPrepared) Median(f *Ranking, opts ...Options) (*Answer, error) {
 }
 
 // ApproxQuantile returns a deterministic (φ±ε)-quantile (Theorem 6.2).
+//
+// Deprecated: equivalent to Answer with QuantileRequest{Phi: phi, Eps: eps,
+// Mode: ModeExact}; ModeApprox/ModeAuto answer from the sketch tier instead.
 func (p *ShardedPrepared) ApproxQuantile(f *Ranking, phi, eps float64, opts ...Options) (*Answer, error) {
 	o := p.opt(opts)
 	o.Epsilon = eps
-	a, _, err := core.QuantileShards(p.sh.Engines(), f, phi, o)
-	return a, err
+	return p.Answer(f, QuantileRequest{Phi: phi, Mode: ModeExact}, o)
 }
 
 // Quantiles answers several φ's against this single plan.
@@ -293,8 +318,9 @@ func (p *ShardedPrepared) Update(d *Delta) (*ShardedPrepared, error) {
 	}
 	return &ShardedPrepared{
 		q: p.q, sh: sh, opts: p.opts,
-		baseDB: base,
-		deltas: append(chain[:len(chain):len(chain)], d.Clone()),
+		baseDB:   base,
+		deltas:   append(chain[:len(chain):len(chain)], d.Clone()),
+		sketches: p.carrySketches(),
 	}, nil
 }
 

@@ -89,6 +89,10 @@ func (p *Prepared) Update(d *Delta) (*Prepared, error) {
 		q: p.q, eng: eng, opts: p.opts,
 		baseDB: base,
 		deltas: append(chain[:len(chain):len(chain)], d.Clone()),
+		// Sketch summaries carry over marked stale: the first approximate
+		// query (or WarmSketches) re-certifies their anchors against the
+		// updated engine instead of rebuilding from scratch.
+		sketches: p.carrySketches(),
 	}, nil
 }
 

@@ -58,6 +58,45 @@ func ValidateEpsilon(eps float64) error {
 	return nil
 }
 
+// ValidateDelta checks a sampling failure probability: δ must be a real
+// number in (0,1).
+func ValidateDelta(delta float64) error {
+	if delta != delta {
+		return argErrorf("delta", "NaN is not a failure probability")
+	}
+	if delta <= 0 || delta >= 1 {
+		return argErrorf("delta", "%v outside (0,1)", delta)
+	}
+	return nil
+}
+
+// ParseMode parses the wire form of an answering mode: "exact", "approx" or
+// "auto" (case-insensitive; the empty string selects exact, the legacy
+// behavior of requests that predate the mode field). Anything else is a
+// *ArgError, which HTTP front ends map to a 400. Both the qjq -mode flag and
+// the qjserve "mode" request field funnel through this single parse.
+func ParseMode(s string) (Mode, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "exact":
+		return ModeExact, nil
+	case "approx":
+		return ModeApprox, nil
+	case "auto":
+		return ModeAuto, nil
+	}
+	return ModeExact, argErrorf("mode", "unknown mode %q (want exact, approx or auto)", s)
+}
+
+// ValidateMode checks a wire mode string without resolving it; same contract
+// as ParseMode.
+func ValidateMode(s string) error {
+	_, err := ParseMode(s)
+	return err
+}
+
+// FormatMode renders a mode in the wire form parsed by ParseMode.
+func FormatMode(m Mode) string { return m.String() }
+
 // ValidateTopK checks a top-k count: k must be ≥ 0.
 func ValidateTopK(k int) error {
 	if k < 0 {
