@@ -19,6 +19,7 @@ package qjoin
 
 import (
 	"math/rand"
+	"sync"
 
 	"github.com/quantilejoins/qjoin/internal/core"
 	"github.com/quantilejoins/qjoin/internal/counting"
@@ -105,6 +106,58 @@ type sketchEntry struct {
 // request for resolution want (finer-or-equal, with float slack).
 func resCovers(have, want float64) bool { return have <= want*(1+1e-9) }
 
+// canonRanking maps a ranking to the plan's canonical pointer for its wire
+// spec, registering f as canonical on first sight. Summaries are keyed by
+// *Ranking pointer; interning by spec means two equivalent Ranking values —
+// in particular one minted by LoadPrepared for a snapshot's sketch sections
+// and one the caller builds later — share a single summary. Rankings with a
+// custom Weight function have no wire form and stay keyed by their own
+// pointer. canon must be the plan's rankCanon map field (passed by address
+// under the plan's skMu-compatible locking discipline).
+func canonRanking(mu *sync.Mutex, canon *map[string]*Ranking, f *Ranking) *Ranking {
+	if f == nil || f.Weight != nil {
+		return f
+	}
+	spec, err := FormatRanking(f)
+	if err != nil {
+		return f
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if g := (*canon)[spec]; g != nil {
+		return g
+	}
+	if *canon == nil {
+		*canon = make(map[string]*Ranking)
+	}
+	(*canon)[spec] = f
+	return f
+}
+
+func (p *Prepared) canonRanking(f *Ranking) *Ranking {
+	return canonRanking(&p.skMu, &p.rankCanon, f)
+}
+
+func (p *ShardedPrepared) canonRanking(f *Ranking) *Ranking {
+	return canonRanking(&p.skMu, &p.rankCanon, f)
+}
+
+// carryRankCanon copies the spec-interning map for a plan derived by Update,
+// so canonical pointers — and with them the carried summaries — survive the
+// derivation.
+func carryRankCanon(mu *sync.Mutex, canon map[string]*Ranking) map[string]*Ranking {
+	mu.Lock()
+	defer mu.Unlock()
+	if len(canon) == 0 {
+		return nil
+	}
+	m := make(map[string]*Ranking, len(canon))
+	for spec, f := range canon {
+		m[spec] = f
+	}
+	return m
+}
+
 // Answer is the unified quantile entry point: one request struct selects the
 // tier (exact engine, sketch summary, or sampling), and the answer reports
 // the tier that produced it (Source) with a certified rank-error bound
@@ -183,6 +236,7 @@ func (p *Prepared) engines() []*engine.Engine { return []*engine.Engine{p.eng} }
 // summaryFor returns the plan's summary for f at resolution res (or finer),
 // building or re-certifying it as needed and caching the result.
 func (p *Prepared) summaryFor(f *Ranking, res float64, o Options) (*sketch.Summary, error) {
+	f = p.canonRanking(f)
 	p.skMu.Lock()
 	e := p.sketches[f]
 	p.skMu.Unlock()
@@ -224,6 +278,7 @@ func (p *Prepared) summaryFor(f *Ranking, res float64, o Options) (*sketch.Summa
 // certify it. ModeAuto never builds finer than DefaultSketchEps — tighter
 // requests belong to the exact tier (or an explicit ModeApprox).
 func (p *Prepared) autoSummary(f *Ranking, eps float64, o Options) (*sketch.Summary, error) {
+	f = p.canonRanking(f)
 	p.skMu.Lock()
 	e := p.sketches[f]
 	p.skMu.Unlock()
@@ -420,6 +475,7 @@ func (p *ShardedPrepared) WarmSketches() error {
 // (or finer), building, re-certifying and re-merging only what the engine
 // vector says is out of date.
 func (p *ShardedPrepared) summaryFor(f *Ranking, res float64, o Options) (*sketch.Summary, error) {
+	f = p.canonRanking(f)
 	engs := p.sh.Engines()
 	p.skMu.Lock()
 	e := p.sketches[f]
@@ -469,6 +525,7 @@ func (p *ShardedPrepared) summaryFor(f *Ranking, res float64, o Options) (*sketc
 
 // autoSummary mirrors Prepared.autoSummary for sharded plans.
 func (p *ShardedPrepared) autoSummary(f *Ranking, eps float64, o Options) (*sketch.Summary, error) {
+	f = p.canonRanking(f)
 	p.skMu.Lock()
 	e := p.sketches[f]
 	p.skMu.Unlock()

@@ -1,8 +1,11 @@
 package main
 
 import (
+	"bytes"
 	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"reflect"
 	"runtime"
 	"time"
@@ -18,6 +21,7 @@ import (
 	"github.com/quantilejoins/qjoin/internal/query"
 	"github.com/quantilejoins/qjoin/internal/ranking"
 	"github.com/quantilejoins/qjoin/internal/relation"
+	"github.com/quantilejoins/qjoin/internal/snap"
 	"github.com/quantilejoins/qjoin/internal/testutil"
 	"github.com/quantilejoins/qjoin/internal/trim"
 	"github.com/quantilejoins/qjoin/internal/workload"
@@ -1047,4 +1051,130 @@ func runE18(c *ctx) {
 	fmt.Println("\n(the sketch tier answers from precomputed anchors — serve cost is independent")
 	fmt.Println("of |D|; mode=auto takes this tier only when the requested ε is at least the")
 	fmt.Println("anchor's certified error, and falls back to the exact loop otherwise)")
+}
+
+// ---------------------------------------------------------------- E19
+
+// runE19 measures cold starts (ISSUE 9): the time from process start to a
+// query-ready plan, three ways — re-running Prepare on the raw data, restoring
+// a versioned binary snapshot (LoadPlanBytes over the file's bytes, the
+// qjq -load path), and restoring a snapshot plus replaying a write-ahead log
+// of delta batches on top (the qjserve crash-recovery path). Sizes × shard
+// counts; every lane is checked against the fresh plan's answers.
+func runE19(c *ctx) {
+	reps := 5
+	if c.quick {
+		reps = 2
+	}
+	const walBatches, walOps = 8, 16
+	fmt.Printf("cold start to a query-ready plan (workers = %d; WAL lane replays %d batches of %d ops)\n\n",
+		workerCount(), walBatches, walOps)
+	t := &table{header: []string{"n", "shards", "|D|", "re-Prepare", "restore", "restore+WAL", "speedup"}}
+	for _, n := range sizes(c, []int{1 << 12, 1 << 14, 1 << 16}) {
+		for _, shards := range []int{1, 4} {
+			rng := rand.New(rand.NewSource(19))
+			q, idb := workload.Path(rng, 2, n, 1<<10)
+			db := qjoin.WrapDB(idb)
+			f := qjoin.Sum(q.Vars()...)
+			opts := qjoin.Options{Parallelism: benchWorkers}
+			prepare := func() qjoin.Plan {
+				if shards > 1 {
+					p, err := qjoin.PrepareSharded(q, db, shards, opts)
+					if err != nil {
+						panic(err)
+					}
+					return p
+				}
+				p, err := qjoin.Prepare(q, db, opts)
+				if err != nil {
+					panic(err)
+				}
+				return p
+			}
+			base := prepare()
+			var buf bytes.Buffer
+			if err := base.Snapshot(&buf); err != nil {
+				panic(err)
+			}
+			blob := buf.Bytes()
+
+			// The WAL lane's log: fsynced delta batches replayed through
+			// copy-on-write UpdatePlan on the restored plan.
+			walPath := filepath.Join(os.TempDir(), fmt.Sprintf("qjbench-e19-%d-%d.wal", n, shards))
+			os.Remove(walPath)
+			w, err := snap.OpenWAL(walPath)
+			if err != nil {
+				panic(err)
+			}
+			deltas := make([]*qjoin.Delta, walBatches)
+			for b := range deltas {
+				d := qjoin.NewDelta()
+				for i := 0; i < walOps; i++ {
+					d.Insert("R1", []int64{int64(1<<21 + b*walOps + i), int64(i % 64)})
+				}
+				deltas[b] = d
+				if err := w.Append(uint64(b+2), d); err != nil {
+					panic(err)
+				}
+			}
+			w.Close()
+			defer os.Remove(walPath)
+
+			prepD := timeIt(reps, func() { prepare() })
+			var restored qjoin.Plan
+			restD := timeIt(reps, func() {
+				var err error
+				if restored, err = qjoin.LoadPlanBytes(blob, opts); err != nil {
+					panic(err)
+				}
+			})
+			var replayed qjoin.Plan
+			walD := timeIt(reps, func() {
+				p, err := qjoin.LoadPlanBytes(blob, opts)
+				if err != nil {
+					panic(err)
+				}
+				if err := snap.ReplayWAL(walPath, func(gen uint64, d *qjoin.Delta) error {
+					p, err = p.UpdatePlan(d)
+					return err
+				}); err != nil {
+					panic(err)
+				}
+				replayed = p
+			})
+
+			// Answer oracle: restore matches the fresh plan; the WAL lane
+			// matches applying the same deltas to the fresh plan.
+			mustEq := func(a, b qjoin.Plan) {
+				ma, err := a.Median(f)
+				if err != nil {
+					panic(err)
+				}
+				mb, err := b.Median(f)
+				if err != nil {
+					panic(err)
+				}
+				if !reflect.DeepEqual(ma, mb) {
+					panic(fmt.Sprintf("restored plan diverges: %v vs %v", ma, mb))
+				}
+			}
+			mustEq(base, restored)
+			fresh := base
+			for _, d := range deltas {
+				if fresh, err = fresh.UpdatePlan(d); err != nil {
+					panic(err)
+				}
+			}
+			mustEq(fresh, replayed)
+
+			t.add(fmt.Sprint(n), fmt.Sprint(shards), fmt.Sprint(db.Size()),
+				dur(prepD), dur(restD), dur(walD),
+				fmt.Sprintf("%.1f×", float64(prepD)/float64(restD)))
+		}
+	}
+	t.print()
+	fmt.Println("\n(restore skips the compile passes — dedup hashing, node materialization,")
+	fmt.Println("group indexing, counting — and decodes by aliasing the snapshot bytes; the")
+	fmt.Println("WAL lane adds one copy-on-write UpdatePlan per logged batch, the price of")
+	fmt.Println("the delta batches acknowledged since the last compaction)")
 }

@@ -23,10 +23,17 @@
 //
 // -update FILE applies a delta file to the compiled plan before answering —
 // the incremental-maintenance path, not a recompile. Each non-empty line is
-// +Rel,v1,v2,... (insert) or -Rel,v1,v2,... (delete); '#' starts a comment:
+// +Rel,v1,v2,... (insert) or -Rel,v1,v2,... (delete): '#' starts a comment:
 //
 //	+Orders,17,250
 //	-Shipments,17,99
+//
+// -save FILE writes the compiled plan (after any -update) as a versioned
+// binary snapshot; with no -rank the command saves and exits. -load FILE
+// restores a saved plan instead of reading CSVs and compiling — the
+// second-scale cold-start path; -query/-rel/-shards are then taken from the
+// snapshot and must not be given. Answers from a restored plan are
+// byte-identical to the plan that was saved.
 package main
 
 import (
@@ -34,6 +41,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
@@ -71,25 +79,36 @@ func main() {
 	shards := flag.Int("shards", 0, "hash-partition the data into N shard engines (0 = single unsharded engine)")
 	doStats := flag.Bool("stats", false, "print per-run statistics with a per-iteration phase-timing breakdown")
 	updateFile := flag.String("update", "", "delta file (+Rel,v,... inserts / -Rel,v,... deletes) applied to the plan before answering")
+	saveFile := flag.String("save", "", "write the compiled plan snapshot to FILE (with no -rank: save and exit)")
+	loadFile := flag.String("load", "", "restore the compiled plan from a snapshot FILE instead of compiling from -rel CSVs")
 	flag.Var(rels, "rel", "NAME=FILE CSV source for a relation (repeatable)")
 	flag.Parse()
 
-	q, err := qjoin.ParseQuery(*queryStr)
-	if err != nil {
-		fatal(err)
-	}
+	var q *qjoin.Query
 	db := qjoin.NewDB()
-	for _, atom := range q.Atoms {
-		file, ok := rels[atom.Rel]
-		if !ok {
-			fatal(fmt.Errorf("no -rel source for relation %s", atom.Rel))
+	if *loadFile != "" {
+		// The snapshot carries the query, data and shard layout; source flags
+		// would be silently ignored, so reject them loudly.
+		if *queryStr != "" || len(rels) > 0 || *shards != 0 {
+			fatal(fmt.Errorf("-load restores query, data and shards from the snapshot; -query/-rel/-shards must not be given"))
 		}
-		rows, err := loadfmt.ReadCSVFile(file, len(atom.Vars))
-		if err != nil {
-			fatal(fmt.Errorf("%s: %w", file, err))
-		}
-		if err := db.Add(atom.Rel, len(atom.Vars), rows); err != nil {
+	} else {
+		var err error
+		if q, err = qjoin.ParseQuery(*queryStr); err != nil {
 			fatal(err)
+		}
+		for _, atom := range q.Atoms {
+			file, ok := rels[atom.Rel]
+			if !ok {
+				fatal(fmt.Errorf("no -rel source for relation %s", atom.Rel))
+			}
+			rows, err := loadfmt.ReadCSVFile(file, len(atom.Vars))
+			if err != nil {
+				fatal(fmt.Errorf("%s: %w", file, err))
+			}
+			if err := db.Add(atom.Rel, len(atom.Vars), rows); err != nil {
+				fatal(err)
+			}
 		}
 	}
 
@@ -126,6 +145,9 @@ func main() {
 	// to the unsharded plan, so the knob is purely operational. The plan is
 	// held behind the qjoin.Plan interface either way.
 	compile := func(db *qjoin.DB) (qjoin.Plan, error) {
+		if *loadFile != "" {
+			return loadPlanFile(*loadFile, planOpts)
+		}
 		if *shards > 1 {
 			return qjoin.PrepareSharded(q, db, *shards, planOpts)
 		}
@@ -152,6 +174,23 @@ func main() {
 		return
 	}
 
+	// -save with no ranking: compile (or -load), fold the update, persist,
+	// done — the artifact another qjq -load (or qjserve) restores from.
+	if *saveFile != "" && *rankStr == "" {
+		p, err := compile(db)
+		if err != nil {
+			fatal(err)
+		}
+		if p, err = applyUpdate(p, upd, false); err != nil {
+			fatal(err)
+		}
+		if err := savePlanFile(p, *saveFile); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("saved plan snapshot to %s\n", *saveFile)
+		return
+	}
+
 	f, err := qjoin.ParseRanking(*rankStr)
 	if err != nil {
 		fatal(err)
@@ -159,6 +198,9 @@ func main() {
 	// Classification is static analysis — it must work (and report) on
 	// cyclic queries too, so it runs before any plan is compiled.
 	if *doClassify {
+		if q == nil {
+			fatal(fmt.Errorf("-classify analyzes the query text; use -query, not -load"))
+		}
 		ok, why := qjoin.ClassifyRanking(q, f)
 		fmt.Printf("tractable=%v: %s\n", ok, why)
 		return
@@ -191,6 +233,12 @@ func main() {
 		fatal(err)
 	}
 	prepTime := time.Since(prepStart).Round(time.Microsecond)
+	if *saveFile != "" {
+		if err := savePlanFile(p, *saveFile); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("saved plan snapshot to %s\n", *saveFile)
+	}
 
 	rng := rand.New(rand.NewSource(*seed))
 	single := len(phis) == 1
@@ -285,6 +333,43 @@ func applyUpdate(p qjoin.Plan, delta *qjoin.Delta, verbose bool) (qjoin.Plan, er
 		fmt.Printf("applied %d-op delta in %v\n", delta.Len(), time.Since(start).Round(time.Microsecond))
 	}
 	return up, nil
+}
+
+// loadPlanFile restores a plan snapshot. The whole file is read up front and
+// decoded with the aliasing byte loader — the restored plan's columns point
+// into the file image, which is exactly the cold-start fast path.
+func loadPlanFile(path string, opts qjoin.Options) (qjoin.Plan, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	p, err := qjoin.LoadPlanBytes(b, opts)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return p, nil
+}
+
+// savePlanFile writes the plan snapshot atomically: temp file, fsync,
+// rename — a crash mid-save never leaves a torn snapshot at path.
+func savePlanFile(p qjoin.Plan, path string) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".qjq-snap-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := p.Snapshot(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
 }
 
 func weightString(f *qjoin.Ranking, w qjoin.Weight) string {

@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 
 	"github.com/quantilejoins/qjoin"
@@ -59,6 +60,45 @@ func TestApplyUpdateEndToEnd(t *testing.T) {
 	}
 	if n := p.Count().Int64(); n != 2 { // base plan untouched: (1,2,7), (3,4,9)
 		t.Fatalf("base count = %d, want 2", n)
+	}
+}
+
+func TestSaveLoadPlanFile(t *testing.T) {
+	// The -save/-load glue: snapshot to disk atomically, restore with the
+	// byte loader, answers byte-identical.
+	q, err := qjoin.ParseQuery("R(x,y),S(y,z)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := qjoin.NewDB().
+		MustAdd("R", 2, [][]int64{{1, 2}, {3, 4}, {5, 2}}).
+		MustAdd("S", 2, [][]int64{{2, 7}, {4, 9}})
+	p, err := qjoin.Prepare(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "plan.snap")
+	if err := savePlanFile(p, path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := loadPlanFile(path, qjoin.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := qjoin.Sum("x", "z")
+	want, err := p.Median(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	have, err := got.Median(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, have) {
+		t.Fatalf("restored median %v, fresh %v", have, want)
+	}
+	if _, err := loadPlanFile(filepath.Join(t.TempDir(), "missing.snap"), qjoin.Options{}); err == nil {
+		t.Fatal("missing file accepted")
 	}
 }
 

@@ -241,6 +241,43 @@
 // part. ParseMode/ValidateMode/FormatMode are the wire codec for the mode
 // argument, shared by qjq -mode and the server's /query mode field.
 //
+// # Durability
+//
+// A compiled plan can be persisted and restored without recompiling.
+// Prepared.Snapshot (and ShardedPrepared.Snapshot) writes the plan as a
+// versioned, checksummed binary stream — the string dictionary, the
+// columnar relations with their interner tables, the compiled engine
+// artifact, and any warm sketch summaries — and LoadPrepared,
+// LoadShardedPrepared or the kind-dispatching LoadPlan (plus their Bytes
+// variants) read it back. The contract:
+//
+//   - Byte-identity. A restored plan answers every query — RunStats
+//     included — byte-identically to the plan that was saved, at every
+//     Parallelism value, and remains fully updatable: snapshot → Update →
+//     snapshot chains are equivalent to the never-persisted plan.
+//   - Cost. Restoring skips validation, join-tree construction,
+//     deduplication, materialization and counting; it is bounded in CI at
+//     20% of a fresh Prepare on the same data (measured ~13% on one core;
+//     with more cores the checksum pass overlaps with decoding).
+//   - Integrity. Every section carries a CRC-32C trailer verified before
+//     any state is adopted. Failures are typed — ErrNotSnapshot,
+//     ErrSnapshotVersion, ErrSnapshotChecksum, ErrSnapshotTruncated,
+//     ErrSnapshotCorrupt — and a load either returns a fully valid plan or
+//     an error, never a partially restored one.
+//   - Versioning. The format version is bumped on any layout change and
+//     readers accept exactly their own version. Snapshots are a cache of
+//     compiled state, not an archival format: the cross-version migration
+//     path is re-Prepare from the raw data.
+//   - Lazily rebuilt state. The direct-access structure and the cached
+//     full reduction are not serialized; a restored plan rebuilds them on
+//     first use, exactly like a freshly prepared one.
+//
+// SnapshotDataset/LoadDataset persist a raw database with its serving
+// metadata (name, generation, shard layout) but no compiled plan — the
+// form qjserve's -data-dir durability and blue/green snapshot streaming
+// use, with a per-dataset write-ahead log of deltas (internal/snap.WAL)
+// replayed on recovery through DB.Apply.
+//
 // # Serving and plan sharing
 //
 // The qjserve daemon (cmd/qjserve, built on internal/server) holds plans in

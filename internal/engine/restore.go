@@ -1,0 +1,61 @@
+package engine
+
+import (
+	"github.com/quantilejoins/qjoin/internal/jointree"
+	"github.com/quantilejoins/qjoin/internal/parallel"
+	"github.com/quantilejoins/qjoin/internal/query"
+	"github.com/quantilejoins/qjoin/internal/relation"
+	"github.com/quantilejoins/qjoin/internal/trim"
+	"github.com/quantilejoins/qjoin/internal/yannakakis"
+)
+
+// Restore reassembles an Engine from snapshot-decoded parts, skipping every
+// pass NewWorkers would run: no validation, no dedup hashing, no node
+// materialization, no group-index build, no counting. The caller supplies
+//
+//   - src: the original query as the user wrote it,
+//   - q:   its self-join-free rewrite (src itself when there are none) —
+//     decoded, not re-derived, so the rewritten relation names match the
+//     decoded database exactly,
+//   - db0: the raw input database the engine was built over. Multiset
+//     refcounts are not serialized; they are rebuilt lazily from db0 on the
+//     first Update, which is exact because the set view plus raw
+//     multiplicities fully determine them,
+//   - db:  the deduplicated, self-join-free database,
+//   - exec/counts: the executable tree and its counting state.
+//
+// The cheap derived fields (origVars, answer-layout positions, tree order)
+// are recomputed — they are pure functions of the queries. The lazy
+// structures (direct access, full reduction, trim cache) start empty, as on
+// a fresh engine.
+//
+// Correctness rests on the parts being mutually consistent — produced by one
+// engine's snapshot at one generation. Restore trusts its caller on that;
+// the snapshot layer's checksums and structural validation are the gate.
+func Restore(src, q *query.Query, db0, db *relation.Database, tree *jointree.Tree, exec *jointree.Exec, counts *yannakakis.Counts, parallelism int) *Engine {
+	origVars := src.Vars()
+	idx := q.VarIndex()
+	pos := make([]int, len(origVars))
+	for i, v := range origVars {
+		pos[i] = idx[v]
+	}
+	e := &Engine{
+		src:       src,
+		origVars:  origVars,
+		q:         q,
+		db:        db,
+		db0:       db0,
+		tree:      tree,
+		exec:      exec,
+		pos:       pos,
+		workers:   parallel.Workers(parallelism),
+		trimCache: trim.NewCache(),
+	}
+	e.counts = counts
+	return e
+}
+
+// DB0 returns the raw input database the engine was compiled over, or nil on
+// engines derived by Update (which maintain the set view and multiset
+// refcounts instead). Snapshot encoding reads it; nothing else should.
+func (e *Engine) DB0() *relation.Database { return e.db0 }

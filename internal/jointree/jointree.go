@@ -232,6 +232,64 @@ type GroupIndex struct {
 // NumGroups returns the number of distinct join groups.
 func (g *GroupIndex) NumGroups() int { return len(g.Tuples) }
 
+// Keys returns the group-key interner. It is the index's own state and must
+// be treated as read-only — exposed so snapshots can serialize the key
+// tuples in group-id order (TupleOf over [0, Len())).
+func (g *GroupIndex) Keys() *relation.Interner { return g.keys }
+
+// GroupIndexFromParts reconstructs a GroupIndex from its two serialized
+// parts: the key interner (keys re-interned in group-id order) and the
+// per-row group-id array. Tuples is rederived by packTuples, which is how
+// the fresh build materializes it too, so the restored index is structurally
+// identical to the one that was saved. Every RowGid entry must be a valid id
+// of keys; the caller validates before handing the parts over.
+func GroupIndexFromParts(keys *relation.Interner, rowGid []int32) *GroupIndex {
+	g := &GroupIndex{keys: keys, RowGid: rowGid}
+	g.packTuples(len(rowGid))
+	return g
+}
+
+// GroupIndexFromFlat is GroupIndexFromParts with the pack pass handed over:
+// flat is the per-group tuple lists flattened in group-id order — exactly the
+// backing array packTuples would build — so a restore costs one validating
+// read pass and no fill pass. Tuples subslices flat with full caps,
+// preserving the copy-on-append behavior of the packed layout. Validation
+// keeps the structure memory-safe under arbitrary input — RowGid partitions
+// flat exactly, every row index is in range, runs are strictly ascending —
+// and ok=false on any violation; it does not re-derive flat from RowGid (the
+// snapshot CRC covers bit corruption, and no consistency check can stop a
+// writer that lies consistently).
+func GroupIndexFromFlat(keys *relation.Interner, rowGid []int32, flat []int) (*GroupIndex, bool) {
+	n := len(rowGid)
+	if len(flat) != n {
+		return nil, false
+	}
+	ng := keys.Len()
+	counts := make([]int32, ng)
+	for _, gid := range rowGid {
+		if gid < 0 || int(gid) >= ng {
+			return nil, false
+		}
+		counts[gid]++
+	}
+	g := &GroupIndex{keys: keys, RowGid: rowGid, Tuples: make([][]int, ng)}
+	off := 0
+	for gid := 0; gid < ng; gid++ {
+		c := int(counts[gid])
+		seg := flat[off : off+c : off+c]
+		prev := -1
+		for _, row := range seg {
+			if row <= prev || row >= n {
+				return nil, false
+			}
+			prev = row
+		}
+		g.Tuples[gid] = seg
+		off += c
+	}
+	return g, true
+}
+
 // lookup resolves a shared-variable key tuple to its group id.
 func (g *GroupIndex) lookup(key []relation.Value) (int, bool) {
 	id, ok := g.keys.Lookup(key)
@@ -274,6 +332,25 @@ func NewExecWorkers(q *query.Query, db *relation.Database, t *Tree, workers int)
 	}
 	e.rebuildGroups(workers)
 	return e, nil
+}
+
+// RestoreExec rebuilds an Exec from snapshot-decoded parts: the per-node
+// relations, group indexes and parent-gid arrays are taken as given (they
+// are the expensive hashed state a snapshot exists to preserve), while the
+// shared-variable key positions are recomputed from the tree — they are pure
+// functions of the query and cost nothing. The caller guarantees the parts
+// were produced by an Exec over the same query and database.
+func RestoreExec(q *query.Query, db *relation.Database, t *Tree, rels []*relation.Relation, groups []*GroupIndex, parentGid [][]int32) *Exec {
+	e := &Exec{Q: q, T: t, DB: db, Rels: rels, Groups: groups, parentGid: parentGid}
+	e.keyPosChild = make([][]int, len(t.Nodes))
+	e.keyPosParent = make([][]int, len(t.Nodes))
+	for _, n := range t.Nodes {
+		if n.Parent >= 0 {
+			e.keyPosChild[n.ID] = varPositions(n.SharedWithParent, n.Vars)
+			e.keyPosParent[n.ID] = varPositions(n.SharedWithParent, t.Nodes[n.Parent].Vars)
+		}
+	}
+	return e
 }
 
 // nodeLayout is the projection of one atom's rows onto its node relation:

@@ -49,3 +49,9 @@ func (d *Dict) StringOf(id Value) (string, bool) {
 
 // Len returns the number of interned strings; ids are exactly [0, Len()).
 func (d *Dict) Len() int { return len(d.strs) }
+
+// Strings returns the interned strings in id order (string i has id i). The
+// slice is the dictionary's own storage and must be treated as read-only —
+// it exists so a snapshot can serialize the dictionary, and re-interning the
+// strings in this order reproduces every id exactly.
+func (d *Dict) Strings() []string { return d.strs }

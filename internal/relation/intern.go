@@ -258,6 +258,57 @@ func (it *Interner) Derive() *Interner {
 // for a derived interner, the overlay size that drives flattening policy.
 func (it *Interner) OverlayLen() int { return len(it.hashes) }
 
+// Parts returns the interner's internal arrays — flat tuple storage in id
+// order, per-id hashes, and the open-addressed probe table (slots hold id+1,
+// 0 = empty) — for serialization; InternerFromParts is the inverse. Derived
+// interners are flattened first. The returned slices are views; callers must
+// not mutate them.
+func (it *Interner) Parts() (vals []Value, hashes []uint64, table []uint32) {
+	root := it.Flatten()
+	return root.vals, root.hashes, root.table
+}
+
+// InternerFromParts reconstructs a root interner from Parts output without
+// re-hashing or re-inserting anything — the restore path's replacement for an
+// Intern loop. The arrays are adopted, not copied (they must stay immutable
+// while the interner lives), so a restore can alias them straight out of a
+// checksummed snapshot payload. Validation covers what memory safety needs:
+// array lengths agree, the table is a power of two within the load-factor
+// policy (so probe loops always find an empty slot and terminate), and every
+// slot is empty or a valid id, with exactly n slots occupied. It does not
+// re-derive the table from the tuples — a table that lies consistently gives
+// wrong lookups, never unsafe ones, the same trust class as fabricated tuple
+// data itself.
+func InternerFromParts(width int, vals []Value, hashes []uint64, table []uint32) (*Interner, bool) {
+	n := len(hashes)
+	if width < 0 || len(vals) != n*width {
+		return nil, false
+	}
+	size := len(table)
+	if size < internMinTable || size&(size-1) != 0 || size*3 < n*4 {
+		return nil, false
+	}
+	live := 0
+	for _, s := range table {
+		if s != 0 {
+			if int(s) > n {
+				return nil, false
+			}
+			live++
+		}
+	}
+	if live != n {
+		return nil, false
+	}
+	return &Interner{
+		width:  width,
+		table:  table,
+		mask:   uint64(size - 1),
+		hashes: hashes,
+		vals:   vals,
+	}, true
+}
+
 // Flatten folds a derived interner into a fresh root holding the same ids.
 // No-op (returns the receiver) for root interners.
 func (it *Interner) Flatten() *Interner {

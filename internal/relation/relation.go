@@ -150,6 +150,25 @@ func FromRows(name string, arity int, rows [][]Value) *Relation {
 	return r
 }
 
+// FromColumns builds a relation directly from column vectors, taking
+// ownership of the slices (no copy). Every column must have the same length.
+// This is the snapshot-restore constructor: decoded column data becomes a
+// relation in O(arity) without a row loop, and the distinct marker is
+// restored exactly as recorded — the caller vouches for it, the same contract
+// as MarkDistinct.
+func FromColumns(name string, cols [][]Value, distinct bool) *Relation {
+	n := 0
+	if len(cols) > 0 {
+		n = len(cols[0])
+	}
+	for j, col := range cols {
+		if len(col) != n {
+			panic(fmt.Sprintf("relation %s: column %d has %d values, want %d", name, j, len(col), n))
+		}
+	}
+	return &Relation{name: name, arity: len(cols), n: n, cols: cols, distinct: distinct}
+}
+
 // Name returns the relation name.
 func (r *Relation) Name() string { return r.name }
 

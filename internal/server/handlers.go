@@ -40,6 +40,13 @@ type Config struct {
 	// field overrides it per dataset. Validated like the request field:
 	// New panics on a count outside [0, qjoin.MaxShards].
 	DefaultShards int
+	// Store, when non-nil, makes the server durable: bulk loads persist a
+	// dataset snapshot before the response goes out, deltas fsync a WAL
+	// record inside the registry's writer critical section (an append
+	// failure rejects the delta), and POST /datasets/{name}/snapshot
+	// compacts the WAL into a fresh snapshot. Create one with NewStore;
+	// cmd/qjserve wires it from -data-dir and replays the directory at boot.
+	Store *Store
 }
 
 func (c Config) withDefaults() Config {
@@ -98,6 +105,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("PUT /datasets/{name}", s.gated(&s.metrics.Requests.Load, &s.metrics.LoadLatency, s.handleLoad))
 	mux.HandleFunc("POST /datasets/{name}/delta", s.gated(&s.metrics.Requests.Delta, &s.metrics.DeltaLatency, s.handleDelta))
 	mux.HandleFunc("POST /query", s.gated(&s.metrics.Requests.Query, &s.metrics.QueryLatency, s.handleQuery))
+	mux.HandleFunc("POST /datasets/{name}/snapshot", s.gated(&s.metrics.Requests.Snapshot, &s.metrics.SnapshotLatency, s.handleCompact))
+	mux.HandleFunc("GET /datasets/{name}/snapshot", s.handleGetSnapshot)
 	mux.HandleFunc("GET /datasets", s.handleListDatasets)
 	mux.HandleFunc("GET /datasets/{name}", s.handleGetDataset)
 	mux.HandleFunc("DELETE /datasets/{name}", s.handleDeleteDataset)
@@ -204,6 +213,8 @@ func (s *Server) fail(w http.ResponseWriter, err error) {
 		s.writeError(w, http.StatusConflict, err, "")
 	case errors.Is(err, qjoin.ErrNoAnswers), errors.Is(err, errNotFound):
 		s.writeError(w, http.StatusNotFound, err, "")
+	case errors.Is(err, errStore):
+		s.writeError(w, http.StatusInternalServerError, err, "")
 	default:
 		s.writeError(w, http.StatusBadRequest, err, "")
 	}
@@ -244,11 +255,33 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 	}
 	snap := s.reg.Load(name, db, shards)
 	s.cache.DropDataset(name)
+	if s.cfg.Store != nil {
+		// Persist before acknowledging, under the writer lock so a delta
+		// racing in cannot append to the WAL mid-compaction. A save failure
+		// rolls the load back: acknowledging a dataset the store cannot
+		// recover would break "acknowledged ⇒ durable".
+		err := s.reg.WithWriter(name, func(cur Snapshot) error {
+			return s.cfg.Store.SaveSnapshot(name, cur)
+		})
+		if err != nil {
+			s.reg.Delete(name)
+			s.cache.DropDataset(name)
+			_ = s.cfg.Store.Remove(name)
+			s.writeError(w, http.StatusInternalServerError, fmt.Errorf("persisting dataset: %w", err), "")
+			return
+		}
+	}
 	s.writeJSON(w, LoadResponse{
 		Dataset: name, Generation: snap.Gen,
 		Relations: len(db.Relations()), Tuples: db.Size(),
 		Shards: snap.Shards,
 	})
+}
+
+// RestoreDataset installs a dataset recovered by Store.LoadAll at its
+// pre-crash generation (boot recovery; see cmd/qjserve).
+func (s *Server) RestoreDataset(rec Recovered) Snapshot {
+	return s.reg.Restore(rec.Name, rec.DB, rec.Gen, rec.Shards, rec.ShardGens)
 }
 
 // shardsTouched routes a delta's rows under the dataset's canonical
@@ -303,6 +336,15 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 			touched = shardsTouched(delta, cur.Shards)
 		}
 		migrated = s.cache.Migrate(name, cur.Gen, nextGen, delta)
+		if s.cfg.Store != nil {
+			// Last step before publication: the record is fsynced while the
+			// generation is still invisible, so an acknowledged delta is
+			// always on disk, and an append failure rejects the delta (the
+			// burned generation never reaches the WAL).
+			if err := s.cfg.Store.AppendDelta(name, nextGen, delta); err != nil {
+				return nil, nil, fmt.Errorf("%w: persisting delta: %v", errStore, err)
+			}
+		}
 		return ndb, touched, nil
 	})
 	if err != nil {
@@ -582,6 +624,52 @@ func varNames(vars []qjoin.Var) []string {
 	return out
 }
 
+// handleCompact is POST /datasets/{name}/snapshot: write a fresh snapshot of
+// the dataset's current generation and truncate its WAL. Runs under the
+// dataset's writer lock, so no delta can slip a record into the WAL between
+// the snapshot write and the truncation.
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if s.cfg.Store == nil {
+		s.writeError(w, http.StatusConflict, errors.New("server has no durable store (start with -data-dir)"), "")
+		return
+	}
+	var gen uint64
+	err := s.reg.WithWriter(name, func(cur Snapshot) error {
+		gen = cur.Gen
+		if err := s.cfg.Store.SaveSnapshot(name, cur); err != nil {
+			return fmt.Errorf("%w: compacting: %v", errStore, err)
+		}
+		return nil
+	})
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	s.writeJSON(w, SnapshotResponse{Dataset: name, Generation: gen, Compacted: true})
+}
+
+// handleGetSnapshot is GET /datasets/{name}/snapshot: stream the current
+// generation as a dataset snapshot. The bytes are encoded from the in-memory
+// snapshot (immutable, so no lock is needed) rather than read from disk —
+// the endpoint works without -data-dir and always reflects the generation a
+// concurrent reader would observe. A blue/green standby can pipe the body to
+// a file in its own data directory and boot from it.
+func (s *Server) handleGetSnapshot(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	snap, ok := s.reg.Get(name)
+	if !ok {
+		s.fail(w, fmt.Errorf("dataset %q: %w", name, errNotFound))
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("QJoin-Generation", fmt.Sprint(snap.Gen))
+	meta := qjoin.DatasetMeta{Name: name, Gen: snap.Gen, Shards: snap.Shards, ShardGens: snap.ShardGens}
+	// Mid-stream failures cannot change the status line; the container's end
+	// marker (or its absence) tells the receiver whether the copy is whole.
+	_ = qjoin.SnapshotDataset(w, snap.DB, meta)
+}
+
 // handleListDatasets is GET /datasets.
 func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
 	infos := make([]DatasetInfo, 0)
@@ -612,6 +700,12 @@ func (s *Server) handleDeleteDataset(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.cache.DropDataset(name)
+	if s.cfg.Store != nil {
+		if err := s.cfg.Store.Remove(name); err != nil {
+			s.writeError(w, http.StatusInternalServerError, fmt.Errorf("%w: removing files: %v", errStore, err), "")
+			return
+		}
+	}
 	w.WriteHeader(http.StatusNoContent)
 }
 

@@ -88,15 +88,16 @@ func percentile(counts *[hbuckets]int64, total int64, q float64) int64 {
 // of one server.
 type Metrics struct {
 	Requests struct {
-		Load, Delta, Query, Stats atomic.Int64
+		Load, Delta, Query, Stats, Snapshot atomic.Int64
 	}
 	Errors   atomic.Int64 // responses with status >= 400
 	Timeouts atomic.Int64 // requests rejected by the gate or deadline
 	Inflight atomic.Int64 // currently admitted requests (gauge)
 
-	LoadLatency  Histogram
-	DeltaLatency Histogram
-	QueryLatency Histogram
+	LoadLatency     Histogram
+	DeltaLatency    Histogram
+	QueryLatency    Histogram
+	SnapshotLatency Histogram
 }
 
 // EndpointStats is the JSON form of one endpoint's metrics.
@@ -111,6 +112,7 @@ type MetricsSnapshot struct {
 	Load     EndpointStats `json:"load"`
 	Delta    EndpointStats `json:"delta"`
 	Query    EndpointStats `json:"query"`
+	Snap     EndpointStats `json:"snapshot"`
 	StatsReq int64         `json:"stats_requests"`
 	Errors   int64         `json:"errors"`
 	Timeouts int64         `json:"timeouts"`
@@ -123,6 +125,7 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		Load:     EndpointStats{Requests: m.Requests.Load.Load(), Latency: m.LoadLatency.Snapshot()},
 		Delta:    EndpointStats{Requests: m.Requests.Delta.Load(), Latency: m.DeltaLatency.Snapshot()},
 		Query:    EndpointStats{Requests: m.Requests.Query.Load(), Latency: m.QueryLatency.Snapshot()},
+		Snap:     EndpointStats{Requests: m.Requests.Snapshot.Load(), Latency: m.SnapshotLatency.Snapshot()},
 		StatsReq: m.Requests.Stats.Load(),
 		Errors:   m.Errors.Load(),
 		Timeouts: m.Timeouts.Load(),

@@ -141,6 +141,55 @@ func (r *Registry) Load(name string, db *qjoin.DB, shards int) Snapshot {
 	return *next
 }
 
+// Restore installs a recovered snapshot at its original generation (crash
+// recovery from a durable store). Unlike Load it does not assign a fresh
+// generation: the point of recovery is that responses after a restart report
+// the same generation numbers as before. The name's generation counter is
+// advanced to at least gen so post-recovery mutations stay monotonic.
+func (r *Registry) Restore(name string, db *qjoin.DB, gen uint64, shards int, shardGens []uint64) Snapshot {
+	r.mu.Lock()
+	if r.lastGen[name] < gen {
+		r.lastGen[name] = gen
+	}
+	d := r.ds[name]
+	if d == nil {
+		d = &dataset{name: name}
+		r.ds[name] = d
+	}
+	r.mu.Unlock()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	next := &Snapshot{DB: db, Gen: gen, Shards: shards, ShardGens: shardGens}
+	d.cur.Store(next)
+	r.mu.Lock()
+	r.ds[name] = d
+	r.mu.Unlock()
+	return *next
+}
+
+// WithWriter runs fn under the dataset's writer lock against the current
+// snapshot without creating a new generation. Snapshot compaction uses it:
+// writing the snapshot file and truncating the WAL must not interleave with a
+// delta appending to that WAL, or an acknowledged record could be erased.
+func (r *Registry) WithWriter(name string, fn func(cur Snapshot) error) error {
+	r.mu.RLock()
+	d := r.ds[name]
+	r.mu.RUnlock()
+	if d == nil {
+		return fmt.Errorf("dataset %q: %w", name, errNotFound)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	r.mu.RLock()
+	alive := r.ds[name] == d
+	r.mu.RUnlock()
+	cur := d.cur.Load()
+	if !alive || cur == nil {
+		return fmt.Errorf("dataset %q: %w", name, errNotFound)
+	}
+	return fn(*cur)
+}
+
 // Mutate derives the next generation of a dataset from the current one.
 // fn receives the current snapshot and the generation the result will be
 // published under, and returns the next database plus the shards the

@@ -70,6 +70,14 @@ type DeltaResponse struct {
 	ShardGens     []uint64 `json:"shard_gens,omitempty"`
 }
 
+// SnapshotResponse is the body of POST /datasets/{name}/snapshot: the WAL
+// was compacted into a fresh snapshot of the reported generation.
+type SnapshotResponse struct {
+	Dataset    string `json:"dataset"`
+	Generation uint64 `json:"generation"`
+	Compacted  bool   `json:"compacted"`
+}
+
 // QueryRequest is the body of POST /query.
 type QueryRequest struct {
 	Dataset string `json:"dataset"`

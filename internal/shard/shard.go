@@ -106,16 +106,68 @@ func Of(v relation.Value, shards int) int {
 // byte-identical for every parallelism value. shards=1 shares the input
 // relations outright and is exactly the unsharded engine.
 func New(src *query.Query, db0 *relation.Database, shards, parallelism int) (*Sharded, error) {
+	s, dbs, err := plan(src, db0, shards, parallelism)
+	if err != nil {
+		return nil, err
+	}
+	// Compile shards concurrently: with more shards than cores this is the
+	// prepare-side win — each build is smaller and they overlap. The inner
+	// worker budget is split so total parallelism stays at the requested
+	// level; every split yields the same artifact.
+	s.engs = make([]*engine.Engine, shards)
+	errs := make([]error, shards)
+	per := perShardWorkers(s.workers, shards)
+	parallel.Do(s.workers, shards, func(i int) {
+		s.engs[i], errs[i] = engine.NewWorkers(s.q, dbs[i], per)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Restore reassembles a Sharded from snapshot-decoded shard engines. The
+// routing state (rewrite, key, routes) and the per-shard raw databases are
+// replayed through exactly the code path New uses — both are deterministic
+// functions of (src, db0), so the replayed partition is byte-identical to
+// the one the engines were compiled over. Only the engine compiles
+// themselves are skipped: mk is called once per shard, in order, with the
+// shard's rewritten query and raw partition, and returns the decoded engine
+// (typically engine.Restore over that partition as db0).
+func Restore(src *query.Query, db0 *relation.Database, shards, parallelism int,
+	mk func(i int, q *query.Query, sdb *relation.Database, per int) (*engine.Engine, error)) (*Sharded, error) {
+	s, dbs, err := plan(src, db0, shards, parallelism)
+	if err != nil {
+		return nil, err
+	}
+	s.engs = make([]*engine.Engine, shards)
+	per := perShardWorkers(s.workers, shards)
+	for i := range s.engs {
+		// Sequential on purpose: snapshot decoding resolves stream-order
+		// relation backrefs, so shard sections must decode in order.
+		if s.engs[i], err = mk(i, s.q, dbs[i], per); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// plan runs the shared front half of New and Restore: validation, self-join
+// elimination, key choice, the routing table, and the hash partition of the
+// rewritten database. Everything is deterministic in (src, db0, shards).
+func plan(src *query.Query, db0 *relation.Database, shards, parallelism int) (*Sharded, []*relation.Database, error) {
 	if shards < 1 {
-		return nil, fmt.Errorf("qjoin: shard count %d < 1", shards)
+		return nil, nil, fmt.Errorf("qjoin: shard count %d < 1", shards)
 	}
 	if err := src.Validate(db0); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	q, db := query.EliminateSelfJoins(src, db0)
 	key, ok := ChooseKey(q)
 	if !ok {
-		return nil, ErrNoKey
+		return nil, nil, ErrNoKey
 	}
 	routes := make(map[string]int)
 	for _, a := range q.Atoms {
@@ -163,26 +215,15 @@ func New(src *query.Query, db0 *relation.Database, shards, parallelism int) (*Sh
 			}
 		}
 	}
+	return s, dbs, nil
+}
 
-	// Compile shards concurrently: with more shards than cores this is the
-	// prepare-side win — each build is smaller and they overlap. The inner
-	// worker budget is split so total parallelism stays at the requested
-	// level; every split yields the same artifact.
-	s.engs = make([]*engine.Engine, shards)
-	errs := make([]error, shards)
+func perShardWorkers(workers, shards int) int {
 	per := workers / shards
 	if per < 1 {
 		per = 1
 	}
-	parallel.Do(workers, shards, func(i int) {
-		s.engs[i], errs[i] = engine.NewWorkers(s.q, dbs[i], per)
-	})
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return s, nil
+	return per
 }
 
 // Source returns the query as the user wrote it.

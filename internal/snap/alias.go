@@ -1,0 +1,82 @@
+package snap
+
+// Zero-copy decode fast path. Snapshot payloads are CRC-verified, freshly
+// allocated and never reused by the container reader, so on hosts whose
+// memory layout matches the wire format (little-endian) a fixed-width value
+// block can be returned as an alias of the payload bytes instead of being
+// copied. The structures these blocks land in (relation columns, count
+// arrays, group-id arrays, sketch entries) are immutable after construction —
+// engine updates are copy-on-write — so aliasing is safe. Writers 8-align
+// every block (Enc.Align8) to keep the aliased loads aligned; the decoder
+// falls back to an explicit conversion loop on big-endian hosts or when a
+// payload lands misaligned.
+
+import (
+	"strconv"
+	"unsafe"
+
+	"github.com/quantilejoins/qjoin/internal/counting"
+)
+
+// hostLittleEndian reports whether host integer layout matches the wire
+// format, making aliasing a valid decode.
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// aliasable reports whether b may back an aliased value block of the given
+// element alignment.
+func aliasable(b []byte, align uintptr) bool {
+	return hostLittleEndian && uintptr(unsafe.Pointer(unsafe.SliceData(b)))%align == 0
+}
+
+// viewI64 aliases b as n int64s, or returns nil when the fast path is off.
+func viewI64(b []byte, n int) []int64 {
+	if !aliasable(b, 8) {
+		return nil
+	}
+	return unsafe.Slice((*int64)(unsafe.Pointer(unsafe.SliceData(b))), n)
+}
+
+// viewInt aliases b as n ints on 64-bit hosts, where int matches the wire's
+// fixed 8-byte integers.
+func viewInt(b []byte, n int) []int {
+	if strconv.IntSize != 64 || !aliasable(b, 8) {
+		return nil
+	}
+	return unsafe.Slice((*int)(unsafe.Pointer(unsafe.SliceData(b))), n)
+}
+
+// viewU64 aliases b as n uint64s.
+func viewU64(b []byte, n int) []uint64 {
+	if !aliasable(b, 8) {
+		return nil
+	}
+	return unsafe.Slice((*uint64)(unsafe.Pointer(unsafe.SliceData(b))), n)
+}
+
+// viewU32 aliases b as n uint32s.
+func viewU32(b []byte, n int) []uint32 {
+	if !aliasable(b, 4) {
+		return nil
+	}
+	return unsafe.Slice((*uint32)(unsafe.Pointer(unsafe.SliceData(b))), n)
+}
+
+// viewI32 aliases b as n int32s.
+func viewI32(b []byte, n int) []int32 {
+	if !aliasable(b, 4) {
+		return nil
+	}
+	return unsafe.Slice((*int32)(unsafe.Pointer(unsafe.SliceData(b))), n)
+}
+
+// viewCounts aliases b as n 128-bit counts. counting.Count is exactly two
+// uint64 words (Hi then Lo), matching the wire order.
+func viewCounts(b []byte, n int) []counting.Count {
+	if !aliasable(b, 8) {
+		return nil
+	}
+	return unsafe.Slice((*counting.Count)(unsafe.Pointer(unsafe.SliceData(b))), n)
+}

@@ -1,0 +1,300 @@
+package snap
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// castagnoli is the CRC-32C table; Castagnoli has hardware support on every
+// platform this runs on and better error-detection spread than IEEE.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// maxSection bounds a single section payload (64 GiB). Real sections are far
+// smaller; the cap keeps a corrupted length prefix from driving a huge
+// allocation before the CRC would catch it.
+const maxSection = 1 << 36
+
+// Stream layout. Both headers and the section trailer are 8-byte multiples
+// and payloads are zero-padded to 8 bytes, so every payload starts on an
+// 8-byte boundary of the stream. That is what lets the reader hand out
+// payloads as aliases of one stream buffer and the decoder alias value
+// blocks inside them (see alias.go) — the whole snapshot is then read with a
+// single copy from the source.
+const (
+	streamHeaderLen  = 16 // magic, version, kind, reserved
+	sectionHeaderLen = 16 // id, reserved, payload length
+	sectionTrailer   = 8  // crc32c, reserved
+)
+
+// pad8 is the zero padding after an n-byte payload.
+func pad8(n int) int { return (8 - n%8) % 8 }
+
+// Writer emits a snapshot container. Errors are sticky: after the first
+// failed write every call is a no-op returning that error.
+type Writer struct {
+	w   io.Writer
+	err error
+}
+
+// NewWriter writes the container header for the given kind.
+func NewWriter(w io.Writer, kind Kind) *Writer {
+	sw := &Writer{w: w}
+	var hdr [streamHeaderLen]byte
+	copy(hdr[:4], magic[:])
+	binary.LittleEndian.PutUint32(hdr[4:8], Version)
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(kind))
+	_, sw.err = w.Write(hdr[:])
+	return sw
+}
+
+// Section appends one section: id, length, payload, padding, CRC.
+func (sw *Writer) Section(id uint32, payload []byte) error {
+	if sw.err != nil {
+		return sw.err
+	}
+	var hdr [sectionHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[:4], id)
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(len(payload)))
+	if _, sw.err = sw.w.Write(hdr[:]); sw.err != nil {
+		return sw.err
+	}
+	if _, sw.err = sw.w.Write(payload); sw.err != nil {
+		return sw.err
+	}
+	var tail [8 + sectionTrailer]byte // up to 7 pad bytes + trailer
+	pad := pad8(len(payload))
+	binary.LittleEndian.PutUint32(tail[pad:], crc32.Checksum(payload, castagnoli))
+	_, sw.err = sw.w.Write(tail[:pad+sectionTrailer])
+	return sw.err
+}
+
+// Close terminates the stream with the end section. It does not close the
+// underlying writer.
+func (sw *Writer) Close() error {
+	return sw.Section(SecEnd, nil)
+}
+
+// Reader consumes a snapshot container. The whole stream is read into one
+// buffer up front; Next hands out payload slices aliasing that buffer.
+type Reader struct {
+	buf  []byte
+	off  int
+	kind Kind
+}
+
+// readStream reads the whole stream with one exact-sized allocation when the
+// source can report its length (files, byte readers), falling back to
+// io.ReadAll.
+func readStream(r io.Reader) ([]byte, error) {
+	if s, ok := r.(io.Seeker); ok {
+		cur, err1 := s.Seek(0, io.SeekCurrent)
+		end, err2 := s.Seek(0, io.SeekEnd)
+		if err1 == nil && err2 == nil {
+			if _, err := s.Seek(cur, io.SeekStart); err != nil {
+				return nil, err
+			}
+			buf := make([]byte, end-cur)
+			if _, err := io.ReadFull(r, buf); err != nil {
+				return nil, fmt.Errorf("%w: short stream", ErrTruncated)
+			}
+			return buf, nil
+		}
+	}
+	buf, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// NewReader validates the container header and positions the reader at the
+// first section. The stream is read into one buffer up front (one copy);
+// sources that already hold the bytes should use NewReaderBytes, which
+// skips the copy entirely.
+func NewReader(r io.Reader) (*Reader, error) {
+	buf, err := readStream(r)
+	if err != nil {
+		return nil, err
+	}
+	return NewReaderBytes(buf)
+}
+
+// NewReaderBytes is NewReader over an in-memory snapshot. Zero copy: section
+// payloads — and through the aliasing decoders, the restored structures —
+// alias buf, so buf must not be modified while anything decoded from it is
+// alive.
+func NewReaderBytes(buf []byte) (*Reader, error) {
+	if len(buf) < streamHeaderLen {
+		return nil, fmt.Errorf("%w: short header", ErrTruncated)
+	}
+	if [4]byte(buf[:4]) != magic {
+		return nil, ErrBadMagic
+	}
+	if v := binary.LittleEndian.Uint32(buf[4:8]); v != Version {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrVersion, v, Version)
+	}
+	return &Reader{
+		buf:  buf,
+		off:  streamHeaderLen,
+		kind: Kind(binary.LittleEndian.Uint32(buf[8:12])),
+	}, nil
+}
+
+// Kind returns the stream kind from the header.
+func (sr *Reader) Kind() Kind { return sr.kind }
+
+// Next returns the next section and verifies its CRC. The payload aliases
+// the stream buffer — valid as long as any decoded structure is, which is
+// exactly the aliasing decoders rely on. The terminating section comes back
+// as (SecEnd, nil, nil); running out of stream before SecEnd is ErrTruncated.
+func (sr *Reader) Next() (id uint32, payload []byte, err error) {
+	id, payload, crc, err := sr.next()
+	if err != nil {
+		return 0, nil, err
+	}
+	if id != SecEnd && crc != crc32.Checksum(payload, castagnoli) {
+		return 0, nil, fmt.Errorf("%w: section %d", ErrChecksum, id)
+	}
+	return id, payload, nil
+}
+
+// next parses one section without checksumming it.
+func (sr *Reader) next() (id uint32, payload []byte, crc uint32, err error) {
+	rest := sr.buf[sr.off:]
+	if len(rest) < sectionHeaderLen {
+		return 0, nil, 0, fmt.Errorf("%w: short section header", ErrTruncated)
+	}
+	id = binary.LittleEndian.Uint32(rest[:4])
+	n := binary.LittleEndian.Uint64(rest[8:16])
+	if n > maxSection {
+		return 0, nil, 0, fmt.Errorf("%w: section %d length %d", ErrCorrupt, id, n)
+	}
+	body := rest[sectionHeaderLen:]
+	total := int(n) + pad8(int(n)) + sectionTrailer
+	if len(body) < total {
+		return 0, nil, 0, fmt.Errorf("%w: short section payload", ErrTruncated)
+	}
+	payload = body[:n:n]
+	crc = binary.LittleEndian.Uint32(body[int(n)+pad8(int(n)):])
+	sr.off += sectionHeaderLen + total
+	if id == SecEnd {
+		return SecEnd, nil, crc, nil
+	}
+	return id, payload, crc, nil
+}
+
+// Section is one parsed container section (see Reader.Sections).
+type Section struct {
+	ID      uint32
+	Payload []byte
+	crc     uint32
+}
+
+// Sections parses every section through the end marker and kicks the CRC
+// checks onto background goroutines, returning a verify join alongside the
+// parsed sections. The split lets a loader decode (mostly aliasing, so cheap)
+// while the checksum pass runs on other cores; verify blocks until every
+// section is checksummed and returns the first failure in stream order.
+// Callers MUST call verify and discard everything decoded if it fails —
+// decode-before-verify is safe because the Dec/alias layer bounds-checks
+// every read against the payload, so garbage bytes yield errors or garbage
+// values, never unsafe memory access.
+func (sr *Reader) Sections() ([]Section, func() error, error) {
+	var secs []Section
+	for {
+		id, payload, crc, err := sr.next()
+		if err != nil {
+			return nil, nil, err
+		}
+		if id == SecEnd {
+			break
+		}
+		secs = append(secs, Section{ID: id, Payload: payload, crc: crc})
+	}
+	return secs, checksumAsync(secs), nil
+}
+
+// crcChunk bounds one checksum work unit. Large sections split into chunks so
+// a single big section (the engine artifact dominates a snapshot) still
+// spreads across cores; chunk CRCs fold into the stored whole-payload CRC
+// with crcCombine.
+const crcChunk = 256 << 10
+
+// checksumAsync starts checksumming the sections' payloads on background
+// goroutines and returns the join.
+func checksumAsync(secs []Section) func() error {
+	type task struct {
+		sec  int
+		off  int
+		n    int
+		part int
+	}
+	// The first chunk takes the length remainder and all later chunks are
+	// exactly crcChunk, so the fold only ever combines full chunks — one
+	// cached-operator apply each, never a fresh matrix build.
+	var tasks []task
+	parts := make([][]uint32, len(secs))
+	for i, s := range secs {
+		np := (len(s.Payload) + crcChunk - 1) / crcChunk
+		if np == 0 {
+			np = 1
+		}
+		parts[i] = make([]uint32, np)
+		head := len(s.Payload) - (np-1)*crcChunk
+		tasks = append(tasks, task{sec: i, off: 0, n: head, part: 0})
+		for p := 1; p < np; p++ {
+			tasks = append(tasks, task{sec: i, off: head + (p-1)*crcChunk, n: crcChunk, part: p})
+		}
+	}
+	var wg sync.WaitGroup
+	var idx atomic.Int64
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	if workers <= 1 {
+		// Nothing to overlap with: checksum inline at join time instead of
+		// paying goroutine scheduling on the only core.
+		return func() error {
+			for i := range secs {
+				if crc32.Checksum(secs[i].Payload, castagnoli) != secs[i].crc {
+					return fmt.Errorf("%w: section %d", ErrChecksum, secs[i].ID)
+				}
+			}
+			return nil
+		}
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(idx.Add(1)) - 1
+				if i >= len(tasks) {
+					return
+				}
+				t := tasks[i]
+				pl := secs[t.sec].Payload
+				parts[t.sec][t.part] = crc32.Checksum(pl[t.off:t.off+t.n], castagnoli)
+			}
+		}()
+	}
+	return func() error {
+		wg.Wait()
+		for i, s := range secs {
+			crc := parts[i][0]
+			for p := 1; p < len(parts[i]); p++ {
+				crc = crcCombineFixed(crc, parts[i][p])
+			}
+			if crc != s.crc {
+				return fmt.Errorf("%w: section %d", ErrChecksum, s.ID)
+			}
+		}
+		return nil
+	}
+}

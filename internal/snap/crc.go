@@ -1,0 +1,95 @@
+package snap
+
+// CRC-32C combination, zlib's crc32_combine ported to the Castagnoli
+// polynomial. combine(crcA, crcB, lenB) equals the CRC of the concatenation
+// A||B given only the two piece CRCs and B's length, which lets the verifier
+// checksum one section's payload in independent chunks on several cores and
+// fold the results into the single stored CRC — the wire format keeps one
+// CRC per section.
+//
+// The trick: appending lenB zero bytes to A transforms crcA linearly over
+// GF(2), so the transform is a 32×32 bit matrix that can be raised to the
+// lenB-th power by repeated squaring in O(log lenB) matrix products.
+
+// castagnoliPoly is the reversed Castagnoli polynomial, matching the
+// reflected CRC computed by hash/crc32.
+const castagnoliPoly = 0x82F63B78
+
+// gf2Times multiplies the matrix by a vector over GF(2).
+func gf2Times(mat *[32]uint32, vec uint32) uint32 {
+	var sum uint32
+	for i := 0; vec != 0; vec >>= 1 {
+		if vec&1 != 0 {
+			sum ^= mat[i]
+		}
+		i++
+	}
+	return sum
+}
+
+// gf2Square sets square to mat².
+func gf2Square(square, mat *[32]uint32) {
+	for n := range mat {
+		square[n] = gf2Times(mat, mat[n])
+	}
+}
+
+// crcZeroOp returns the linear operator that appending n zero bytes applies
+// to a CRC, built by repeated squaring. O(log n) 32×32 matrix products — fine
+// once, too slow per chunk; callers apply a cached operator with gf2Times.
+func crcZeroOp(n int64) [32]uint32 {
+	var even, odd, acc [32]uint32
+
+	// Identity accumulator.
+	for i, row := 0, uint32(1); i < 32; i++ {
+		acc[i] = row
+		row <<= 1
+	}
+	if n <= 0 {
+		return acc
+	}
+	// odd = the one-zero-bit operator: one step of the reflected LFSR.
+	odd[0] = castagnoliPoly
+	for i, row := 1, uint32(1); i < 32; i++ {
+		odd[i] = row
+		row <<= 1
+	}
+	gf2Square(&even, &odd) // two zero bits
+	gf2Square(&odd, &even) // four zero bits
+	op := &odd             // squares to the eight-zero-bit (one byte) operator below
+	other := &even
+	for {
+		gf2Square(other, op)
+		op, other = other, op
+		if n&1 != 0 {
+			var next [32]uint32
+			for i := range next {
+				next[i] = gf2Times(op, acc[i])
+			}
+			acc = next
+		}
+		n >>= 1
+		if n == 0 {
+			return acc
+		}
+	}
+}
+
+// chunkZeroOp is the cached operator for one full verification chunk.
+var chunkZeroOp = crcZeroOp(crcChunk)
+
+// crcCombine returns the CRC-32C of A||B given crc(A), crc(B) and len(B).
+// The matrix build makes it a per-section cost, not a per-chunk one: full
+// chunks use crcCombineFixed.
+func crcCombine(crcA, crcB uint32, lenB int64) uint32 {
+	if lenB <= 0 {
+		return crcA
+	}
+	op := crcZeroOp(lenB)
+	return gf2Times(&op, crcA) ^ crcB
+}
+
+// crcCombineFixed is crcCombine for a B of exactly crcChunk bytes.
+func crcCombineFixed(crcA, crcB uint32) uint32 {
+	return gf2Times(&chunkZeroOp, crcA) ^ crcB
+}

@@ -1,0 +1,335 @@
+package snap
+
+import (
+	"bytes"
+	"errors"
+	"hash/crc32"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"github.com/quantilejoins/qjoin/internal/engine"
+	"github.com/quantilejoins/qjoin/internal/relation"
+)
+
+// TestCRCCombine checks the GF(2) combination against the definition: the
+// CRC of a concatenation equals the combination of the piece CRCs, for
+// random pieces of every awkward length class (empty, sub-word, huge).
+func TestCRCCombine(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	lens := []int{0, 1, 7, 8, 63, 1024, 65537, crcChunk, crcChunk + 3}
+	for _, la := range lens {
+		for _, lb := range lens {
+			a := make([]byte, la)
+			b := make([]byte, lb)
+			rng.Read(a)
+			rng.Read(b)
+			whole := crc32.Checksum(append(append([]byte{}, a...), b...), castagnoli)
+			got := crcCombine(crc32.Checksum(a, castagnoli), crc32.Checksum(b, castagnoli), int64(lb))
+			if got != whole {
+				t.Fatalf("combine(%d,%d) = %#x, want %#x", la, lb, got, whole)
+			}
+			if lb == crcChunk {
+				if got := crcCombineFixed(crc32.Checksum(a, castagnoli), crc32.Checksum(b, castagnoli)); got != whole {
+					t.Fatalf("combineFixed(%d) = %#x, want %#x", la, got, whole)
+				}
+			}
+		}
+	}
+}
+
+// TestContainerRoundTrip drives the writer and both read paths (verifying
+// Next, deferred Sections) over a multi-section stream with payload sizes
+// spanning several checksum chunks.
+func TestContainerRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	payloads := [][]byte{make([]byte, 13), make([]byte, 0), make([]byte, crcChunk*2+17)}
+	for _, p := range payloads {
+		rng.Read(p)
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf, KindDataset)
+	for i, p := range payloads {
+		if err := w.Section(uint32(i+1), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(r *Reader) {
+		t.Helper()
+		if r.Kind() != KindDataset {
+			t.Fatalf("kind = %d", r.Kind())
+		}
+		secs, verify, err := r.Sections()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := verify(); err != nil {
+			t.Fatal(err)
+		}
+		if len(secs) != len(payloads) {
+			t.Fatalf("%d sections, want %d", len(secs), len(payloads))
+		}
+		for i, s := range secs {
+			if s.ID != uint32(i+1) || !bytes.Equal(s.Payload, payloads[i]) {
+				t.Fatalf("section %d mismatch", i)
+			}
+		}
+	}
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(r)
+	r, err = NewReaderBytes(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(r)
+
+	// The step-by-step path verifies inline.
+	r, _ = NewReaderBytes(buf.Bytes())
+	for i := range payloads {
+		id, pl, err := r.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id != uint32(i+1) || !bytes.Equal(pl, payloads[i]) {
+			t.Fatalf("Next section %d mismatch", i)
+		}
+	}
+	if id, _, err := r.Next(); err != nil || id != SecEnd {
+		t.Fatalf("terminator: id %d err %v", id, err)
+	}
+}
+
+// TestContainerDamage: every damage class maps to its sentinel, on both the
+// inline and deferred verification paths.
+func TestContainerDamage(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, KindPrepared)
+	payload := bytes.Repeat([]byte{0xab}, 1000)
+	if err := w.Section(SecMeta, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	drain := func(b []byte) error {
+		r, err := NewReaderBytes(b)
+		if err != nil {
+			return err
+		}
+		secs, verify, err := r.Sections()
+		if err != nil {
+			return err
+		}
+		_ = secs
+		return verify()
+	}
+	mutate := func(off int, bit byte) []byte {
+		m := append([]byte(nil), good...)
+		m[off] ^= bit
+		return m
+	}
+	cases := []struct {
+		name string
+		b    []byte
+		want error
+	}{
+		{"magic", mutate(0, 0xff), ErrBadMagic},
+		{"version", mutate(4, 0xff), ErrVersion},
+		{"payload-flip", mutate(40, 1), ErrChecksum},
+		{"short-header", good[:10], ErrTruncated},
+		{"mid-truncate", good[:len(good)/2], ErrTruncated},
+		{"no-terminator", good[:len(good)-24], ErrTruncated},
+		{"empty", nil, ErrTruncated},
+	}
+	for _, tc := range cases {
+		if err := drain(tc.b); !errors.Is(err, tc.want) {
+			t.Errorf("%s: err %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestWALRoundTrip appends records and replays them, then exercises the
+// crash cases: torn tail (clean stop) and mid-log corruption (ErrChecksum).
+func TestWALRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.wal")
+	w, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltas := []*engine.Delta{
+		engine.NewDelta().Insert("R", []relation.Value{1, 2}),
+		engine.NewDelta().Delete("S", []relation.Value{3}).Insert("R", []relation.Value{4, 5}),
+		engine.NewDelta().Insert("S", []relation.Value{6}),
+	}
+	for i, d := range deltas {
+		if err := w.Append(uint64(i+1), d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	replay := func(p string) (gens []uint64, got []*engine.Delta, err error) {
+		err = ReplayWAL(p, func(gen uint64, d *engine.Delta) error {
+			gens = append(gens, gen)
+			got = append(got, d)
+			return nil
+		})
+		return
+	}
+	gens, got, err := replay(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gens, []uint64{1, 2, 3}) {
+		t.Fatalf("generations %v", gens)
+	}
+	for i := range deltas {
+		if !reflect.DeepEqual(got[i], deltas[i]) {
+			t.Fatalf("delta %d mismatch", i)
+		}
+	}
+
+	// Reopen for append: the header is validated, records preserved.
+	w, err = OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(4, engine.NewDelta().Insert("R", []relation.Value{7, 8})); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if gens, _, err = replay(path); err != nil || len(gens) != 4 {
+		t.Fatalf("after reopen: gens %v err %v", gens, err)
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Torn tail: cut into the last record's payload — replay stops cleanly
+	// with the intact prefix.
+	torn := filepath.Join(t.TempDir(), "torn.wal")
+	if err := os.WriteFile(torn, raw[:len(raw)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if gens, _, err = replay(torn); err != nil || !reflect.DeepEqual(gens, []uint64{1, 2, 3}) {
+		t.Fatalf("torn: gens %v err %v", gens, err)
+	}
+	// Mid-log damage: flip a byte inside the first record.
+	bad := filepath.Join(t.TempDir(), "bad.wal")
+	flipped := append([]byte(nil), raw...)
+	flipped[walHeaderLen+8+2] ^= 1
+	if err := os.WriteFile(bad, flipped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err = replay(bad); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("mid-log damage: err %v, want ErrChecksum", err)
+	}
+	// Truncate drops all records.
+	w, err = OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Truncate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if gens, _, err = replay(path); err != nil || len(gens) != 0 {
+		t.Fatalf("after truncate: gens %v err %v", gens, err)
+	}
+}
+
+// TestInternerPartsRoundTrip: Parts → InternerFromParts preserves ids and
+// lookups; inconsistent parts are rejected.
+func TestInternerPartsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	it := relation.NewInterner(2, 0)
+	var tuples [][]relation.Value
+	for i := 0; i < 500; i++ {
+		tup := []relation.Value{relation.Value(rng.Intn(40)), relation.Value(rng.Intn(40))}
+		it.Intern(tup)
+		tuples = append(tuples, tup)
+	}
+	vals, hashes, table := it.Parts()
+	got, ok := relation.InternerFromParts(2, vals, hashes, table)
+	if !ok {
+		t.Fatal("InternerFromParts rejected valid parts")
+	}
+	if got.Len() != it.Len() {
+		t.Fatalf("len %d, want %d", got.Len(), it.Len())
+	}
+	for _, tup := range tuples {
+		a, aok := it.Lookup(tup)
+		b, bok := got.Lookup(tup)
+		if !aok || !bok || a != b {
+			t.Fatalf("lookup %v: (%d,%v) vs (%d,%v)", tup, a, aok, b, bok)
+		}
+	}
+	if _, ok := relation.InternerFromParts(2, vals[:len(vals)-1], hashes, table); ok {
+		t.Error("accepted truncated vals")
+	}
+	if _, ok := relation.InternerFromParts(2, vals, hashes, table[:len(table)-1]); ok {
+		t.Error("accepted non-power-of-two table")
+	}
+	badTable := append([]uint32(nil), table...)
+	for i := range badTable {
+		if badTable[i] != 0 {
+			badTable[i] = uint32(len(hashes)) + 5 // out of range id
+			break
+		}
+	}
+	if _, ok := relation.InternerFromParts(2, vals, hashes, badTable); ok {
+		t.Error("accepted out-of-range slot")
+	}
+}
+
+// TestDecNilArrays: zero counts decode to nil slices so DeepEqual-based
+// byte-identity holds for answers carrying empty vectors.
+func TestDecNilArrays(t *testing.T) {
+	var e Enc
+	e.Values(nil)
+	e.I64s([]int64{})
+	e.I32s(nil)
+	e.Ints(nil)
+	e.U64s(nil)
+	e.U32s(nil)
+	d := NewDec(e.Bytes())
+	if v := d.Values(); v != nil {
+		t.Errorf("Values = %#v", v)
+	}
+	if v := d.I64s(); v != nil {
+		t.Errorf("I64s = %#v", v)
+	}
+	if v := d.I32s(); v != nil {
+		t.Errorf("I32s = %#v", v)
+	}
+	if v := d.Ints(); v != nil {
+		t.Errorf("Ints = %#v", v)
+	}
+	if v := d.U64s(); v != nil {
+		t.Errorf("U64s = %#v", v)
+	}
+	if v := d.U32s(); v != nil {
+		t.Errorf("U32s = %#v", v)
+	}
+	if !d.Done() {
+		t.Errorf("payload not consumed: %v", d.Err())
+	}
+}

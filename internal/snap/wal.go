@@ -1,0 +1,186 @@
+package snap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"github.com/quantilejoins/qjoin/internal/engine"
+)
+
+// The write-ahead log holds the delta batches applied since the dataset's
+// last snapshot. One file per dataset:
+//
+//	header: "QJWL" | version u32
+//	record: length u32 | crc u32 (Castagnoli, payload) | payload
+//	payload: generation u64 | delta (EncodeDelta)
+//
+// Appends are framed and fsynced before the in-memory generation publishes,
+// so an acknowledged delta survives a crash. Recovery reads records in
+// order; a record cut short by a crash mid-append (torn tail) ends replay
+// cleanly — the delta it held was never acknowledged — while a CRC mismatch
+// on a complete record is real damage and fails with ErrCorrupt.
+
+var walMagic = [4]byte{'Q', 'J', 'W', 'L'}
+
+const walHeaderLen = 8
+
+// maxWALRecord bounds one record payload (1 GiB); a torn or corrupt length
+// prefix must not drive a huge allocation.
+const maxWALRecord = 1 << 30
+
+// WAL is an append-only, fsync-per-record delta log.
+type WAL struct {
+	f *os.File
+}
+
+// OpenWAL opens (creating if needed) the log at path, validates its header,
+// and positions for append. A file shorter than the header — a crash during
+// creation — is reset to a fresh empty log.
+func OpenWAL(path string) (*WAL, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size() < walHeaderLen {
+		if err := initWAL(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+	} else {
+		var hdr [walHeaderLen]byte
+		if _, err := f.ReadAt(hdr[:], 0); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if [4]byte(hdr[:4]) != walMagic {
+			f.Close()
+			return nil, fmt.Errorf("%w: %s is not a qjoin WAL", ErrBadMagic, path)
+		}
+		if v := binary.LittleEndian.Uint32(hdr[4:8]); v != Version {
+			f.Close()
+			return nil, fmt.Errorf("%w: WAL version %d, want %d", ErrVersion, v, Version)
+		}
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &WAL{f: f}, nil
+}
+
+func initWAL(f *os.File) error {
+	if err := f.Truncate(0); err != nil {
+		return err
+	}
+	var hdr [walHeaderLen]byte
+	copy(hdr[:4], walMagic[:])
+	binary.LittleEndian.PutUint32(hdr[4:8], Version)
+	if _, err := f.WriteAt(hdr[:], 0); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// Append frames, writes and fsyncs one (generation, delta) record. Only
+// after Append returns nil may the caller acknowledge the delta.
+func (w *WAL) Append(gen uint64, delta *engine.Delta) error {
+	var e Enc
+	e.U64(gen)
+	EncodeDelta(&e, delta)
+	payload := e.Bytes()
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	if _, err := w.f.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.f.Write(payload); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+// Truncate drops every record (after a snapshot compaction made them
+// redundant) and fsyncs.
+func (w *WAL) Truncate() error {
+	if err := w.f.Truncate(walHeaderLen); err != nil {
+		return err
+	}
+	if _, err := w.f.Seek(walHeaderLen, io.SeekStart); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+// Close closes the log file.
+func (w *WAL) Close() error { return w.f.Close() }
+
+// ReplayWAL streams every intact record of the log at path through fn in
+// append order. A missing file is an empty log. A torn final record ends
+// replay cleanly; corruption anywhere else fails, and fn errors abort.
+func ReplayWAL(path string, fn func(gen uint64, delta *engine.Delta) error) error {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var hdr [walHeaderLen]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		// Shorter than a header: a crash during creation left no records.
+		return nil
+	}
+	if [4]byte(hdr[:4]) != walMagic {
+		return fmt.Errorf("%w: %s is not a qjoin WAL", ErrBadMagic, path)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != Version {
+		return fmt.Errorf("%w: WAL version %d, want %d", ErrVersion, v, Version)
+	}
+	for {
+		var rec [8]byte
+		if _, err := io.ReadFull(f, rec[:]); err != nil {
+			// Clean EOF between records, or a torn frame header: done.
+			return nil
+		}
+		n := binary.LittleEndian.Uint32(rec[:4])
+		crc := binary.LittleEndian.Uint32(rec[4:8])
+		if n > maxWALRecord {
+			return fmt.Errorf("%w: WAL record length %d", ErrCorrupt, n)
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			// Torn payload at the tail: the append never acknowledged.
+			return nil
+		}
+		if crc32.Checksum(payload, castagnoli) != crc {
+			// A complete record with a bad sum is damage, not a torn write —
+			// but only if something follows it; a bad sum on the very last
+			// bytes of the file is indistinguishable from a torn append that
+			// wrote its frame header early, so treat tail damage as torn.
+			if _, err := f.Read(make([]byte, 1)); err == io.EOF {
+				return nil
+			}
+			return fmt.Errorf("%w: WAL record checksum mismatch", ErrChecksum)
+		}
+		d := NewDec(payload)
+		gen := d.U64()
+		delta, err := DecodeDelta(d)
+		if err != nil {
+			return err
+		}
+		if err := fn(gen, delta); err != nil {
+			return err
+		}
+	}
+}

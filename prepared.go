@@ -60,9 +60,15 @@ type Prepared struct {
 	// Sketch summaries for the approximate tier (see approx.go), built
 	// lazily per ranking function on first ModeApprox/ModeAuto use — never
 	// by Prepare or Update — and carried (stale) across Update. skMu guards
-	// the map; the summaries themselves are immutable.
-	skMu     sync.Mutex
-	sketches map[*Ranking]*sketchEntry
+	// both maps; the summaries themselves are immutable.
+	//
+	// rankCanon interns rankings by wire spec so that summaries loaded from
+	// a snapshot (keyed by pointers ParseRanking minted at load time) are
+	// found by whatever equivalent Ranking value callers later pass; see
+	// canonRanking.
+	skMu      sync.Mutex
+	sketches  map[*Ranking]*sketchEntry
+	rankCanon map[string]*Ranking
 }
 
 // Prepare compiles a query against a database. The work done here —

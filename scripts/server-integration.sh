@@ -5,32 +5,38 @@
 #   scripts/server-integration.sh          # diff against the golden transcript
 #   REGEN=1 scripts/server-integration.sh  # regenerate the golden transcript
 #
-# It builds qjserve, starts it on a kernel-assigned port, loads the
-# deterministic socialnetwork instance (scripts/testdata/load.json, see
-# scripts/gen-testdata), runs a scripted curl sequence — count, a φ-grid, a
-# cache-hit repeat, a delta, the post-delta grid, top-k, dataset listing —
-# and byte-compares the concatenated responses against
-# scripts/testdata/golden.txt. Responses carry no timestamps (timing is
-# opt-in per request), so the transcript is deterministic.
+# It builds qjserve, starts it durably (-data-dir) on a kernel-assigned port,
+# loads the deterministic socialnetwork instance (scripts/testdata/load.json,
+# see scripts/gen-testdata), runs a scripted curl sequence — count, a φ-grid,
+# a cache-hit repeat, a delta, the post-delta grid, top-k, dataset listing —
+# then exercises durability: WAL compaction, streaming the snapshot artifact,
+# a WAL-only delta, kill -9 and a restart on the same data directory that
+# must answer byte-identically at the recovered generation. Responses are
+# byte-compared against scripts/testdata/golden.txt. They carry no
+# timestamps (timing is opt-in per request), so the transcript is
+# deterministic.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 workdir=$(mktemp -d)
-trap 'rm -rf "$workdir"; [ -n "${server_pid:-}" ] && kill "$server_pid" 2>/dev/null || true' EXIT
+trap 'rm -rf "$workdir"; [ -n "${server_pid:-}" ] && kill -9 "$server_pid" 2>/dev/null || true' EXIT
 
 go build -o "$workdir/qjserve" ./cmd/qjserve
-"$workdir/qjserve" -addr 127.0.0.1:0 -workers 1 > "$workdir/server.out" 2>&1 &
-server_pid=$!
 
-addr=""
-for _ in $(seq 1 100); do
-  addr=$(sed -n 's/^qjserve: listening on //p' "$workdir/server.out")
-  [ -n "$addr" ] && break
-  kill -0 "$server_pid" 2>/dev/null || { echo "qjserve died:"; cat "$workdir/server.out"; exit 1; }
-  sleep 0.1
-done
-[ -n "$addr" ] || { echo "qjserve did not report its address"; cat "$workdir/server.out"; exit 1; }
-base="http://$addr"
+start_server() { # start_server OUTFILE — boots qjserve on the shared data dir
+  "$workdir/qjserve" -addr 127.0.0.1:0 -workers 1 -data-dir "$workdir/data" > "$1" 2>&1 &
+  server_pid=$!
+  addr=""
+  for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^qjserve: listening on //p' "$1")
+    [ -n "$addr" ] && break
+    kill -0 "$server_pid" 2>/dev/null || { echo "qjserve died:"; cat "$1"; exit 1; }
+    sleep 0.1
+  done
+  [ -n "$addr" ] || { echo "qjserve did not report its address"; cat "$1"; exit 1; }
+  base="http://$addr"
+}
+start_server "$workdir/server.out"
 
 actual="$workdir/actual.txt"
 step() { # step NAME METHOD PATH [BODYFILE]
@@ -62,6 +68,37 @@ step count-postdelta POST /query          scripts/testdata/query-count.json
 # is still served from the sketch tier.
 step approx-postdelta POST /query         scripts/testdata/query-approx.json
 step datasets       GET  /datasets
+
+# Durability. Compact the WAL into a fresh snapshot (no generation bump),
+# stream the binary artifact (the blue/green handoff path — the transcript
+# records its size, which is deterministic for this instance), apply one more
+# delta so a record lives only in the WAL, then kill -9 and restart on the
+# same data directory. The recovered server must answer the grid and count
+# byte-identically to the pre-kill responses, at the same generation.
+step snapshot-compact POST /datasets/social/snapshot
+echo "== snapshot-stream" >> "$actual"
+curl -fsS "$base/datasets/social/snapshot" -o "$workdir/social.snap"
+echo "bytes=$(wc -c < "$workdir/social.snap" | tr -d ' ')" >> "$actual"
+step delta-wal-only POST /datasets/social/delta scripts/testdata/delta2.json
+curl -fsS -X POST -H 'Content-Type: application/json' \
+  --data-binary @scripts/testdata/query-grid.json "$base/query" > "$workdir/prekill-grid.json"
+curl -fsS -X POST -H 'Content-Type: application/json' \
+  --data-binary @scripts/testdata/query-count.json "$base/query" > "$workdir/prekill-count.json"
+
+{ kill -9 "$server_pid" && wait "$server_pid"; } 2>/dev/null || true
+start_server "$workdir/server2.out"
+echo "== recovery" >> "$actual"
+sed -n 's/^qjserve: recovered //p' "$workdir/server2.out" >> "$actual"
+step grid-recovered  POST /query scripts/testdata/query-grid.json
+step count-recovered POST /query scripts/testdata/query-count.json
+curl -fsS -X POST -H 'Content-Type: application/json' \
+  --data-binary @scripts/testdata/query-grid.json "$base/query" > "$workdir/postkill-grid.json"
+curl -fsS -X POST -H 'Content-Type: application/json' \
+  --data-binary @scripts/testdata/query-count.json "$base/query" > "$workdir/postkill-count.json"
+cmp "$workdir/prekill-grid.json" "$workdir/postkill-grid.json" || {
+  echo "recovered grid response differs from pre-kill response"; exit 1; }
+cmp "$workdir/prekill-count.json" "$workdir/postkill-count.json" || {
+  echo "recovered count response differs from pre-kill response"; exit 1; }
 
 # Bad inputs must be typed 400s; capture status + field, not the message.
 bad() { # bad NAME JSON

@@ -2,6 +2,7 @@ package qjoin
 
 import (
 	"fmt"
+	"io"
 	"math/big"
 	"sync"
 
@@ -48,6 +49,10 @@ type Plan interface {
 	// receiver stays fully usable. (Update on the concrete types returns
 	// the concrete type; this is the interface-typed form.)
 	UpdatePlan(d *Delta) (Plan, error)
+	// Snapshot serializes the plan — raw database, compiled artifact, warm
+	// sketches — into the versioned binary snapshot format; LoadPlan
+	// restores it. See snapshot.go.
+	Snapshot(w io.Writer) error
 }
 
 var (
@@ -99,9 +104,11 @@ type ShardedPrepared struct {
 	// Per-shard sketch summaries plus their cached cross-shard merge (see
 	// approx.go), built lazily per ranking function — never by
 	// PrepareSharded or Update — and carried across Update, where the
-	// engine vector identifies exactly the shards to re-certify.
-	skMu     sync.Mutex
-	sketches map[*Ranking]*shardSketchEntry
+	// engine vector identifies exactly the shards to re-certify. rankCanon
+	// interns rankings by wire spec (see Prepared and canonRanking).
+	skMu      sync.Mutex
+	sketches  map[*Ranking]*shardSketchEntry
+	rankCanon map[string]*Ranking
 }
 
 // PrepareSharded compiles a query against a hash-partitioned database.
@@ -318,9 +325,10 @@ func (p *ShardedPrepared) Update(d *Delta) (*ShardedPrepared, error) {
 	}
 	return &ShardedPrepared{
 		q: p.q, sh: sh, opts: p.opts,
-		baseDB:   base,
-		deltas:   append(chain[:len(chain):len(chain)], d.Clone()),
-		sketches: p.carrySketches(),
+		baseDB:    base,
+		deltas:    append(chain[:len(chain):len(chain)], d.Clone()),
+		sketches:  p.carrySketches(),
+		rankCanon: carryRankCanon(&p.skMu, p.rankCanon),
 	}, nil
 }
 

@@ -91,8 +91,11 @@ func (p *Prepared) Update(d *Delta) (*Prepared, error) {
 		deltas: append(chain[:len(chain):len(chain)], d.Clone()),
 		// Sketch summaries carry over marked stale: the first approximate
 		// query (or WarmSketches) re-certifies their anchors against the
-		// updated engine instead of rebuilding from scratch.
-		sketches: p.carrySketches(),
+		// updated engine instead of rebuilding from scratch. The ranking
+		// intern table rides along so carried summaries stay reachable by
+		// spec-equivalent rankings.
+		sketches:  p.carrySketches(),
+		rankCanon: carryRankCanon(&p.skMu, p.rankCanon),
 	}, nil
 }
 
