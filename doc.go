@@ -276,7 +276,14 @@
 // metadata (name, generation, shard layout) but no compiled plan — the
 // form qjserve's -data-dir durability and blue/green snapshot streaming
 // use, with a per-dataset write-ahead log of deltas (internal/snap.WAL)
-// replayed on recovery through DB.Apply.
+// replayed on recovery through DB.Apply. The log is kept a valid prefix at
+// all times: a failed append truncates its partial frame back out (a
+// rejected delta is never resurrected by replay), and reopening a log for
+// append truncates any tail torn by a crash before new records land, so
+// replay always reaches every acknowledged record. Snapshot saves commit
+// by rename followed by a directory fsync — durable against power loss,
+// not just process death — and on failure leave the previous snapshot and
+// log untouched.
 //
 // # Serving and plan sharing
 //

@@ -197,6 +197,113 @@ func TestSnapshotStream(t *testing.T) {
 	}
 }
 
+// TestLoadRollbackPreservesPrevious: when a replace-PUT cannot be persisted,
+// the rollback must re-install the prior lineage — not destroy it. (The
+// regression it pins: the old rollback deleted the dataset and removed its
+// snapshot/WAL files, wiping previously acknowledged data over a transient
+// disk error on an unrelated load.)
+func TestLoadRollbackPreservesPrevious(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := durableServer(t, dir)
+	h := s.Handler()
+	decodeAs(t, do(t, h, "PUT", "/datasets/d", tinyLoad()), http.StatusOK, nil)
+	var dresp server.DeltaResponse
+	decodeAs(t, do(t, h, "POST", "/datasets/d/delta", server.DeltaRequest{Ops: []server.DeltaOp{
+		{Op: "insert", Rel: "R", Row: []int64{7, 2}},
+	}}), http.StatusOK, &dresp)
+	before := do(t, h, "POST", "/query", queryBody("d"))
+	if before.Code != http.StatusOK {
+		t.Fatalf("pre-failure query: %d %s", before.Code, before.Body.String())
+	}
+
+	// Break the store: with the data directory gone, SaveSnapshot fails
+	// before its commit point.
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	if w := do(t, h, "PUT", "/datasets/d", tinyLoad()); w.Code != http.StatusInternalServerError {
+		t.Fatalf("replace with broken store: %d %s", w.Code, w.Body.String())
+	}
+	// The prior lineage still serves, at its generation, byte-identically.
+	after := do(t, h, "POST", "/query", queryBody("d"))
+	if after.Code != http.StatusOK {
+		t.Fatalf("post-rollback query: %d %s", after.Code, after.Body.String())
+	}
+	if !bytes.Equal(before.Body.Bytes(), after.Body.Bytes()) {
+		t.Fatalf("post-rollback response differs:\n  before: %s\n  after:  %s", before.Body.String(), after.Body.String())
+	}
+	// A failed create (no prior lineage) still removes the name entirely.
+	if w := do(t, h, "PUT", "/datasets/e", tinyLoad()); w.Code != http.StatusInternalServerError {
+		t.Fatalf("create with broken store: %d", w.Code)
+	}
+	if w := do(t, h, "GET", "/datasets/e", nil); w.Code != http.StatusNotFound {
+		t.Fatalf("failed create left the dataset behind: %d", w.Code)
+	}
+
+	// Disk comes back: compaction re-persists the surviving lineage, and a
+	// restart recovers it at the rolled-back generation.
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	var sresp server.SnapshotResponse
+	decodeAs(t, do(t, h, "POST", "/datasets/d/snapshot", nil), http.StatusOK, &sresp)
+	if sresp.Generation != dresp.Generation {
+		t.Fatalf("compacted at generation %d, want %d", sresp.Generation, dresp.Generation)
+	}
+	s2, recovered := durableServer(t, dir)
+	if len(recovered) != 1 || recovered[0].Gen != dresp.Generation {
+		t.Fatalf("recovered %+v, want generation %d", recovered, dresp.Generation)
+	}
+	restarted := do(t, s2.Handler(), "POST", "/query", queryBody("d"))
+	if !bytes.Equal(before.Body.Bytes(), restarted.Body.Bytes()) {
+		t.Fatalf("post-restart response differs:\n  before: %s\n  after:  %s", before.Body.String(), restarted.Body.String())
+	}
+}
+
+// TestDeltaRejectionKeepsCache: a delta rejected by a WAL-append failure
+// must leave the plan cache keyed at the still-current generation — the
+// dataset's warm plans survive the rejection instead of being migrated to a
+// generation that never publishes.
+func TestDeltaRejectionKeepsCache(t *testing.T) {
+	dir := t.TempDir()
+	st, err := server.NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := server.New(server.Config{Store: st})
+	h := s.Handler()
+	decodeAs(t, do(t, h, "PUT", "/datasets/d", tinyLoad()), http.StatusOK, nil)
+	do(t, h, "POST", "/query", queryBody("d")) // populate the cache
+	var warm server.QueryResponse
+	decodeAs(t, do(t, h, "POST", "/query", queryBody("d")), http.StatusOK, &warm)
+	if !warm.Cached {
+		t.Fatal("second query was not a cache hit")
+	}
+
+	// Drop the open WAL handle and the directory: the next append has to
+	// reopen the log and fails.
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	if w := do(t, h, "POST", "/datasets/d/delta", server.DeltaRequest{Ops: []server.DeltaOp{
+		{Op: "insert", Rel: "R", Row: []int64{7, 2}},
+	}}); w.Code != http.StatusInternalServerError {
+		t.Fatalf("delta with broken store: %d %s", w.Code, w.Body.String())
+	}
+	var afterResp server.QueryResponse
+	after := do(t, h, "POST", "/query", queryBody("d"))
+	decodeAs(t, after, http.StatusOK, &afterResp)
+	if !afterResp.Cached {
+		t.Fatal("rejected delta dropped the warm plan cache")
+	}
+	if afterResp.Generation != warm.Generation {
+		t.Fatalf("generation moved %d → %d across a rejected delta", warm.Generation, afterResp.Generation)
+	}
+}
+
 // TestDeleteRemovesFiles: DELETE drops the on-disk state too, so a restart
 // does not resurrect the dataset.
 func TestDeleteRemovesFiles(t *testing.T) {

@@ -253,6 +253,7 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 	if shards == 0 {
 		shards = s.cfg.DefaultShards
 	}
+	prev, replaced := s.reg.Get(name)
 	snap := s.reg.Load(name, db, shards)
 	s.cache.DropDataset(name)
 	if s.cfg.Store != nil {
@@ -264,9 +265,19 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 			return s.cfg.Store.SaveSnapshot(name, cur)
 		})
 		if err != nil {
-			s.reg.Delete(name)
+			// SaveSnapshot commits by rename: on error the previous lineage's
+			// snapshot and WAL files are untouched, so a failed replace
+			// re-installs the prior in-memory state and leaves the files
+			// alone — its acknowledged data stays durable and servable. Only
+			// a failed create removes the name and whatever files the attempt
+			// left behind.
+			if replaced {
+				s.reg.RollbackLoad(name, snap.Gen, prev)
+			} else {
+				s.reg.Delete(name)
+				_ = s.cfg.Store.Remove(name)
+			}
 			s.cache.DropDataset(name)
-			_ = s.cfg.Store.Remove(name)
 			s.writeError(w, http.StatusInternalServerError, fmt.Errorf("persisting dataset: %w", err), "")
 			return
 		}
@@ -335,16 +346,19 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 		if cur.Shards > 1 {
 			touched = shardsTouched(delta, cur.Shards)
 		}
-		migrated = s.cache.Migrate(name, cur.Gen, nextGen, delta)
 		if s.cfg.Store != nil {
-			// Last step before publication: the record is fsynced while the
-			// generation is still invisible, so an acknowledged delta is
-			// always on disk, and an append failure rejects the delta (the
-			// burned generation never reaches the WAL).
+			// The record is fsynced while the generation is still invisible,
+			// so an acknowledged delta is always on disk, and an append
+			// failure rejects the delta (the burned generation never reaches
+			// the WAL). It runs before the plan cache migrates so a rejection
+			// leaves the cache keyed at the still-current generation instead
+			// of orphaning the dataset's warm plans on one that will never
+			// publish.
 			if err := s.cfg.Store.AppendDelta(name, nextGen, delta); err != nil {
 				return nil, nil, fmt.Errorf("%w: persisting delta: %v", errStore, err)
 			}
 		}
+		migrated = s.cache.Migrate(name, cur.Gen, nextGen, delta)
 		return ndb, touched, nil
 	})
 	if err != nil {

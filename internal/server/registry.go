@@ -167,6 +167,29 @@ func (r *Registry) Restore(name string, db *qjoin.DB, gen uint64, shards int, sh
 	return *next
 }
 
+// RollbackLoad swaps the previous snapshot back in after a load whose
+// persistence failed, provided the dataset still sits at the failed load's
+// generation — a concurrent writer that advanced past it wins, since its
+// write was acknowledged. The failed generation stays burned (generations
+// are monotonic, not contiguous). It reports whether the swap happened.
+func (r *Registry) RollbackLoad(name string, gen uint64, prev Snapshot) bool {
+	r.mu.RLock()
+	d := r.ds[name]
+	r.mu.RUnlock()
+	if d == nil {
+		return false
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	cur := d.cur.Load()
+	if cur == nil || cur.Gen != gen {
+		return false
+	}
+	p := prev
+	d.cur.Store(&p)
+	return true
+}
+
 // WithWriter runs fn under the dataset's writer lock against the current
 // snapshot without creating a new generation. Snapshot compaction uses it:
 // writing the snapshot file and truncating the WAL must not interleave with a

@@ -76,6 +76,14 @@ func (st *Store) wal(name string) (*snap.WAL, error) {
 // its WAL (the snapshot subsumes every logged record — the caller serializes
 // against concurrent deltas via the registry's writer lock, so no record
 // beyond snap.Gen can exist while this runs).
+//
+// The rename plus directory fsync is the commit point. An error from
+// SaveSnapshot means the commit did not happen and the previous snapshot
+// and WAL files are untouched — callers rely on this to roll a failed
+// replace-load back to the prior lineage without losing its durable state.
+// Past the commit point, failing to compact the log costs disk space, not
+// correctness (replay skips records at or below the snapshot's generation),
+// so compaction is best-effort rather than a reported failure.
 func (st *Store) SaveSnapshot(name string, cur Snapshot) error {
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -100,11 +108,37 @@ func (st *Store) SaveSnapshot(name string, cur Snapshot) error {
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		return err
 	}
+	// Power loss (unlike kill -9) can undo a rename whose directory entry was
+	// never flushed; without this, an acknowledged load or compaction could
+	// vanish on the next boot.
+	if err := st.syncDir(); err != nil {
+		return err
+	}
 	w, err := st.wal(name)
+	if err != nil {
+		// The log is unreadable (damaged header or the like), but the
+		// snapshot just subsumed everything it could hold: drop the file
+		// rather than leave an unloadable log behind for the next boot. (No
+		// open handle exists — st.wal just failed to create one.)
+		_ = os.Remove(st.walPath(name))
+		return nil
+	}
+	_ = w.Truncate()
+	return nil
+}
+
+// syncDir fsyncs the data directory, making renames and newly created file
+// entries durable against power loss.
+func (st *Store) syncDir() error {
+	d, err := os.Open(st.dir)
 	if err != nil {
 		return err
 	}
-	return w.Truncate()
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // AppendDelta frames and fsyncs one (generation, delta) WAL record. Callers

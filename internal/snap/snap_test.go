@@ -256,6 +256,80 @@ func TestWALRoundTrip(t *testing.T) {
 	}
 }
 
+// TestWALTornTailThenAppend: a crash mid-append leaves a torn tail; OpenWAL
+// must truncate it before positioning for append, so the next record
+// extends the valid prefix and replay sees every acknowledged record. (The
+// regression it pins: appending after torn bytes produced a valid record
+// behind garbage, which replay reported as ErrChecksum — making every
+// acknowledged record after the tear unreachable on the next boot.)
+func TestWALTornTailThenAppend(t *testing.T) {
+	dir := t.TempDir()
+	build := func(name string, damage func([]byte) []byte) string {
+		p := filepath.Join(dir, name)
+		w, err := OpenWAL(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Append(1, engine.NewDelta().Insert("R", []relation.Value{1, 2})); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Append(2, engine.NewDelta().Insert("S", []relation.Value{3})); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		raw, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, damage(raw), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	replay := func(p string) (gens []uint64, err error) {
+		err = ReplayWAL(p, func(gen uint64, d *engine.Delta) error {
+			gens = append(gens, gen)
+			return nil
+		})
+		return
+	}
+	cases := []struct {
+		name   string
+		damage func([]byte) []byte
+		want   []uint64 // surviving generations, before the new append
+	}{
+		{"torn-payload", func(b []byte) []byte { return b[:len(b)-3] }, []uint64{1}},
+		{"torn-frame-header", func(b []byte) []byte {
+			tear := append([]byte(nil), b...)
+			return append(tear, 0x42, 0x00, 0x13) // 3 stray bytes of a next frame
+		}, []uint64{1, 2}},
+		{"tail-crc-damage", func(b []byte) []byte {
+			m := append([]byte(nil), b...)
+			m[len(m)-1] ^= 1 // last record complete but its sum no longer matches
+			return m
+		}, []uint64{1}},
+	}
+	for _, tc := range cases {
+		p := build(tc.name+".wal", tc.damage)
+		w, err := OpenWAL(p)
+		if err != nil {
+			t.Fatalf("%s: reopen: %v", tc.name, err)
+		}
+		if err := w.Append(7, engine.NewDelta().Insert("R", []relation.Value{9, 9})); err != nil {
+			t.Fatalf("%s: append after reopen: %v", tc.name, err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		want := append(append([]uint64(nil), tc.want...), 7)
+		if gens, err := replay(p); err != nil || !reflect.DeepEqual(gens, want) {
+			t.Errorf("%s: replay after append gens %v err %v, want %v", tc.name, gens, err, want)
+		}
+	}
+}
+
 // TestInternerPartsRoundTrip: Parts → InternerFromParts preserves ids and
 // lookups; inconsistent parts are rejected.
 func TestInternerPartsRoundTrip(t *testing.T) {

@@ -7,6 +7,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
 
 	"github.com/quantilejoins/qjoin/internal/engine"
 )
@@ -23,6 +24,12 @@ import (
 // order; a record cut short by a crash mid-append (torn tail) ends replay
 // cleanly — the delta it held was never acknowledged — while a CRC mismatch
 // on a complete record is real damage and fails with ErrCorrupt.
+//
+// The log is kept a valid prefix at all times: OpenWAL truncates any torn
+// tail before positioning for append (so a post-crash record never lands
+// after garbage, which would make it unreachable to replay), and a failed
+// Append truncates its partial frame back out before reporting the error
+// (so a rejected delta can never be resurrected by replay).
 
 var walMagic = [4]byte{'Q', 'J', 'W', 'L'}
 
@@ -35,11 +42,21 @@ const maxWALRecord = 1 << 30
 // WAL is an append-only, fsync-per-record delta log.
 type WAL struct {
 	f *os.File
+	// off is the end of the last intact record — the append position. It
+	// only advances past fully written and fsynced frames.
+	off int64
+	// broken is set when a failed append could not be rolled back, leaving
+	// the file in an unknown state; further appends refuse rather than risk
+	// writing records replay cannot reach.
+	broken bool
 }
 
 // OpenWAL opens (creating if needed) the log at path, validates its header,
-// and positions for append. A file shorter than the header — a crash during
-// creation — is reset to a fresh empty log.
+// and positions for append at the end of the last intact record. A file
+// shorter than the header — a crash during creation — is reset to a fresh
+// empty log; a torn or damaged tail (a crash mid-append) is truncated away
+// so the next record extends the valid prefix instead of landing after
+// garbage that would make it unreplayable.
 func OpenWAL(path string) (*WAL, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
@@ -55,26 +72,91 @@ func OpenWAL(path string) (*WAL, error) {
 			f.Close()
 			return nil, err
 		}
-	} else {
-		var hdr [walHeaderLen]byte
-		if _, err := f.ReadAt(hdr[:], 0); err != nil {
+		// A fresh log file: fsync the directory so the entry itself survives
+		// power loss, not just the bytes of the file.
+		if err := syncDir(filepath.Dir(path)); err != nil {
 			f.Close()
 			return nil, err
 		}
-		if [4]byte(hdr[:4]) != walMagic {
-			f.Close()
-			return nil, fmt.Errorf("%w: %s is not a qjoin WAL", ErrBadMagic, path)
-		}
-		if v := binary.LittleEndian.Uint32(hdr[4:8]); v != Version {
-			f.Close()
-			return nil, fmt.Errorf("%w: WAL version %d, want %d", ErrVersion, v, Version)
-		}
+		return &WAL{f: f, off: walHeaderLen}, nil
 	}
-	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+	var hdr [walHeaderLen]byte
+	if _, err := f.ReadAt(hdr[:], 0); err != nil {
 		f.Close()
 		return nil, err
 	}
-	return &WAL{f: f}, nil
+	if [4]byte(hdr[:4]) != walMagic {
+		f.Close()
+		return nil, fmt.Errorf("%w: %s is not a qjoin WAL", ErrBadMagic, path)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != Version {
+		f.Close()
+		return nil, fmt.Errorf("%w: WAL version %d, want %d", ErrVersion, v, Version)
+	}
+	end, err := validPrefixEnd(f, st.Size())
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if end < st.Size() {
+		if err := f.Truncate(end); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return &WAL{f: f, off: end}, nil
+}
+
+// validPrefixEnd walks the record frames after the header and returns the
+// offset just past the last intact record. Bytes beyond it — a frame torn
+// by a crash mid-append, or damage — are not replayable and must not have
+// new records appended after them.
+func validPrefixEnd(f *os.File, size int64) (int64, error) {
+	off := int64(walHeaderLen)
+	var hdr [8]byte
+	for {
+		if _, err := f.ReadAt(hdr[:], off); err != nil {
+			if errors.Is(err, io.EOF) {
+				return off, nil
+			}
+			return 0, err
+		}
+		n := int64(binary.LittleEndian.Uint32(hdr[:4]))
+		crc := binary.LittleEndian.Uint32(hdr[4:8])
+		if n > maxWALRecord || off+8+n > size {
+			return off, nil
+		}
+		payload := make([]byte, n)
+		if _, err := f.ReadAt(payload, off+8); err != nil {
+			if errors.Is(err, io.EOF) {
+				return off, nil
+			}
+			return 0, err
+		}
+		if crc32.Checksum(payload, castagnoli) != crc {
+			return off, nil
+		}
+		off += 8 + n
+	}
+}
+
+// syncDir fsyncs a directory, making renames and newly created entries in
+// it durable against power loss (fsyncing the file alone only covers its
+// bytes, not its directory entry).
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func initWAL(f *os.File) error {
@@ -91,22 +173,35 @@ func initWAL(f *os.File) error {
 }
 
 // Append frames, writes and fsyncs one (generation, delta) record. Only
-// after Append returns nil may the caller acknowledge the delta.
+// after Append returns nil may the caller acknowledge the delta. On any
+// failure the partial frame is truncated back out, keeping the log a valid
+// prefix: a rejected delta must never be resurrected by replay, and a torn
+// frame mid-file would make every later record unreachable. If even the
+// rollback fails, the WAL marks itself broken and refuses further appends.
 func (w *WAL) Append(gen uint64, delta *engine.Delta) error {
+	if w.broken {
+		return fmt.Errorf("%w: WAL left in unknown state by an earlier failed append", ErrCorrupt)
+	}
 	var e Enc
 	e.U64(gen)
 	EncodeDelta(&e, delta)
 	payload := e.Bytes()
-	var hdr [8]byte
-	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
-	if _, err := w.f.Write(hdr[:]); err != nil {
+	buf := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(buf[:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.Checksum(payload, castagnoli))
+	copy(buf[8:], payload)
+	_, err := w.f.WriteAt(buf, w.off)
+	if err == nil {
+		err = w.f.Sync()
+	}
+	if err != nil {
+		if terr := w.f.Truncate(w.off); terr != nil {
+			w.broken = true
+		}
 		return err
 	}
-	if _, err := w.f.Write(payload); err != nil {
-		return err
-	}
-	return w.f.Sync()
+	w.off += int64(len(buf))
+	return nil
 }
 
 // Truncate drops every record (after a snapshot compaction made them
@@ -115,9 +210,7 @@ func (w *WAL) Truncate() error {
 	if err := w.f.Truncate(walHeaderLen); err != nil {
 		return err
 	}
-	if _, err := w.f.Seek(walHeaderLen, io.SeekStart); err != nil {
-		return err
-	}
+	w.off = walHeaderLen
 	return w.f.Sync()
 }
 
