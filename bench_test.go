@@ -346,6 +346,67 @@ func BenchmarkParallelQuantile(b *testing.B) {
 	}
 }
 
+// BenchmarkCyclicQuantile — the cyclic-query subsystem (PR 10): Prepare
+// decomposes a triangle query into a hypertree of materialized bags, then the
+// quantile loop runs on the acyclic bag query. The prepare sub-benchmark
+// prices the decomposition + bag joins; the quantile sub-benchmarks price the
+// per-query cost at Parallelism 1/2/4 against one prepared plan, with answers
+// byte-identical at every worker count.
+func BenchmarkCyclicQuantile(b *testing.B) {
+	rng := rand.New(rand.NewSource(20))
+	const n, dom = 1 << 12, 1 << 9
+	edges := func() [][]int64 {
+		rows := make([][]int64, n)
+		for i := range rows {
+			rows[i] = []int64{rng.Int63n(dom), rng.Int63n(dom)}
+		}
+		return rows
+	}
+	q := qjoin.NewQuery(
+		qjoin.NewAtom("R", "x", "y"),
+		qjoin.NewAtom("S", "y", "z"),
+		qjoin.NewAtom("T", "z", "x"),
+	)
+	db := qjoin.NewDB().
+		MustAdd("R", 2, edges()).
+		MustAdd("S", 2, edges()).
+		MustAdd("T", 2, edges())
+	f := qjoin.Max("x", "y", "z")
+	seq, err := qjoin.Prepare(q, db, qjoin.Options{Parallelism: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	want, err := seq.Quantile(f, 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("prepare", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := qjoin.Prepare(q, db, qjoin.Options{Parallelism: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			p, err := qjoin.Prepare(q, db, qjoin.Options{Parallelism: w})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				a, err := p.Quantile(f, 0.5)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if f.Compare(a.Weight, want.Weight) != 0 {
+					b.Fatalf("workers=%d: weight diverged from sequential", w)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkDedupedAllocs — the shared fixed-width key encoder keeps input
 // deduplication at ~1 string allocation per distinct row (plus amortized
 // map/output growth). The assertion is a regression floor for the hot-path

@@ -1178,3 +1178,98 @@ func runE19(c *ctx) {
 	fmt.Println("WAL lane adds one copy-on-write UpdatePlan per logged batch, the price of")
 	fmt.Println("the delta batches acknowledged since the last compaction)")
 }
+
+// ---------------------------------------------------------------- E20
+
+// runE20 measures the cyclic-query subsystem (ISSUE 10): a cyclic query is
+// rewritten over a generalized hypertree decomposition, each bag materialized
+// by joining its covering atoms, and the acyclic bag query handed to the
+// regular engine. The table splits the one super-quasilinear cost the
+// rewrite cannot avoid — bag materialization at Prepare time — from the
+// per-query pivot loop, which runs on the bag relations at the usual speed.
+func runE20(c *ctx) {
+	reps := 5
+	if c.quick {
+		reps = 2
+	}
+	fmt.Printf("cyclic queries over hypertree decompositions (workers = %d)\n\n", workerCount())
+
+	type shape struct {
+		name  string
+		atoms int
+		build func(rng *rand.Rand, n int) (*qjoin.Query, *qjoin.DB)
+	}
+	edges := func(rng *rand.Rand, n int, dom int64) [][]int64 {
+		rows := make([][]int64, n)
+		for i := range rows {
+			rows[i] = []int64{rng.Int63n(dom), rng.Int63n(dom)}
+		}
+		return rows
+	}
+	shapes := []shape{
+		{"triangle", 3, func(rng *rand.Rand, n int) (*qjoin.Query, *qjoin.DB) {
+			q := qjoin.NewQuery(
+				qjoin.NewAtom("R", "x", "y"),
+				qjoin.NewAtom("S", "y", "z"),
+				qjoin.NewAtom("T", "z", "x"),
+			)
+			dom := int64(2 + n/6)
+			db := qjoin.NewDB().
+				MustAdd("R", 2, edges(rng, n, dom)).
+				MustAdd("S", 2, edges(rng, n, dom)).
+				MustAdd("T", 2, edges(rng, n, dom))
+			return q, db
+		}},
+		{"4-cycle", 4, func(rng *rand.Rand, n int) (*qjoin.Query, *qjoin.DB) {
+			q := qjoin.NewQuery(
+				qjoin.NewAtom("E1", "a", "b"),
+				qjoin.NewAtom("E2", "b", "c"),
+				qjoin.NewAtom("E3", "c", "d"),
+				qjoin.NewAtom("E4", "d", "a"),
+			)
+			dom := int64(2 + n/6)
+			db := qjoin.NewDB().
+				MustAdd("E1", 2, edges(rng, n, dom)).
+				MustAdd("E2", 2, edges(rng, n, dom)).
+				MustAdd("E3", 2, edges(rng, n, dom)).
+				MustAdd("E4", 2, edges(rng, n, dom))
+			return q, db
+		}},
+	}
+
+	t := &table{header: []string{"shape", "n/rel", "|D|", "width", "bags", "max bag", "prepare", "median", "|Q(D)|"}}
+	for _, sh := range shapes {
+		for _, n := range sizes(c, []int{1 << 10, 1 << 12, 1 << 14}) {
+			rng := rand.New(rand.NewSource(20))
+			q, db := sh.build(rng, n)
+			opts := qjoin.Options{Parallelism: benchWorkers}
+			var p *qjoin.Prepared
+			prepD := timeIt(reps, func() {
+				var err error
+				if p, err = qjoin.Prepare(q, db, opts); err != nil {
+					panic(err)
+				}
+			})
+			f := qjoin.Max(q.Vars()...)
+			var st *qjoin.RunStats
+			qD := timeIt(reps, func() {
+				var err error
+				if _, st, err = p.QuantileStats(f, 0.5, opts); err != nil {
+					panic(err)
+				}
+			})
+			if st.Decomp == nil {
+				panic("cyclic plan reported no decomposition stats")
+			}
+			t.add(sh.name, fmt.Sprint(n), fmt.Sprint(db.Size()),
+				fmt.Sprint(st.Decomp.Width), fmt.Sprint(st.Decomp.Bags),
+				fmt.Sprint(st.Decomp.MaxBagRows), dur(prepD), dur(qD),
+				p.Count().String())
+		}
+	}
+	t.print()
+	fmt.Println("\n(prepare pays the decomposition search — a pure function of the query")
+	fmt.Println("shape — plus the bag joins, the one cost quasilinear preprocessing cannot")
+	fmt.Println("avoid on a cyclic query; the per-query pivot loop then runs on the acyclic")
+	fmt.Println("bag query and is as fast as a native acyclic plan of the same answer count)")
+}

@@ -55,10 +55,11 @@ var experiments = []experiment{
 	{"E17", "Sharded datasets: per-shard prepare, merged pivot loop, shard-local updates (ISSUE 7)", runE17},
 	{"E18", "Approximate-first serving: sketch tier vs exact pivot loop, certified error (ISSUE 8)", runE18},
 	{"E19", "Cold starts: re-Prepare vs snapshot restore vs snapshot+WAL replay (ISSUE 9)", runE19},
+	{"E20", "Cyclic queries: hypertree decomposition, bag materialization vs query cost (ISSUE 10)", runE20},
 }
 
 func main() {
-	expFlag := flag.String("exp", "all", "experiment id (E01..E19) or 'all'")
+	expFlag := flag.String("exp", "all", "experiment id (E01..E20) or 'all'")
 	quick := flag.Bool("quick", false, "reduced sizes for fast runs")
 	workers := flag.Int("workers", 0, "worker count pinned for all experiments (0 = GOMAXPROCS, 1 = sequential)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")

@@ -13,7 +13,10 @@
 //
 // The query is compiled exactly once with qjoin.Prepare; every φ (and the
 // optional baseline comparison) is answered against the shared plan, so
-// asking for ten quantiles costs one preprocessing pass, not ten.
+// asking for ten quantiles costs one preprocessing pass, not ten. Cyclic
+// queries (a triangle, a clique) work automatically: Prepare routes them
+// through a generalized hypertree decomposition and answers exactly; only
+// a cyclic query wider than the decomposition cap is rejected.
 //
 // -shards N (N > 1) hash-partitions the data on a join key into N shard
 // engines compiled concurrently and answers through the merged global pivot

@@ -212,6 +212,44 @@
 //     Update in interface-typed form, which is what the qjserve plan cache
 //     migrates through.
 //
+// # Cyclic queries
+//
+// Prepare accepts cyclic queries — triangles, length-k cycles, cliques — by
+// routing them through a generalized hypertree decomposition
+// (internal/decomp). The contract:
+//
+//   - Rewrite, then reuse. The atom list is partitioned into bags of at
+//     most decomp.MaxDecompWidth (4) atoms; each bag is materialized by
+//     joining its covering atoms on the parallel runtime, and the acyclic
+//     query over the bag relations runs the regular pipeline — pivoting,
+//     trims, counting, sketches, snapshots, enumeration — unchanged.
+//     Answers are exact and byte-identical to a brute-force join of the
+//     original query, at every φ and Parallelism value.
+//   - Determinism. The decomposition is a pure function of the query shape
+//     (widths tried in ascending order over canonical set-partitions), so
+//     the same query always compiles to the same bags, on every process.
+//   - Cost. Bag materialization at Prepare time is the one
+//     super-quasilinear cost the rewrite cannot avoid (a quasilinear cyclic
+//     join would contradict the Hyperclique hypothesis).
+//     RunStats.Decomp reports width, bag count, bag sizes and
+//     materialization wall time; it is nil for acyclic queries.
+//   - Width cap. A cyclic query with no decomposition of width ≤ 4 (the
+//     Petersen graph is the canonical example) fails Prepare with a typed
+//     *ArgError naming the query shape.
+//   - Tractability is judged post-rewrite. The SUM dichotomy and every
+//     other classification run on the rewritten bag query; an intractable
+//     SUM over the bag shape returns ErrIntractable exactly as for a native
+//     acyclic query, and the approximate surfaces keep working.
+//   - Updates re-materialize locally. Prepared.Update applies the delta to
+//     the pre-decomposition database and rebuilds only the bags whose
+//     relations were touched, sharing the rest with the receiver
+//     (RunStats.Decomp.RematerializedBags counts the rebuilds; Redecomposed
+//     flags a delta that touched every bag). Multiplicity-only deltas keep
+//     the compiled artifact entirely.
+//   - Sharding excluded. PrepareSharded fails cyclic queries fast with the
+//     typed ErrCyclicSharded; use Prepare (the qjserve plan cache does this
+//     fallback itself).
+//
 // # Approximate-first answering
 //
 // Answer is the mode-aware entry point that unifies the answering tiers

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/quantilejoins/qjoin/internal/counting"
+	"github.com/quantilejoins/qjoin/internal/decomp"
 	"github.com/quantilejoins/qjoin/internal/engine"
 	"github.com/quantilejoins/qjoin/internal/jointree"
 	"github.com/quantilejoins/qjoin/internal/parallel"
@@ -67,6 +68,12 @@ type RunStats struct {
 	// Options.CollectPhases was set; nil otherwise. A pointer, so RunStats
 	// values stay comparable (two default runs compare equal).
 	Phases *PhaseLog
+	// Decomp describes the hypertree decomposition a cyclic query was
+	// answered through — width, bag count and sizes, materialization cost,
+	// and incremental-update flags; nil for acyclic (and sharded) runs. A
+	// pointer, like Phases, so RunStats values stay comparable. Every
+	// field but MaterializeNanos is deterministic for a fixed plan.
+	Decomp *decomp.Stats
 }
 
 // PhaseLog is the per-iteration phase-timing log of one run.
@@ -334,6 +341,9 @@ func run(engs []*engine.Engine, f *ranking.Func, opts Options, pickIndex func(to
 		shards[i] = st
 	}
 	stats := &RunStats{Count: total}
+	if len(engs) == 1 {
+		stats.Decomp = engs[0].DecompStats()
+	}
 	if total.IsZero() {
 		return nil, stats, ErrNoAnswers
 	}

@@ -276,18 +276,31 @@ func TestSelfJoinQuery(t *testing.T) {
 	checkExact(t, q, db, f, 0.5, a)
 }
 
-func TestCyclicRejected(t *testing.T) {
+func TestCyclicAnswered(t *testing.T) {
 	q := query.New(
 		query.Atom{Rel: "R", Vars: []query.Var{"x", "y"}},
 		query.Atom{Rel: "S", Vars: []query.Var{"y", "z"}},
 		query.Atom{Rel: "T", Vars: []query.Var{"z", "x"}},
 	)
 	db := relation.NewDatabase()
-	for _, name := range []string{"R", "S", "T"} {
-		db.Add(relation.FromRows(name, 2, [][]relation.Value{{1, 1}}))
+	db.Add(relation.FromRows("R", 2, [][]relation.Value{{1, 2}, {2, 3}, {1, 1}}))
+	db.Add(relation.FromRows("S", 2, [][]relation.Value{{2, 3}, {3, 1}, {1, 1}}))
+	db.Add(relation.FromRows("T", 2, [][]relation.Value{{3, 1}, {1, 2}, {1, 1}}))
+	f := ranking.NewSum("x", "y", "z")
+	for _, phi := range []float64{0, 0.5, 1} {
+		a, stats, err := Quantile(q, db, f, phi, Options{})
+		if err != nil {
+			t.Fatalf("φ=%v: %v", phi, err)
+		}
+		checkExact(t, q, db, f, phi, a)
+		if stats.Decomp == nil || stats.Decomp.Width != 2 || stats.Decomp.Bags != 2 {
+			t.Fatalf("φ=%v: Decomp stats = %+v, want width 2 over 2 bags", phi, stats.Decomp)
+		}
 	}
-	if _, _, err := Quantile(q, db, ranking.NewSum("x"), 0.5, Options{}); err != ErrCyclic {
-		t.Fatalf("err = %v, want ErrCyclic", err)
+	// Acyclic runs carry no decomposition stats.
+	aq, adb := testutil.Fig1Instance()
+	if _, stats, err := Quantile(aq, adb, ranking.NewSum(aq.Vars()[0]), 0.5, Options{}); err != nil || stats.Decomp != nil {
+		t.Fatalf("acyclic stats = %+v err = %v, want nil Decomp", stats.Decomp, err)
 	}
 }
 

@@ -1,0 +1,318 @@
+package decomp
+
+import (
+	"errors"
+	"reflect"
+	"sort"
+	"testing"
+
+	"github.com/quantilejoins/qjoin/internal/jointree"
+	"github.com/quantilejoins/qjoin/internal/query"
+	"github.com/quantilejoins/qjoin/internal/relation"
+	"github.com/quantilejoins/qjoin/internal/testutil"
+)
+
+func triangle() *query.Query {
+	return query.New(
+		query.Atom{Rel: "R", Vars: []query.Var{"x", "y"}},
+		query.Atom{Rel: "S", Vars: []query.Var{"y", "z"}},
+		query.Atom{Rel: "T", Vars: []query.Var{"z", "x"}},
+	)
+}
+
+func fourCycle() *query.Query {
+	return query.New(
+		query.Atom{Rel: "R", Vars: []query.Var{"x", "y"}},
+		query.Atom{Rel: "S", Vars: []query.Var{"y", "z"}},
+		query.Atom{Rel: "T", Vars: []query.Var{"z", "w"}},
+		query.Atom{Rel: "U", Vars: []query.Var{"w", "x"}},
+	)
+}
+
+// ring returns the n-cycle query R0(x0,x1), R1(x1,x2), ..., Rn-1(xn-1,x0).
+func ring(n int) *query.Query {
+	atoms := make([]query.Atom, n)
+	for i := 0; i < n; i++ {
+		atoms[i] = query.Atom{
+			Rel:  "R" + string(rune('A'+i)),
+			Vars: []query.Var{query.Var("x" + string(rune('a'+i))), query.Var("x" + string(rune('a'+(i+1)%n)))},
+		}
+	}
+	return query.New(atoms...)
+}
+
+func TestDecomposeTriangle(t *testing.T) {
+	d, err := Decompose(triangle(), MaxDecompWidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Width != 2 {
+		t.Fatalf("width = %d, want 2", d.Width)
+	}
+	if len(d.Bags) != 2 {
+		t.Fatalf("bags = %d, want 2", len(d.Bags))
+	}
+	if _, err := jointree.Build(d.Query()); err != nil {
+		t.Fatalf("bag query %s not acyclic: %v", d.Query(), err)
+	}
+	// Same var set as the source, and the bag query carries every bag var.
+	if got, want := d.Query().Vars(), triangle().Vars(); !sameVarSet(got, want) {
+		t.Fatalf("bag query vars %v, want the set %v", got, want)
+	}
+}
+
+func TestDecomposeFourCycle(t *testing.T) {
+	d, err := Decompose(fourCycle(), MaxDecompWidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Width != 2 || len(d.Bags) != 2 {
+		t.Fatalf("width=%d bags=%d, want 2/2", d.Width, len(d.Bags))
+	}
+}
+
+func TestDecomposeK4(t *testing.T) {
+	// All six edges of the complete graph on {x,y,z,w}.
+	k4 := query.New(
+		query.Atom{Rel: "E1", Vars: []query.Var{"x", "y"}},
+		query.Atom{Rel: "E2", Vars: []query.Var{"x", "z"}},
+		query.Atom{Rel: "E3", Vars: []query.Var{"x", "w"}},
+		query.Atom{Rel: "E4", Vars: []query.Var{"y", "z"}},
+		query.Atom{Rel: "E5", Vars: []query.Var{"y", "w"}},
+		query.Atom{Rel: "E6", Vars: []query.Var{"z", "w"}},
+	)
+	d, err := Decompose(k4, MaxDecompWidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Width > 3 {
+		t.Fatalf("K4 width = %d, want ≤ 3", d.Width)
+	}
+	if _, err := jointree.Build(d.Query()); err != nil {
+		t.Fatalf("bag query not acyclic: %v", err)
+	}
+}
+
+func TestDecomposeDeterministic(t *testing.T) {
+	a, err := Decompose(fourCycle(), MaxDecompWidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Decompose(fourCycle(), MaxDecompWidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Bags, b.Bags) || !reflect.DeepEqual(a.BagVars, b.BagVars) || !reflect.DeepEqual(a.BagNames, b.BagNames) {
+		t.Fatalf("decomposition not deterministic:\n%+v\n%+v", a, b)
+	}
+}
+
+// Petersen returns the join query over the 15 edges of the Petersen graph:
+// girth 5 and 3-regular, so no small bag dominates and no bag cover of width
+// ≤ MaxDecompWidth is acyclic.
+func Petersen() *query.Query {
+	edges := [][2]int{
+		{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}, // outer cycle
+		{5, 7}, {7, 9}, {9, 6}, {6, 8}, {8, 5}, // inner pentagram
+		{0, 5}, {1, 6}, {2, 7}, {3, 8}, {4, 9}, // spokes
+	}
+	atoms := make([]query.Atom, len(edges))
+	for i, e := range edges {
+		atoms[i] = query.Atom{
+			Rel:  "E" + string(rune('A'+i)),
+			Vars: []query.Var{query.Var("v" + string(rune('a'+e[0]))), query.Var("v" + string(rune('a'+e[1])))},
+		}
+	}
+	return query.New(atoms...)
+}
+
+func TestDecomposeWidthCap(t *testing.T) {
+	_, err := Decompose(Petersen(), MaxDecompWidth)
+	var we *WidthError
+	if !errors.As(err, &we) {
+		t.Fatalf("err = %v, want *WidthError", err)
+	}
+	if we.MaxWidth != MaxDecompWidth || we.Atoms != 15 {
+		t.Fatalf("WidthError fields = %+v", we)
+	}
+	// Rings stay cheap: a 12-ring pairs opposite edges into a width-2
+	// caterpillar of bags.
+	if d, err := Decompose(ring(12), MaxDecompWidth); err != nil || d.Width != 2 {
+		t.Fatalf("12-ring: d=%+v err=%v, want width 2", d, err)
+	}
+	// An explicit cap below any usable width fails immediately.
+	if _, err := Decompose(triangle(), 1); !errors.As(err, &we) {
+		t.Fatalf("maxWidth=1 err = %v, want *WidthError", err)
+	}
+}
+
+func TestMaterializeTriangle(t *testing.T) {
+	q := triangle()
+	db := relation.NewDatabase()
+	db.Add(relation.FromRows("R", 2, [][]relation.Value{{1, 2}, {2, 3}, {1, 5}}).MarkDistinct())
+	db.Add(relation.FromRows("S", 2, [][]relation.Value{{2, 3}, {3, 1}, {5, 6}}).MarkDistinct())
+	db.Add(relation.FromRows("T", 2, [][]relation.Value{{3, 1}, {1, 2}, {6, 1}}).MarkDistinct())
+
+	d, err := Decompose(q, MaxDecompWidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		bagDB, st := d.Materialize(q, db, workers)
+		if st.Width != 2 || st.Bags != len(d.Bags) || st.RematerializedBags != len(d.Bags) || st.Redecomposed {
+			t.Fatalf("stats = %+v", st)
+		}
+		got := testutil.BruteForce(d.Query(), bagDB)
+		want := testutil.BruteForce(q, db)
+		sortRows(got)
+		sortRows(want)
+		if !reflect.DeepEqual(projectTo(d.Query().Vars(), q.Vars(), got), want) {
+			t.Fatalf("workers=%d: bag join %v, want %v", workers, got, want)
+		}
+	}
+}
+
+func TestMaterializeOrderIndependentOfWorkers(t *testing.T) {
+	q := fourCycle()
+	db := relation.NewDatabase()
+	rows := [][]relation.Value{}
+	for i := relation.Value(0); i < 40; i++ {
+		rows = append(rows, []relation.Value{i % 7, i % 5})
+	}
+	for _, name := range []string{"R", "S", "T", "U"} {
+		db.Add(relation.FromRows(name, 2, rows).Deduped())
+	}
+	d, err := Decompose(q, MaxDecompWidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, _ := d.Materialize(q, db, 1)
+	for _, workers := range []int{2, 8} {
+		got, _ := d.Materialize(q, db, workers)
+		for _, name := range d.BagNames {
+			if !base.Get(name).Equal(got.Get(name)) {
+				t.Fatalf("workers=%d: bag %s row order differs", workers, name)
+			}
+		}
+	}
+}
+
+func TestRematerializeSharesUntouchedBags(t *testing.T) {
+	q := fourCycle()
+	db := relation.NewDatabase()
+	for _, name := range []string{"R", "S", "T", "U"} {
+		db.Add(relation.FromRows(name, 2, [][]relation.Value{{1, 2}, {2, 1}}).MarkDistinct())
+	}
+	d, err := Decompose(q, MaxDecompWidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev, _ := d.Materialize(q, db, 2)
+
+	db2 := relation.NewDatabase()
+	for _, name := range []string{"R", "S", "T", "U"} {
+		r := db.Get(name).Clone()
+		if name == "R" {
+			r.AppendRow([]relation.Value{2, 2})
+		}
+		db2.Add(r.MarkDistinct())
+	}
+	next, st := d.Rematerialize(q, db2, prev, map[string]bool{"R": true}, 2)
+	if st.RematerializedBags >= st.Bags || st.Redecomposed {
+		t.Fatalf("expected partial rematerialization, got %+v", st)
+	}
+	shared, rebuilt := 0, 0
+	for i, name := range d.BagNames {
+		if d.bagTouched(q, i, map[string]bool{"R": true}) {
+			rebuilt++
+			if next.Get(name) == prev.Get(name) {
+				t.Fatalf("touched bag %s not rebuilt", name)
+			}
+		} else {
+			shared++
+			if next.Get(name) != prev.Get(name) {
+				t.Fatalf("untouched bag %s not shared by pointer", name)
+			}
+		}
+	}
+	if shared == 0 || rebuilt == 0 {
+		t.Fatalf("want both shared and rebuilt bags, got shared=%d rebuilt=%d", shared, rebuilt)
+	}
+	// Touching every relation degenerates into a full rebuild.
+	_, st = d.Rematerialize(q, db2, prev, map[string]bool{"R": true, "S": true, "T": true, "U": true}, 2)
+	if st.RematerializedBags != st.Bags || !st.Redecomposed {
+		t.Fatalf("full touch stats = %+v", st)
+	}
+}
+
+func TestMaterializeRepeatedVars(t *testing.T) {
+	// Self-loop atom inside a bag: L(x,x) keeps only rows with equal columns.
+	q := query.New(
+		query.Atom{Rel: "L", Vars: []query.Var{"x", "x"}},
+		query.Atom{Rel: "R", Vars: []query.Var{"x", "y"}},
+		query.Atom{Rel: "S", Vars: []query.Var{"y", "z"}},
+		query.Atom{Rel: "T", Vars: []query.Var{"z", "x"}},
+	)
+	db := relation.NewDatabase()
+	db.Add(relation.FromRows("L", 2, [][]relation.Value{{1, 1}, {1, 2}, {2, 2}}).MarkDistinct())
+	db.Add(relation.FromRows("R", 2, [][]relation.Value{{1, 2}, {2, 3}}).MarkDistinct())
+	db.Add(relation.FromRows("S", 2, [][]relation.Value{{2, 3}, {3, 1}}).MarkDistinct())
+	db.Add(relation.FromRows("T", 2, [][]relation.Value{{3, 1}, {1, 2}}).MarkDistinct())
+	d, err := Decompose(q, MaxDecompWidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bagDB, _ := d.Materialize(q, db, 2)
+	got := testutil.BruteForce(d.Query(), bagDB)
+	want := testutil.BruteForce(q, db)
+	sortRows(got)
+	sortRows(want)
+	if !reflect.DeepEqual(projectTo(d.Query().Vars(), q.Vars(), got), want) {
+		t.Fatalf("bag join %v, want %v", got, want)
+	}
+}
+
+// projectTo reorders rows over vars `from` into the column order `to`.
+func projectTo(from, to []query.Var, rows [][]relation.Value) [][]relation.Value {
+	idx := make(map[query.Var]int, len(from))
+	for i, v := range from {
+		idx[v] = i
+	}
+	out := make([][]relation.Value, len(rows))
+	for i, r := range rows {
+		p := make([]relation.Value, len(to))
+		for j, v := range to {
+			p[j] = r[idx[v]]
+		}
+		out[i] = p
+	}
+	sortRows(out)
+	return out
+}
+
+func sortRows(rows [][]relation.Value) {
+	sort.Slice(rows, func(i, j int) bool {
+		for k := range rows[i] {
+			if rows[i][k] != rows[j][k] {
+				return rows[i][k] < rows[j][k]
+			}
+		}
+		return false
+	})
+}
+
+func sameVarSet(a, b []query.Var) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	set := make(map[query.Var]bool, len(a))
+	for _, v := range a {
+		set[v] = true
+	}
+	for _, v := range b {
+		if !set[v] {
+			return false
+		}
+	}
+	return true
+}

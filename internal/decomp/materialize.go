@@ -1,0 +1,183 @@
+package decomp
+
+import (
+	"time"
+
+	"github.com/quantilejoins/qjoin/internal/parallel"
+	"github.com/quantilejoins/qjoin/internal/query"
+	"github.com/quantilejoins/qjoin/internal/relation"
+)
+
+// Materialize joins every bag of the decomposition into one relation and
+// returns the bag database together with fresh Stats. q must be the query d
+// was computed from and db its deduplicated database; the bag relations are
+// then distinct by construction. The returned database contains only bag
+// relations, so a restored snapshot recomputing the decomposition arrives at
+// the same database shape.
+func (d *Decomposition) Materialize(q *query.Query, db *relation.Database, workers int) (*relation.Database, *Stats) {
+	return d.Rematerialize(q, db, nil, nil, workers)
+}
+
+// Rematerialize rebuilds the bags that cover a relation in changed, sharing
+// every untouched bag relation from prev by pointer. With prev == nil (or
+// changed == nil) it rebuilds everything, which is how a fresh Materialize
+// runs. Stats records how many bags were rebuilt and flags the degenerate
+// case where every bag was touched.
+func (d *Decomposition) Rematerialize(q *query.Query, db *relation.Database, prev *relation.Database, changed map[string]bool, workers int) (*relation.Database, *Stats) {
+	start := time.Now()
+	out := relation.NewDatabase()
+	rebuilt := 0
+	st := &Stats{Width: d.Width, Bags: len(d.Bags)}
+	for i := range d.Bags {
+		var r *relation.Relation
+		if prev != nil && changed != nil && !d.bagTouched(q, i, changed) {
+			r = prev.Get(d.BagNames[i])
+		} else {
+			r = d.materializeBag(q, db, i, workers)
+			rebuilt++
+		}
+		out.Add(r)
+		st.TotalBagRows += r.Len()
+		if r.Len() > st.MaxBagRows {
+			st.MaxBagRows = r.Len()
+		}
+	}
+	st.RematerializedBags = rebuilt
+	st.Redecomposed = prev != nil && rebuilt == len(d.Bags)
+	st.MaterializeNanos = time.Since(start).Nanoseconds()
+	return out, st
+}
+
+// bagTouched reports whether bag i covers any changed relation.
+func (d *Decomposition) bagTouched(q *query.Query, i int, changed map[string]bool) bool {
+	for _, ai := range d.Bags[i] {
+		if changed[q.Atoms[ai].Rel] {
+			return true
+		}
+	}
+	return false
+}
+
+// materializeBag joins bag i's atoms in join order with a left-deep hash
+// join. Probes run over chunked row ranges concatenated in order, so the
+// output row order does not depend on the worker count.
+func (d *Decomposition) materializeBag(q *query.Query, db *relation.Database, i int, workers int) *relation.Relation {
+	order := d.Bags[i]
+	cur := atomRelation(q.Atoms[order[0]], db, workers)
+	curVars := q.Atoms[order[0]].UniqueVars()
+	for _, ai := range order[1:] {
+		cur, curVars = joinAtom(cur, curVars, q.Atoms[ai], db, workers)
+	}
+	return cur.Rename(d.BagNames[i]).MarkDistinct()
+}
+
+// atomRelation materializes a single atom: rows of its relation whose
+// repeated-variable positions agree, projected onto the first occurrence of
+// each distinct variable. Atoms without repeats pass through unchanged.
+func atomRelation(a query.Atom, db *relation.Database, workers int) *relation.Relation {
+	rel := db.Get(a.Rel)
+	uniq := a.UniqueVars()
+	if len(uniq) == len(a.Vars) {
+		return rel
+	}
+	first := firstPositions(a)
+	cols := rel.Cols()
+	keep := rel.FilterWorkers(workers, func(i int) bool { return repeatsAgree(a, first, cols, i) })
+	pos := make([]int, len(uniq))
+	for j, v := range uniq {
+		pos[j] = first[v]
+	}
+	return keep.Project(rel.Name(), pos)
+}
+
+// firstPositions maps each variable of the atom to its first position.
+func firstPositions(a query.Atom) map[query.Var]int {
+	first := make(map[query.Var]int, len(a.Vars))
+	for j, v := range a.Vars {
+		if _, ok := first[v]; !ok {
+			first[v] = j
+		}
+	}
+	return first
+}
+
+// repeatsAgree reports whether row i satisfies the atom's repeated-variable
+// equality constraints.
+func repeatsAgree(a query.Atom, first map[query.Var]int, cols [][]relation.Value, i int) bool {
+	for j, v := range a.Vars {
+		if f := first[v]; f != j && cols[f][i] != cols[j][i] {
+			return false
+		}
+	}
+	return true
+}
+
+// joinAtom hash-joins the accumulated bag rows (cur over curVars) with one
+// more atom, returning the combined relation and its variable order
+// (curVars followed by the atom's new variables).
+func joinAtom(cur *relation.Relation, curVars []query.Var, a query.Atom, db *relation.Database, workers int) (*relation.Relation, []query.Var) {
+	rel := db.Get(a.Rel)
+	uniq := a.UniqueVars()
+	first := firstPositions(a)
+
+	inCur := make(map[query.Var]int, len(curVars))
+	for j, v := range curVars {
+		inCur[v] = j
+	}
+	var shared []query.Var
+	var newVars []query.Var
+	for _, v := range uniq {
+		if _, ok := inCur[v]; ok {
+			shared = append(shared, v)
+		} else {
+			newVars = append(newVars, v)
+		}
+	}
+	sharedCur := make([]int, len(shared))
+	sharedRel := make([]int, len(shared))
+	for j, v := range shared {
+		sharedCur[j] = inCur[v]
+		sharedRel[j] = first[v]
+	}
+	newRel := make([]int, len(newVars))
+	for j, v := range newVars {
+		newRel[j] = first[v]
+	}
+
+	// Build side: valid rows of the atom's relation grouped by shared key.
+	relCols := rel.Cols()
+	index := make(map[string][]int32)
+	var enc relation.KeyEncoder
+	for i := 0; i < rel.Len(); i++ {
+		if !repeatsAgree(a, first, relCols, i) {
+			continue
+		}
+		k := string(enc.ColsAt(relCols, sharedRel, i))
+		index[k] = append(index[k], int32(i))
+	}
+
+	outVars := append(append([]query.Var(nil), curVars...), newVars...)
+	curCols := cur.Cols()
+	parts := parallel.MapRanges(workers, cur.Len(), func(lo, hi int) *relation.Relation {
+		part := relation.New("", len(outVars))
+		row := make([]relation.Value, len(outVars))
+		var penc relation.KeyEncoder
+		for i := lo; i < hi; i++ {
+			matches := index[string(penc.ColsAt(curCols, sharedCur, i))]
+			if len(matches) == 0 {
+				continue
+			}
+			for j := range curVars {
+				row[j] = curCols[j][i]
+			}
+			for _, m := range matches {
+				for j, p := range newRel {
+					row[len(curVars)+j] = relCols[p][m]
+				}
+				part.AppendRow(row)
+			}
+		}
+		return part
+	})
+	return relation.Concat("", len(outVars), false, parts), outVars
+}

@@ -31,6 +31,7 @@ import (
 
 	"github.com/quantilejoins/qjoin/internal/access"
 	"github.com/quantilejoins/qjoin/internal/counting"
+	"github.com/quantilejoins/qjoin/internal/decomp"
 	"github.com/quantilejoins/qjoin/internal/jointree"
 	"github.com/quantilejoins/qjoin/internal/parallel"
 	"github.com/quantilejoins/qjoin/internal/query"
@@ -44,8 +45,11 @@ import (
 var (
 	// ErrNoAnswers is returned when Q(D) is empty.
 	ErrNoAnswers = errors.New("qjoin: query has no answers")
-	// ErrCyclic is returned for cyclic queries, which cannot be answered in
-	// quasilinear time under the Hyperclique hypothesis (Section 2.3).
+	// ErrCyclic is returned for cyclic queries that additionally fail to
+	// decompose (see internal/decomp). Plain cyclic queries no longer hit
+	// it: they route through a hypertree decomposition and are answered
+	// exactly; only decomposition failures (*decomp.WidthError) and this
+	// sentinel's historical role in sharding remain.
 	ErrCyclic = errors.New("qjoin: query is cyclic")
 )
 
@@ -64,6 +68,18 @@ type Engine struct {
 	exec     *jointree.Exec // shared read-only executable tree
 	pos      []int          // positions of origVars within q.Vars()
 	workers  int            // resolved worker count for compile-time passes
+
+	// Cyclic sources route through a hypertree decomposition: q/db above
+	// then hold the acyclic bag query and the materialized bag relations,
+	// while decQ/ddb keep the self-join-free source query and its
+	// deduplicated database for incremental bag re-materialization. All
+	// four decomposition fields are nil for acyclic sources; decStats may
+	// additionally be nil on snapshot-restored engines (ddb too — both are
+	// rebuilt lazily when first needed).
+	dec      *decomp.Decomposition
+	decQ     *query.Query
+	ddb      *relation.Database
+	decStats *decomp.Stats
 
 	// The lazy structures are guarded by one small mutex each (not a
 	// sync.Once: Update peeks at what is already built to carry caches
@@ -130,8 +146,25 @@ func NewWorkers(src *query.Query, db0 *relation.Database, parallelism int) (*Eng
 	// materializations skip their hash passes.
 	db = dedupeDatabase(db, workers)
 	tree, err := jointree.Build(q)
+	var dec *decomp.Decomposition
+	var decQ *query.Query
+	var ddb *relation.Database
+	var decStats *decomp.Stats
 	if err != nil {
-		return nil, ErrCyclic
+		// Cyclic: rewrite into an acyclic query over materialized
+		// hypertree-decomposition bags and compile that instead. The
+		// bag query mentions every source variable, so the projection
+		// onto the original layout below works unchanged.
+		d, derr := decomp.Decompose(q, decomp.MaxDecompWidth)
+		if derr != nil {
+			return nil, derr
+		}
+		bagDB, st := d.Materialize(q, db, workers)
+		dec, decQ, ddb, decStats = d, q, db, st
+		q, db = d.Query(), bagDB
+		if tree, err = jointree.Build(q); err != nil {
+			return nil, err
+		}
 	}
 	exec, err := jointree.NewExecWorkers(q, db, tree, workers)
 	if err != nil {
@@ -153,6 +186,10 @@ func NewWorkers(src *query.Query, db0 *relation.Database, parallelism int) (*Eng
 		exec:      exec,
 		pos:       pos,
 		workers:   workers,
+		dec:       dec,
+		decQ:      decQ,
+		ddb:       ddb,
+		decStats:  decStats,
 		trimCache: trim.NewCache(),
 	}, nil
 }
@@ -168,6 +205,31 @@ func (e *Engine) DB() *relation.Database { return e.db }
 
 // Tree returns the join tree.
 func (e *Engine) Tree() *jointree.Tree { return e.tree }
+
+// DecompStats returns the hypertree-decomposition statistics of a cyclic
+// source — width, bag count, bag sizes, materialization cost — or nil for an
+// acyclic one. The returned struct is a private copy. Engines restored from
+// a snapshot recompute the size fields from the restored bag relations and
+// report zero MaterializeNanos (no bag was joined on this process).
+func (e *Engine) DecompStats() *decomp.Stats {
+	if e.dec == nil {
+		return nil
+	}
+	st := e.decStats
+	if st == nil {
+		fresh := &decomp.Stats{Width: e.dec.Width, Bags: len(e.dec.Bags)}
+		for _, name := range e.dec.BagNames {
+			n := e.db.Get(name).Len()
+			fresh.TotalBagRows += n
+			if n > fresh.MaxBagRows {
+				fresh.MaxBagRows = n
+			}
+		}
+		st = fresh
+	}
+	c := *st
+	return &c
+}
 
 // Exec returns the shared executable join tree. It must be treated as
 // read-only; mutating consumers (FullReduce) must build their own copy.

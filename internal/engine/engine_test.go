@@ -31,18 +31,34 @@ func TestNewCountsAnswers(t *testing.T) {
 	}
 }
 
-func TestNewRejectsCyclic(t *testing.T) {
+func TestNewDecomposesCyclic(t *testing.T) {
 	q := query.New(
 		query.Atom{Rel: "R", Vars: []query.Var{"x", "y"}},
 		query.Atom{Rel: "S", Vars: []query.Var{"y", "z"}},
 		query.Atom{Rel: "T", Vars: []query.Var{"z", "x"}},
 	)
 	db := relation.NewDatabase()
-	for _, name := range []string{"R", "S", "T"} {
-		db.Add(relation.FromRows(name, 2, [][]relation.Value{{1, 1}}))
+	db.Add(relation.FromRows("R", 2, [][]relation.Value{{1, 2}, {1, 1}}))
+	db.Add(relation.FromRows("S", 2, [][]relation.Value{{2, 3}, {1, 1}}))
+	db.Add(relation.FromRows("T", 2, [][]relation.Value{{3, 1}, {1, 1}}))
+	e, err := New(q, db)
+	if err != nil {
+		t.Fatalf("cyclic query failed to decompose: %v", err)
 	}
-	if _, err := New(q, db); err != ErrCyclic {
-		t.Fatalf("err = %v, want ErrCyclic", err)
+	if n, _ := e.Total().Uint64(); n != 2 {
+		t.Fatalf("triangle count = %d, want 2", n)
+	}
+	st := e.DecompStats()
+	if st == nil || st.Width != 2 || st.Bags != 2 {
+		t.Fatalf("DecompStats = %+v, want width 2 over 2 bags", st)
+	}
+	// The compiled query is the acyclic bag rewrite; the answer layout is
+	// still the source query's.
+	if len(e.Query().Atoms) != 2 || len(e.Vars()) != 3 {
+		t.Fatalf("bag query %s, vars %v", e.Query(), e.Vars())
+	}
+	if fig := fig1Engine(t); fig.DecompStats() != nil {
+		t.Fatal("acyclic engine reports decomposition stats")
 	}
 }
 

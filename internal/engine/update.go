@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"github.com/quantilejoins/qjoin/internal/jointree"
+	"github.com/quantilejoins/qjoin/internal/query"
 	"github.com/quantilejoins/qjoin/internal/relation"
 	"github.com/quantilejoins/qjoin/internal/trim"
 	"github.com/quantilejoins/qjoin/internal/yannakakis"
@@ -308,7 +309,7 @@ func (e *Engine) Update(d *Delta) (*Engine, error) {
 		if ms == nil {
 			return nil, fmt.Errorf("qjoin: delta references unknown relation %q", name)
 		}
-		eff, err := simulateRel(name, e.db.Get(name).Arity(), byRel[name], ms.Mult)
+		eff, err := simulateRel(name, e.sourceArity(name), byRel[name], ms.Mult)
 		if err != nil {
 			return nil, err
 		}
@@ -336,8 +337,12 @@ func (e *Engine) Update(d *Delta) (*Engine, error) {
 			exec: e.exec, pos: e.pos, workers: e.workers,
 			counts: e.peekCounts(), sets: newSets,
 			access: e.peekAccess(), reduced: e.peekReduced(),
+			dec: e.dec, decQ: e.decQ, ddb: e.ddb, decStats: e.decStats,
 			trimCache: e.trimCache,
 		}, nil
+	}
+	if e.dec != nil {
+		return e.updateDecomposed(newSets, effects)
 	}
 	// Fan the set-level changes out to the rewritten relation names: every
 	// atom occurrence of a self-joined relation gets the same delta, and
@@ -379,4 +384,120 @@ func (e *Engine) Update(d *Delta) (*Engine, error) {
 		counts: newCounts, sets: newSets,
 		trimCache: trim.NewCache(),
 	}, nil
+}
+
+// sourceArity returns the arity of a source-schema relation: straight from
+// the compiled database normally, and from the source-side view on a
+// decomposed engine (whose compiled database holds only bag relations).
+func (e *Engine) sourceArity(name string) int {
+	if e.dec == nil {
+		return e.db.Get(name).Arity()
+	}
+	if e.ddb != nil {
+		if r := e.ddb.Get(name); r != nil {
+			return r.Arity()
+		}
+	}
+	return e.db0.Get(name).Arity()
+}
+
+// sourceDedup returns the deduplicated self-join-free source database a
+// decomposed engine materializes its bags from, rebuilding it from the raw
+// input on a snapshot-restored engine (which dropped it to keep snapshots
+// lean). The receiver is never mutated; derived engines carry the result.
+func (e *Engine) sourceDedup() *relation.Database {
+	if e.ddb != nil {
+		return e.ddb
+	}
+	_, db1 := query.EliminateSelfJoins(e.src, e.db0)
+	return dedupeDatabase(db1, e.workers)
+}
+
+// updateDecomposed is Update's tail for engines whose source query was
+// answered through a hypertree decomposition. The set-level effects are
+// applied to the deduplicated source database, the bags covering a changed
+// relation are re-materialized (untouched bags are shared by pointer), and
+// the executable tree is rebuilt over the new bag database — so the derived
+// engine is byte-identical to a fresh compile of the mutated input, except
+// that its decomposition stats record the incremental work.
+func (e *Engine) updateDecomposed(newSets map[string]*relation.Multiset, effects map[string]*relEffect) (*Engine, error) {
+	ddb := e.sourceDedup()
+	newDDB := relation.NewDatabase()
+	changed := make(map[string]bool)
+	applied := make(map[string]*relation.Relation)
+	// Fan each source relation's set effect out to every rewritten
+	// occurrence (self-join clones share their source's effect); touched
+	// relations outside the query keep their own name.
+	for i, atom := range e.src.Atoms {
+		if eff := effects[atom.Rel]; eff != nil && !eff.set.Empty() {
+			rn := e.decQ.Atoms[i].Rel
+			applied[rn] = applySetEffect(ddb.Get(rn), eff.set)
+			changed[rn] = true
+		}
+	}
+	referenced := make(map[string]bool, len(e.decQ.Atoms))
+	for _, atom := range e.decQ.Atoms {
+		referenced[atom.Rel] = true
+	}
+	for name, eff := range effects {
+		if !referenced[name] && !eff.set.Empty() {
+			applied[name] = applySetEffect(ddb.Get(name), eff.set)
+		}
+	}
+	for _, name := range ddb.Names() {
+		if nr := applied[name]; nr != nil {
+			newDDB.Add(nr)
+		} else {
+			newDDB.Add(ddb.Get(name))
+		}
+	}
+	if len(changed) == 0 {
+		// Only relations outside the query changed: the bags — and every
+		// compiled structure and cache — are still exact.
+		return &Engine{
+			src: e.src, origVars: e.origVars, q: e.q, db: e.db, tree: e.tree,
+			exec: e.exec, pos: e.pos, workers: e.workers,
+			counts: e.peekCounts(), sets: newSets,
+			access: e.peekAccess(), reduced: e.peekReduced(),
+			dec: e.dec, decQ: e.decQ, ddb: newDDB, decStats: e.decStats,
+			trimCache: e.trimCache,
+		}, nil
+	}
+	newBagDB, st := e.dec.Rematerialize(e.decQ, newDDB, e.db, changed, e.workers)
+	exec, err := jointree.NewExecWorkers(e.q, newBagDB, e.tree, e.workers)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{
+		src: e.src, origVars: e.origVars, q: e.q, db: newBagDB, tree: e.tree,
+		exec: exec, pos: e.pos, workers: e.workers,
+		sets: newSets,
+		dec:  e.dec, decQ: e.decQ, ddb: newDDB, decStats: st,
+		trimCache: trim.NewCache(),
+	}, nil
+}
+
+// applySetEffect applies one relation's set-level delta to its deduplicated
+// relation: removed keys are filtered out (survivor order preserved) and
+// entering rows appended in op order — the same layout a fresh deduplication
+// of the mutated raw input produces.
+func applySetEffect(r *relation.Relation, set jointree.RelDelta) *relation.Relation {
+	removed := make(map[string]bool, len(set.RemovedKeys))
+	for _, k := range set.RemovedKeys {
+		removed[k] = true
+	}
+	nr := relation.NewWithCapacity(r.Name(), r.Arity(), r.Len()+len(set.AddedRows))
+	cols := r.Cols()
+	row := make([]relation.Value, r.Arity())
+	var enc relation.KeyEncoder
+	for i := 0; i < r.Len(); i++ {
+		if removed[string(enc.RowAt(cols, i))] {
+			continue
+		}
+		nr.AppendRow(r.CopyRow(row, i))
+	}
+	for _, added := range set.AddedRows {
+		nr.AppendRow(added)
+	}
+	return nr.MarkDistinct()
 }

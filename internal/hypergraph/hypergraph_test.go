@@ -320,3 +320,140 @@ func TestLemmaD1OnRandomHypergraphs(t *testing.T) {
 		}
 	}
 }
+
+// TestEnumerateJoinTreesEarlyStop pins the early-stop contract: once fn
+// returns false the enumeration must halt immediately — no further join
+// trees are produced, and the call still returns nil (stopping is not an
+// error).
+func TestEnumerateJoinTreesEarlyStop(t *testing.T) {
+	// A 4-atom star: every atom shares x with every other, so every labeled
+	// spanning tree (4^2 = 16 Prüfer decodings) satisfies the running
+	// intersection property — plenty of trees to stop in the middle of.
+	q := query.New(
+		query.Atom{Rel: "R1", Vars: []query.Var{"x", "a"}},
+		query.Atom{Rel: "R2", Vars: []query.Var{"x", "b"}},
+		query.Atom{Rel: "R3", Vars: []query.Var{"x", "c"}},
+		query.Atom{Rel: "R4", Vars: []query.Var{"x", "d"}},
+	)
+	h, _ := FromQuery(q)
+	total := 0
+	if err := h.EnumerateJoinTrees(func([][]int) bool { total++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if total < 2 {
+		t.Fatalf("star has %d join trees; need at least 2 for an early-stop test", total)
+	}
+	for stopAt := 1; stopAt < total; stopAt++ {
+		calls := 0
+		err := h.EnumerateJoinTrees(func([][]int) bool {
+			calls++
+			return calls < stopAt
+		})
+		if err != nil {
+			t.Fatalf("stopAt=%d: early stop must not be an error: %v", stopAt, err)
+		}
+		if calls != stopAt {
+			t.Fatalf("fn returned false on call %d but was called %d times", stopAt, calls)
+		}
+	}
+}
+
+// TestJoinTreeDisconnectedComponents exercises GYO on disconnected
+// hypergraphs beyond the two-singleton case: several multi-edge components
+// must still reduce, link into one tree (a cross product), and satisfy the
+// running intersection property; a cyclic component must poison the whole
+// hypergraph even when other components are acyclic.
+func TestJoinTreeDisconnectedComponents(t *testing.T) {
+	// Two 2-edge path components plus an isolated unary atom: 5 edges,
+	// no shared variables across components.
+	q := query.New(
+		query.Atom{Rel: "A1", Vars: []query.Var{"a", "b"}},
+		query.Atom{Rel: "A2", Vars: []query.Var{"b", "c"}},
+		query.Atom{Rel: "B1", Vars: []query.Var{"p", "q"}},
+		query.Atom{Rel: "B2", Vars: []query.Var{"q", "r"}},
+		query.Atom{Rel: "C", Vars: []query.Var{"z"}},
+	)
+	h, _ := FromQuery(q)
+	parent, root, ok := h.JoinTree()
+	if !ok {
+		t.Fatal("disconnected acyclic components must form a join tree")
+	}
+	if parent[root] != -1 {
+		t.Fatalf("parent[root] = %d, want -1", parent[root])
+	}
+	// A tree over 5 edges has exactly 4 parent links, every node reaches the
+	// root, and the adjacency form passes the package's own validity check.
+	adj := make([][]int, len(h.Edges))
+	links := 0
+	for i, p := range parent {
+		if i == root {
+			continue
+		}
+		if p < 0 || p >= len(h.Edges) {
+			t.Fatalf("node %d has parent %d", i, p)
+		}
+		links++
+		adj[i] = append(adj[i], p)
+		adj[p] = append(adj[p], i)
+	}
+	if links != len(h.Edges)-1 {
+		t.Fatalf("%d tree links over %d edges", links, len(h.Edges))
+	}
+	if !h.IsJoinTree(adj) {
+		t.Fatal("disconnected join tree violates the running intersection property")
+	}
+
+	// A triangle component alongside an acyclic one: not a join tree.
+	qBad := query.New(
+		query.Atom{Rel: "R", Vars: []query.Var{"x", "y"}},
+		query.Atom{Rel: "S", Vars: []query.Var{"y", "z"}},
+		query.Atom{Rel: "T", Vars: []query.Var{"z", "x"}},
+		query.Atom{Rel: "Far", Vars: []query.Var{"u", "v"}},
+	)
+	hBad, _ := FromQuery(qBad)
+	if _, _, ok := hBad.JoinTree(); ok {
+		t.Fatal("a cyclic component must make the whole hypergraph cyclic")
+	}
+}
+
+// TestMaximalEdgeCountDuplicates pins the duplicate-edge convention of mh:
+// every duplicate class is represented exactly once (by its first copy), and
+// containment still eliminates non-maximal edges regardless of multiplicity.
+func TestMaximalEdgeCountDuplicates(t *testing.T) {
+	cases := []struct {
+		name string
+		q    *query.Query
+		want int
+	}{
+		{"triple-duplicate", query.New(
+			query.Atom{Rel: "R", Vars: []query.Var{"x", "y"}},
+			query.Atom{Rel: "S", Vars: []query.Var{"x", "y"}},
+			query.Atom{Rel: "T", Vars: []query.Var{"x", "y"}},
+		), 1},
+		{"duplicate-pair-plus-distinct", query.New(
+			query.Atom{Rel: "R", Vars: []query.Var{"x", "y"}},
+			query.Atom{Rel: "S", Vars: []query.Var{"x", "y"}},
+			query.Atom{Rel: "U", Vars: []query.Var{"y", "z"}},
+		), 2},
+		{"duplicates-contained-in-super", query.New(
+			query.Atom{Rel: "R", Vars: []query.Var{"x", "y"}},
+			query.Atom{Rel: "S", Vars: []query.Var{"x", "y"}},
+			query.Atom{Rel: "Big", Vars: []query.Var{"x", "y", "z"}},
+		), 1},
+		{"duplicate-supers", query.New(
+			query.Atom{Rel: "Big1", Vars: []query.Var{"x", "y", "z"}},
+			query.Atom{Rel: "Big2", Vars: []query.Var{"x", "y", "z"}},
+			query.Atom{Rel: "Small", Vars: []query.Var{"y", "z"}},
+		), 1},
+		{"same-vars-different-order", query.New(
+			query.Atom{Rel: "R", Vars: []query.Var{"x", "y"}},
+			query.Atom{Rel: "S", Vars: []query.Var{"y", "x"}},
+		), 1},
+	}
+	for _, c := range cases {
+		h, _ := FromQuery(c.q)
+		if got := h.MaximalEdgeCount(); got != c.want {
+			t.Errorf("%s: mh = %d, want %d", c.name, got, c.want)
+		}
+	}
+}

@@ -587,7 +587,7 @@ func (s *Server) getPlan(ctx context.Context, dataset string, snap Snapshot, q *
 				if err == nil {
 					return sp, nil
 				}
-				if !errors.Is(err, qjoin.ErrNoShardKey) {
+				if !errors.Is(err, qjoin.ErrNoShardKey) && !errors.Is(err, qjoin.ErrCyclicSharded) {
 					return nil, err
 				}
 			}

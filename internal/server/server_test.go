@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -234,16 +235,41 @@ func TestQueryValidationErrors(t *testing.T) {
 		t.Fatalf("unknown field: status %d", w.Code)
 	}
 
-	// A cyclic query is a 400: it can never be served.
+	// A cyclic query is served through a hypertree decomposition: the
+	// triangle instance has exactly one answer, (1,2,3).
 	decodeAs(t, do(t, h, "PUT", "/datasets/tri", server.LoadRequest{Relations: []server.RelationData{
 		{Name: "A", Arity: 2, Rows: [][]int64{{1, 2}}},
 		{Name: "B", Arity: 2, Rows: [][]int64{{2, 3}}},
 		{Name: "C", Arity: 2, Rows: [][]int64{{3, 1}}},
 	}}), 200, nil)
-	var er server.ErrorResponse
+	var qr server.QueryResponse
 	decodeAs(t, do(t, h, "POST", "/query", server.QueryRequest{
 		Dataset: "tri", Query: "A(x,y),B(y,z),C(z,x)", Rank: "sum(x)", Op: "quantile", Phi: 0.5,
-	}), 400, &er)
+	}), 200, &qr)
+	if len(qr.Answers) != 1 || !reflect.DeepEqual(qr.Answers[0].Values, []int64{1, 2, 3}) {
+		t.Fatalf("cyclic answer = %+v, want [1 2 3]", qr.Answers)
+	}
+	// A cyclic query beyond the decomposition width cap is a 400 naming
+	// the query argument.
+	var er server.ErrorResponse
+	petersen := make([]server.RelationData, 15)
+	var petersenAtoms []string
+	for i, e := range [][2]int{
+		{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0},
+		{5, 7}, {7, 9}, {9, 6}, {6, 8}, {8, 5},
+		{0, 5}, {1, 6}, {2, 7}, {3, 8}, {4, 9},
+	} {
+		petersen[i] = server.RelationData{Name: fmt.Sprintf("E%d", i), Arity: 2, Rows: [][]int64{{1, 1}}}
+		petersenAtoms = append(petersenAtoms, fmt.Sprintf("E%d(v%d,v%d)", i, e[0], e[1]))
+	}
+	decodeAs(t, do(t, h, "PUT", "/datasets/petersen", server.LoadRequest{Relations: petersen}), 200, nil)
+	resp := do(t, h, "POST", "/query", server.QueryRequest{
+		Dataset: "petersen", Query: strings.Join(petersenAtoms, ","), Rank: "sum(v0)", Op: "quantile", Phi: 0.5,
+	})
+	decodeAs(t, resp, 400, &er)
+	if er.Field != "query" {
+		t.Fatalf("width-cap error = %+v, want field query", er)
+	}
 
 	// An empty answer set is a 404, not a 500.
 	decodeAs(t, do(t, h, "PUT", "/datasets/empty", server.LoadRequest{Relations: []server.RelationData{

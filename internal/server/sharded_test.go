@@ -113,6 +113,33 @@ func TestShardedDataset(t *testing.T) {
 	}
 }
 
+// TestShardedCyclicFallback: a cyclic query against a sharded dataset cannot
+// shard (PrepareSharded returns ErrCyclicSharded), so the plan cache falls
+// back to a single decomposed plan and still serves the exact answer.
+func TestShardedCyclicFallback(t *testing.T) {
+	h := server.New(server.Config{Parallelism: 2}).Handler()
+	load := server.LoadRequest{
+		Shards: 4,
+		Relations: []server.RelationData{
+			{Name: "A", Arity: 2, Rows: [][]int64{{1, 2}, {4, 4}}},
+			{Name: "B", Arity: 2, Rows: [][]int64{{2, 3}, {4, 4}}},
+			{Name: "C", Arity: 2, Rows: [][]int64{{3, 1}, {4, 4}}},
+		},
+	}
+	decodeAs(t, do(t, h, "PUT", "/datasets/tri", load), 200, nil)
+	var resp server.QueryResponse
+	decodeAs(t, do(t, h, "POST", "/query", server.QueryRequest{
+		Dataset: "tri", Query: "A(x,y),B(y,z),C(z,x)",
+		Rank: "sum(x,y,z)", Op: "quantile", Phi: 0,
+	}), 200, &resp)
+	if len(resp.Answers) != 1 || resp.Answers[0].Weight.K != 6 {
+		t.Fatalf("cyclic quantile on sharded dataset = %s", mustJSON(t, resp))
+	}
+	if !reflect.DeepEqual(resp.Answers[0].Values, []int64{1, 2, 3}) {
+		t.Fatalf("phi=0 answer %v, want [1 2 3]", resp.Answers[0].Values)
+	}
+}
+
 // TestShardedRegistryRace hammers a sharded dataset under -race: concurrent
 // delta writers (each batch routed to the shard owning its rows) against
 // concurrent readers querying through the full handler stack, then checks

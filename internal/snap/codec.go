@@ -468,7 +468,11 @@ func DecodeEngine(d *Dec, rd *RelReader, db0 *relation.Database, parallelism int
 		return nil, d.Err()
 	}
 	exec := jointree.RestoreExec(q, db, tree, rels, groups, parentGid)
-	return engine.Restore(src, q, db0, db, tree, exec, counts, parallelism), nil
+	eng, err := engine.Restore(src, q, db0, db, tree, exec, counts, parallelism)
+	if err != nil {
+		return nil, corrupt("%v", err)
+	}
+	return eng, nil
 }
 
 // ---- sketch summaries -------------------------------------------------

@@ -1,6 +1,7 @@
 package qjoin
 
 import (
+	"errors"
 	"fmt"
 	"math/big"
 	"math/rand"
@@ -9,6 +10,7 @@ import (
 	"github.com/quantilejoins/qjoin/internal/anyk"
 	"github.com/quantilejoins/qjoin/internal/core"
 	"github.com/quantilejoins/qjoin/internal/counting"
+	"github.com/quantilejoins/qjoin/internal/decomp"
 	"github.com/quantilejoins/qjoin/internal/engine"
 	"github.com/quantilejoins/qjoin/internal/yannakakis"
 )
@@ -75,8 +77,13 @@ type Prepared struct {
 // validation, self-join elimination, input deduplication, join-tree
 // construction, executable-tree materialization and answer counting — is
 // quasilinear in the database size and is paid exactly once, no matter how
-// many queries the plan later answers. It fails on cyclic queries
-// (ErrCyclic) and on queries that do not match the database schema.
+// many queries the plan later answers. Cyclic queries compile too: they
+// route through a hypertree decomposition (each bag of atoms is joined into
+// one materialized relation, and the acyclic query over the bags answers
+// identically), at a one-time materialization cost that QuantileStats
+// reports in RunStats.Decomp. Prepare fails on queries that do not match
+// the database schema and, with a typed *ArgError, on cyclic queries whose
+// decomposition would exceed the width cap.
 //
 // An optional Options value becomes the plan's defaults: its Parallelism
 // governs the compile-time passes here and every later query that passes no
@@ -87,9 +94,22 @@ func Prepare(q *Query, db *DB, opts ...Options) (*Prepared, error) {
 	o := oneOpt(opts)
 	eng, err := engine.NewWorkers(q, db.inner, o.Parallelism)
 	if err != nil {
-		return nil, err
+		return nil, mapCompileErr(err)
 	}
 	return &Prepared{q: q, db: db, eng: eng, opts: o}, nil
+}
+
+// mapCompileErr converts typed compile failures into their public surface:
+// a decomposition width-cap failure becomes an *ArgError on the query field,
+// so every front end rejects the request as a bad argument (HTTP 400) naming
+// the query shape, rather than a server fault.
+func mapCompileErr(err error) error {
+	var we *decomp.WidthError
+	if errors.As(err, &we) {
+		return argErrorf("query", "cyclic query %s has no hypertree decomposition of width ≤ %d (%d atoms)",
+			we.Shape, we.MaxWidth, we.Atoms)
+	}
+	return err
 }
 
 // opt resolves per-call options against the plan defaults. A per-call

@@ -1,6 +1,8 @@
 package qjoin_test
 
 import (
+	"errors"
+	"fmt"
 	"math/big"
 	"math/rand"
 	"reflect"
@@ -10,6 +12,23 @@ import (
 	"github.com/quantilejoins/qjoin"
 	"github.com/quantilejoins/qjoin/internal/workload"
 )
+
+// petersenQuery joins the 15 edge relations of the Petersen graph: girth 5
+// and 3-regular, so no bag cover within the decomposition width cap is
+// acyclic — the canonical query that must fail Prepare.
+func petersenQuery() *qjoin.Query {
+	edges := [][2]int{
+		{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0},
+		{5, 7}, {7, 9}, {9, 6}, {6, 8}, {8, 5},
+		{0, 5}, {1, 6}, {2, 7}, {3, 8}, {4, 9},
+	}
+	atoms := make([]qjoin.Atom, len(edges))
+	for i, e := range edges {
+		atoms[i] = qjoin.NewAtom(fmt.Sprintf("E%d", i),
+			qjoin.Var(fmt.Sprintf("v%d", e[0])), qjoin.Var(fmt.Sprintf("v%d", e[1])))
+	}
+	return qjoin.NewQuery(atoms...)
+}
 
 // diffCase is one (query, database, ranking) configuration of the
 // differential matrix.
@@ -199,7 +218,9 @@ func TestPreparedQuantilesMatchesLoop(t *testing.T) {
 
 // TestPreparedErrors pins the error contract of a Prepared plan.
 func TestPreparedErrors(t *testing.T) {
-	// Cyclic queries fail at Prepare time.
+	// Cyclic queries prepare through a hypertree decomposition and answer
+	// exactly; only a decomposition wider than the cap is an error, and it
+	// is a typed *ArgError naming the query.
 	tri := qjoin.NewQuery(
 		qjoin.NewAtom("R", "x", "y"),
 		qjoin.NewAtom("S", "y", "z"),
@@ -209,8 +230,21 @@ func TestPreparedErrors(t *testing.T) {
 	for _, name := range []string{"R", "S", "T"} {
 		db.MustAdd(name, 2, [][]int64{{1, 1}})
 	}
-	if _, err := qjoin.Prepare(tri, db); err != qjoin.ErrCyclic {
-		t.Fatalf("cyclic: err = %v, want ErrCyclic", err)
+	p0, err := qjoin.Prepare(tri, db)
+	if err != nil {
+		t.Fatalf("cyclic: %v", err)
+	}
+	if a, err := p0.Quantile(qjoin.Sum("x", "y", "z"), 0.5); err != nil || a.Weight.K != 3 {
+		t.Fatalf("cyclic quantile: a=%+v err=%v, want weight 3", a, err)
+	}
+	wq := petersenQuery()
+	wdb := qjoin.NewDB()
+	for _, a := range wq.Atoms {
+		wdb.MustAdd(a.Rel, 2, [][]int64{{1, 1}})
+	}
+	var ae *qjoin.ArgError
+	if _, err := qjoin.Prepare(wq, wdb); !errors.As(err, &ae) || ae.Field != "query" {
+		t.Fatalf("width cap: err = %v, want *ArgError on query", err)
 	}
 
 	// Empty answer sets prepare fine and fail per query.

@@ -65,7 +65,11 @@ const (
 
 // Driver errors.
 var (
-	ErrNoAnswers   = core.ErrNoAnswers
+	ErrNoAnswers = core.ErrNoAnswers
+	// ErrCyclic survives for compatibility: since the hypertree
+	// decomposition subsystem, plain cyclic queries compile and answer
+	// exactly (see Prepare), so drivers no longer return it; only
+	// errors.Is checks against historical snapshots rely on it.
 	ErrCyclic      = core.ErrCyclic
 	ErrIntractable = core.ErrIntractable
 )
@@ -132,9 +136,13 @@ func (d *DB) Unwrap() *relation.Database { return d.inner }
 // WrapDB adapts an internal database (from the workload generators).
 func WrapDB(inner *relation.Database) *DB { return &DB{inner: inner} }
 
-// IsAcyclic reports α-acyclicity of the query's hypergraph. Cyclic queries
-// are rejected by every driver (even deciding non-emptiness in quasilinear
-// time would contradict the Hyperclique hypothesis).
+// IsAcyclic reports α-acyclicity of the query's hypergraph. Acyclic queries
+// run the quasilinear pipeline directly; cyclic ones route through a
+// hypertree decomposition (see the Prepare docs) — answered exactly, but
+// with a bag-materialization cost that quasilinear preprocessing cannot
+// avoid (deciding cyclic non-emptiness in quasilinear time would contradict
+// the Hyperclique hypothesis). PrepareSharded rejects cyclic queries with
+// ErrCyclicSharded.
 func IsAcyclic(q *Query) bool {
 	h, _ := hypergraph.FromQuery(q)
 	return h.IsAcyclic()
@@ -144,7 +152,7 @@ func IsAcyclic(q *Query) bool {
 func Count(q *Query, db *DB) (*big.Int, error) {
 	c, err := core.Count(q, db.inner)
 	if err != nil {
-		return nil, err
+		return nil, mapCompileErr(err)
 	}
 	return c.Big(), nil
 }

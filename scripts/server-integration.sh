@@ -67,6 +67,10 @@ step count-postdelta POST /query          scripts/testdata/query-count.json
 # Migration re-certified the carried sketch, so the post-delta approx answer
 # is still served from the sketch tier.
 step approx-postdelta POST /query         scripts/testdata/query-approx.json
+# A cyclic query (triangle) routes through the hypertree-decomposition path
+# (PR 10): the server compiles a single decomposed plan and answers exactly.
+step load-tri       PUT  /datasets/tri    scripts/testdata/load-tri.json
+step cyclic-grid    POST /query           scripts/testdata/query-cyclic.json
 step datasets       GET  /datasets
 
 # Durability. Compact the WAL into a fresh snapshot (no generation bump),

@@ -1,6 +1,7 @@
 package qjoin
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"math/big"
@@ -67,6 +68,14 @@ func (p *Prepared) UpdatePlan(d *Delta) (Plan, error) { return p.Update(d) }
 // variable to partition on (Boolean queries). Run those through Prepare.
 var ErrNoShardKey = shard.ErrNoKey
 
+// ErrCyclicSharded is returned by PrepareSharded for cyclic queries. Hash
+// partitioning on one join variable does not commute with the hypertree
+// decomposition a cyclic query is answered through (a bag join recombines
+// rows across shard boundaries), so sharding such a query would silently
+// drop answers. Run cyclic queries through Prepare, which routes them
+// through a single decomposed engine.
+var ErrCyclicSharded = errors.New("qjoin: cyclic query cannot be sharded; use Prepare for a single decomposed plan")
+
 // ShardOf returns the shard owning a join-key value under the engine's
 // deterministic hash routing. Exposed so operators can predict (and tests
 // can assert) where a row lands; the same function routes rows at
@@ -118,11 +127,14 @@ type ShardedPrepared struct {
 // every shard. Shard engines compile concurrently on the Options
 // Parallelism budget. PrepareSharded(q, db, 1) is exactly Prepare.
 //
-// Boolean queries (no variables) cannot be sharded (shard.ErrNoKey); use
-// Prepare.
+// Boolean queries (no variables) cannot be sharded (shard.ErrNoKey), and
+// neither can cyclic queries (ErrCyclicSharded); use Prepare for both.
 func PrepareSharded(q *Query, db *DB, shards int, opts ...Options) (*ShardedPrepared, error) {
 	if err := ValidateShards(shards); err != nil {
 		return nil, err
+	}
+	if !IsAcyclic(q) {
+		return nil, ErrCyclicSharded
 	}
 	if shards == 0 {
 		shards = 1

@@ -37,6 +37,34 @@ func TestValidateShards(t *testing.T) {
 	}
 }
 
+// TestPrepareShardedCyclic: the sharded engine has no decomposition path, so
+// a cyclic query must fail fast with the typed sentinel rather than a shard
+// error — callers (and the server's plan cache) fall back to Prepare.
+func TestPrepareShardedCyclic(t *testing.T) {
+	q := qjoin.NewQuery(
+		qjoin.NewAtom("R", "x", "y"),
+		qjoin.NewAtom("S", "y", "z"),
+		qjoin.NewAtom("T", "z", "x"),
+	)
+	db := qjoin.NewDB().
+		MustAdd("R", 2, [][]qjoin.Value{{1, 2}}).
+		MustAdd("S", 2, [][]qjoin.Value{{2, 3}}).
+		MustAdd("T", 2, [][]qjoin.Value{{3, 1}})
+	_, err := qjoin.PrepareSharded(q, db, 4)
+	if !errors.Is(err, qjoin.ErrCyclicSharded) {
+		t.Fatalf("PrepareSharded(triangle) = %v, want ErrCyclicSharded", err)
+	}
+	// The unsharded fallback answers the same query exactly.
+	p, err := qjoin.Prepare(q, db)
+	if err != nil {
+		t.Fatalf("Prepare fallback: %v", err)
+	}
+	a, err := p.Quantile(qjoin.Sum("x", "y", "z"), 0.5)
+	if err != nil || a.Weight.K != 6 {
+		t.Fatalf("fallback quantile = %v, %v; want weight 6", a, err)
+	}
+}
+
 func TestShardOfDeterministic(t *testing.T) {
 	seen := make(map[int]int)
 	for v := int64(0); v < 1000; v++ {
